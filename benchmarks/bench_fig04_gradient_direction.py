@@ -1,0 +1,25 @@
+"""Fig. 4: gradient direction of SFL-FM vs SFL-T vs standalone SGD.
+
+Paper: the merged-feature gradient is much closer to the standalone SGD
+gradient than the per-worker gradients of typical SFL.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+from benchmarks.common import run_once
+
+
+def test_fig04_gradient_direction(benchmark):
+    result = run_once(
+        benchmark, figures.figure4_gradient_directions,
+        dataset="cifar10", num_workers=5, batch_size=12, model_width=0.4,
+    )
+    print()
+    print(format_table(
+        ["approach", "cosine_to_standalone_sgd"],
+        [["SFL-FM (merged)", result.cosine_fm], ["SFL-T (per-worker)", result.cosine_t]],
+        title="Fig. 4: top-model gradient alignment with centralized SGD",
+    ))
+    assert result.cosine_fm >= result.cosine_t
+    assert result.cosine_fm > 0.9

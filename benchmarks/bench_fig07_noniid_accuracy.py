@@ -1,0 +1,30 @@
+"""Fig. 7: time-to-accuracy of the five approaches at non-IID level p=10.
+
+Paper: MergeSFL keeps nearly its IID convergence and final accuracy, while
+the baselines lose 5.8%-26.2% accuracy.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_comparison
+
+from benchmarks.common import BENCH_OVERRIDES, run_once
+
+
+def test_fig07_noniid_har(benchmark):
+    result = run_once(
+        benchmark, figures.figure7_noniid_accuracy, datasets=("har",), **BENCH_OVERRIDES
+    )
+    print()
+    print(format_comparison(result["har"]["comparison"],
+                            title="Fig. 7(a): HAR analogue, non-IID p=10"))
+
+
+def test_fig07_noniid_cifar10(benchmark):
+    result = run_once(
+        benchmark, figures.figure7_noniid_accuracy, datasets=("cifar10",), **BENCH_OVERRIDES
+    )
+    comparison = result["cifar10"]["comparison"]
+    print()
+    print(format_comparison(comparison, title="Fig. 7(c): CIFAR-10 analogue, non-IID p=10"))
+    # Every approach must still train (well above the 10% chance level).
+    assert all(m["best_accuracy"] > 0.2 for m in comparison.values())

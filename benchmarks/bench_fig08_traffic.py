@@ -1,0 +1,35 @@
+"""Fig. 8: network traffic consumed to reach target accuracies.
+
+Paper: the SFL approaches (which exchange features instead of full models)
+consume far less traffic than FedAvg/PyramidFL, and MergeSFL the least.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+from repro.metrics.summary import best_accuracy, traffic_to_accuracy
+
+from benchmarks.common import BENCH_OVERRIDES, run_once
+
+
+def test_fig08_network_traffic_cifar10(benchmark):
+    result = run_once(
+        benchmark, figures.figure8_network_traffic, datasets=("cifar10",),
+        **BENCH_OVERRIDES,
+    )
+    rows = [
+        [row["dataset"], row["approach"], row["target_accuracy"], row["traffic_mb"]]
+        for row in result["rows"]
+    ]
+    print()
+    print(format_table(
+        ["dataset", "approach", "target_acc", "traffic_MB"], rows,
+        title="Fig. 8: traffic to reach target accuracy (CIFAR-10 analogue, non-IID)",
+    ))
+
+    histories = result["histories"]["cifar10"]
+    target = min(best_accuracy(history) for history in histories.values())
+    split_traffic = traffic_to_accuracy(histories["locfedmix_sl"], target)
+    fedavg_traffic = traffic_to_accuracy(histories["fedavg"], target)
+    # Shape check: model splitting saves traffic compared to full-model FL.
+    assert split_traffic is not None and fedavg_traffic is not None
+    assert split_traffic < fedavg_traffic

@@ -1,0 +1,31 @@
+"""Fig. 9: average per-round waiting time of the five approaches.
+
+Paper: AdaSFL has the smallest waiting time, MergeSFL is close behind, and
+the fixed-batch approaches (LocFedMix-SL, FedAvg) wait the longest.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+from benchmarks.common import BENCH_OVERRIDES, run_once
+
+
+def test_fig09_waiting_time_cifar10(benchmark):
+    result = run_once(
+        benchmark, figures.figure9_waiting_time, datasets=("cifar10",),
+        **BENCH_OVERRIDES,
+    )
+    rows = [
+        [row["dataset"], row["approach"], row["mean_waiting_time_s"]]
+        for row in result["rows"]
+    ]
+    print()
+    print(format_table(
+        ["dataset", "approach", "avg_waiting_time_s"], rows,
+        title="Fig. 9: average per-round waiting time (CIFAR-10 analogue)",
+    ))
+    waits = {row["approach"]: row["mean_waiting_time_s"] for row in result["rows"]}
+    # Shape checks: batch-size regulation (AdaSFL, MergeSFL) waits less than
+    # the fixed-batch SFL baseline.
+    assert waits["adasfl"] < waits["locfedmix_sl"]
+    assert waits["mergesfl"] < waits["locfedmix_sl"]

@@ -1,0 +1,27 @@
+"""Fig. 11: ablation — MergeSFL vs MergeSFL w/o FM vs MergeSFL w/o BR.
+
+Paper: w/o FM matches MergeSFL on IID but loses accuracy on non-IID data;
+w/o BR matches on non-IID accuracy but is ~2.2x slower.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_comparison
+
+from benchmarks.common import BENCH_OVERRIDES, run_once
+
+
+def test_fig11_ablation_cifar10(benchmark):
+    result = run_once(
+        benchmark, figures.figure11_ablation, dataset="cifar10", **BENCH_OVERRIDES
+    )
+    print()
+    for label in ("iid", "non_iid"):
+        print(format_comparison(result[label]["comparison"],
+                                title=f"Fig. 11 ({label}): MergeSFL ablation"))
+        print()
+    iid = result["iid"]["histories"]
+    # Shape check: removing batch-size regulation slows the round clock down
+    # (w/o BR uses one identical batch size, so fast workers idle).
+    with_br = iid["mergesfl"].records[-1].sim_time
+    without_br = iid["mergesfl_no_br"].records[-1].sim_time
+    assert with_br <= without_br * 1.05

@@ -1,0 +1,31 @@
+"""Fig. 12: system scales — completion time with different worker counts.
+
+Paper: with more participating workers MergeSFL converges faster (1.23x-
+1.68x speedup from 100 to 400 workers), since more workers contribute more
+data per round.
+"""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+from benchmarks.common import BENCH_OVERRIDES, run_once
+
+
+def test_fig12_scalability(benchmark):
+    overrides = {k: v for k, v in BENCH_OVERRIDES.items() if k != "num_workers"}
+    result = run_once(
+        benchmark, figures.figure12_scalability,
+        dataset="cifar10", scales=(4, 8, 12), **overrides,
+    )
+    rows = [
+        [row["num_workers"], row["target_accuracy"], row["time_to_target_s"],
+         row["final_accuracy"]]
+        for row in result["rows"]
+    ]
+    print()
+    print(format_table(
+        ["workers", "target_acc", "time_to_target_s", "final_acc"], rows,
+        title="Fig. 12: MergeSFL at different system scales (CIFAR-10 analogue)",
+    ))
+    # Every scale reaches the common target.
+    assert all(row["time_to_target_s"] is not None for row in result["rows"])

@@ -1,0 +1,21 @@
+"""Table II: Jetson device specifications used by the testbed simulator."""
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+from repro.simulation.device import heterogeneity_span
+
+from benchmarks.common import run_once
+
+
+def test_table02_device_specifications(benchmark):
+    rows = run_once(benchmark, figures.table2_device_specifications)
+    print()
+    print(format_table(
+        ["device", "ai_performance", "gpu", "cpu", "memory_gb", "train_gflops", "modes"],
+        [[r["device"], r["ai_performance"], r["gpu"], r["cpu"], r["memory_gb"],
+          r["train_gflops"], r["num_modes"]] for r in rows],
+        title="Table II: device technical specifications (simulator profiles)",
+    ))
+    assert len(rows) == 3
+    # Paper: the fastest AGX mode is ~100x the slowest TX2 mode.
+    assert 50 <= heterogeneity_span() <= 200

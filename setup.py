@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so editable installs fall
+back to the legacy ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""Reproduction of MergeSFL (ICDE 2024).
+
+MergeSFL: Split Federated Learning with Feature Merging and Batch Size
+Regulation.  This package provides:
+
+* ``repro.nn`` -- a from-scratch NumPy neural-network library (layers,
+  losses, optimizers, model zoo, model splitting) used in place of PyTorch.
+* ``repro.data`` -- synthetic stand-ins for the paper's datasets plus
+  Dirichlet/IID partitioning utilities.
+* ``repro.simulation`` -- an edge-computing testbed simulator (Jetson device
+  profiles, WiFi bandwidth model, simulated clock, traffic accounting).
+* ``repro.core`` -- the MergeSFL system itself: feature merging, batch size
+  regulation, GA-based worker selection, control and training modules.
+* ``repro.baselines`` -- FedAvg, SplitFed, LocFedMix-SL, AdaSFL, PyramidFL
+  and the motivation/ablation variants.
+* ``repro.experiments`` -- experiment runner and per-figure reproduction
+  entry points.
+"""
+
+from repro.version import __version__
+from repro.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+__all__ = [
+    "__version__",
+    "ExperimentConfig",
+    "run_experiment",
+]

@@ -1,0 +1,31 @@
+"""Baselines evaluated in the paper plus the motivation variants.
+
+Split-learning baselines (SplitFed, LocFedMix-SL, AdaSFL and the SFL-T /
+SFL-FM / SFL-BR motivation variants) reuse the shared split training engine
+with simple control policies; the federated-learning baselines (FedAvg,
+PyramidFL) train full models locally through a dedicated FL engine.
+"""
+
+from repro.baselines.policies import (
+    FixedBatchPolicy,
+    RegulatedBatchPolicy,
+)
+from repro.baselines.sfl import SplitFed, LocFedMixSL, AdaSFL, SFLVariant
+from repro.baselines.fl_engine import FLTrainingEngine, FLSelectionStrategy
+from repro.baselines.fedavg import FedAvg, SelectAll
+from repro.baselines.pyramidfl import PyramidFL, PyramidSelection
+
+__all__ = [
+    "FixedBatchPolicy",
+    "RegulatedBatchPolicy",
+    "SplitFed",
+    "LocFedMixSL",
+    "AdaSFL",
+    "SFLVariant",
+    "FLTrainingEngine",
+    "FLSelectionStrategy",
+    "FedAvg",
+    "SelectAll",
+    "PyramidFL",
+    "PyramidSelection",
+]

@@ -1,0 +1,56 @@
+"""FedAvg baseline (McMahan et al., AISTATS'17).
+
+Every worker trains the entire model locally with an identical, fixed batch
+size; the PS averages the local models weighted by shard size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.fl_engine import FLTrainingEngine
+from repro.config import ExperimentConfig
+from repro.core.worker import SplitWorker
+from repro.data.dataset import TrainTestSplit
+from repro.metrics.history import History
+from repro.nn.module import Sequential
+from repro.simulation.cluster import Cluster
+
+
+class SelectAll:
+    """FedAvg's trivial selection: every worker participates every round."""
+
+    def select(
+        self,
+        round_index: int,
+        durations: np.ndarray,
+        label_distributions: np.ndarray,
+        participation_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[int]:
+        return list(range(durations.shape[0]))
+
+
+class FedAvg:
+    """FedAvg facade: full-model local training + uniform participation."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        model: Sequential,
+        workers: list[SplitWorker],
+        cluster: Cluster,
+        data: TrainTestSplit,
+    ) -> None:
+        self.engine = FLTrainingEngine(
+            config=config,
+            model=model,
+            workers=workers,
+            cluster=cluster,
+            data=data,
+            selection=SelectAll(),
+        )
+
+    def run(self, num_rounds: int | None = None) -> History:
+        """Train and return the per-round history."""
+        return self.engine.run(num_rounds)

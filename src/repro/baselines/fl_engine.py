@@ -1,0 +1,189 @@
+"""Federated-learning engine for the full-model baselines (FedAvg, PyramidFL).
+
+Unlike the split engine, workers train the *entire* model locally and only
+exchange model parameters with the PS, so communication consists of model
+uploads/downloads and compute time is charged for the full network.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.core.worker import SplitWorker
+from repro.data.dataset import TrainTestSplit
+from repro.metrics.history import History, RoundRecord
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import estimate_forward_flops
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD
+from repro.nn.serialization import average_state_dicts, model_size_bytes
+from repro.simulation.cluster import Cluster
+from repro.simulation.timing import average_waiting_time, round_duration
+from repro.simulation.traffic import TrafficMeter
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn_rngs
+
+logger = get_logger("baselines.fl_engine")
+
+
+class FLSelectionStrategy(Protocol):
+    """Per-round worker selection for FL baselines."""
+
+    def select(
+        self,
+        round_index: int,
+        durations: np.ndarray,
+        label_distributions: np.ndarray,
+        participation_counts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[int]:
+        """Return the worker ids participating in the round."""
+        ...  # pragma: no cover - protocol definition
+
+
+class FLTrainingEngine:
+    """FedAvg-style training with a pluggable worker-selection strategy."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        model: Sequential,
+        workers: list[SplitWorker],
+        cluster: Cluster,
+        data: TrainTestSplit,
+        selection: FLSelectionStrategy,
+    ) -> None:
+        self.config = config
+        self.global_model = model.clone()
+        self.workers = workers
+        self.cluster = cluster
+        self.data = data
+        self.selection = selection
+
+        self.loss_fn = CrossEntropyLoss()
+        self.traffic = TrafficMeter()
+        self.history = History(algorithm=config.algorithm)
+        self.model_bytes = model_size_bytes(self.global_model)
+        self.full_flops = estimate_forward_flops(self.global_model, data.feature_shape)
+        self._label_distributions = np.stack(
+            [worker.local_label_distribution() for worker in workers]
+        )
+        self._rngs = spawn_rngs(config.seed + 40617, config.num_rounds + 1)
+        self._clock = 0.0
+        self._current_lr = config.learning_rate
+
+    def run(self, num_rounds: int | None = None) -> History:
+        """Execute the configured number of communication rounds."""
+        rounds = num_rounds if num_rounds is not None else self.config.num_rounds
+        for round_index in range(rounds):
+            self._run_round(round_index)
+        return self.history
+
+    # -- internals -------------------------------------------------------------
+    def _run_round(self, round_index: int) -> None:
+        config = self.config
+        self.cluster.advance_round(round_index)
+        durations = self._per_worker_durations()
+        participation = np.asarray(
+            [worker.participation_count for worker in self.workers], dtype=np.float64
+        )
+        selected = self.selection.select(
+            round_index,
+            durations,
+            self._label_distributions,
+            participation,
+            self._rngs[round_index],
+        )
+        if not selected:
+            raise RuntimeError("FL selection strategy selected no workers")
+
+        # Local training on every selected worker.
+        states = []
+        weights = []
+        losses = []
+        for worker_id in selected:
+            worker = self.workers[worker_id]
+            state = worker.train_full_model(
+                self.global_model,
+                self.loss_fn,
+                iterations=config.local_iterations,
+                batch_size=config.base_batch_size,
+                learning_rate=self._current_lr,
+            )
+            states.append(state)
+            weights.append(float(worker.num_samples))
+            worker.participation_count += 1
+            losses.append(self._local_loss(state))
+
+        aggregated = average_state_dicts(states, weights)
+        self.global_model.load_state_dict(aggregated)
+
+        duration, waiting = self._account_time_and_traffic(selected)
+        self._clock += duration
+        accuracy, test_loss = self._evaluate()
+        self.history.append(
+            RoundRecord(
+                round_index=round_index,
+                sim_time=self._clock,
+                duration=duration,
+                waiting_time=waiting,
+                traffic_mb=self.traffic.total_megabytes,
+                train_loss=float(np.mean(losses)) if losses else 0.0,
+                test_loss=test_loss,
+                test_accuracy=accuracy,
+                num_selected=len(selected),
+                total_batch=config.base_batch_size * len(selected),
+            )
+        )
+        self._current_lr *= config.lr_decay
+        logger.debug("FL round %d: acc=%.3f", round_index, accuracy)
+
+    def _local_loss(self, state: dict[str, np.ndarray]) -> float:
+        """Training loss of a locally updated model on a small probe batch."""
+        probe = self.global_model.clone()
+        probe.load_state_dict(state)
+        probe.eval()
+        size = min(64, len(self.data.train))
+        logits = probe.forward(self.data.train.data[:size])
+        return self.loss_fn.forward(logits, self.data.train.targets[:size])
+
+    def _per_worker_durations(self) -> np.ndarray:
+        """Per-round duration of every worker (compute + model exchange)."""
+        config = self.config
+        durations = []
+        for device in self.cluster.devices:
+            compute = (
+                config.local_iterations
+                * config.base_batch_size
+                * device.compute_time_per_sample(self.full_flops)
+            )
+            transfer = 2 * device.model_transfer_time(self.model_bytes)
+            durations.append(compute + transfer)
+        return np.asarray(durations)
+
+    def _account_time_and_traffic(self, selected: list[int]) -> tuple[float, float]:
+        durations = self._per_worker_durations()[selected]
+        self.traffic.add_model_exchange(self.model_bytes, num_workers=len(selected))
+        return round_duration(durations), average_waiting_time(durations)
+
+    def _evaluate(self) -> tuple[float, float]:
+        """Accuracy and loss of the global model on the test split."""
+        self.global_model.eval()
+        data = self.data.test.data
+        targets = self.data.test.targets
+        correct = 0
+        losses = []
+        batch = self.config.eval_batch_size
+        for start in range(0, data.shape[0], batch):
+            stop = start + batch
+            logits = self.global_model.forward(data[start:stop])
+            losses.append(self.loss_fn.forward(logits, targets[start:stop]) * (stop - start))
+            correct += int((logits.argmax(axis=1) == targets[start:stop]).sum())
+        self.global_model.train()
+        total = data.shape[0]
+        if total == 0:
+            return 0.0, 0.0
+        return correct / total, float(np.sum(losses) / total)

@@ -1,0 +1,80 @@
+"""Control policies for the split-learning baselines.
+
+These policies plug into :class:`repro.core.engine.SplitTrainingEngine`:
+
+* :class:`FixedBatchPolicy` -- every worker participates with one identical
+  batch size.  With ``merge_features=False`` this is typical SFL (SFL-T /
+  LocFedMix-SL / SplitFed); with ``merge_features=True`` it is the SFL-FM
+  motivation variant.
+* :class:`RegulatedBatchPolicy` -- batch sizes follow Eq. 9 but there is no
+  selection and no merging: the SFL-BR motivation variant and the AdaSFL
+  baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batching import regulate_batch_sizes
+from repro.core.controller import ControlContext, RoundPlan
+from repro.core.divergence import iid_distribution, kl_divergence, mixed_label_distribution
+
+
+def _plan_from_batches(context: ControlContext, batch_sizes: np.ndarray) -> RoundPlan:
+    """Build a plan selecting every worker with the given batch sizes."""
+    selected = list(range(batch_sizes.shape[0]))
+    target = iid_distribution(context.label_distributions)
+    phi = mixed_label_distribution(context.label_distributions, batch_sizes, selected)
+    return RoundPlan(
+        selected=selected,
+        batch_sizes={worker: int(batch_sizes[worker]) for worker in selected},
+        merged_kl=kl_divergence(phi, target),
+    )
+
+
+class FixedBatchPolicy:
+    """All workers, identical fixed batch size.
+
+    Args:
+        merge_features: Whether the PS merges features (SFL-FM) or updates
+            the top model per worker (typical SFL).
+        aggregate_every_iteration: ``True`` reproduces SplitFed's
+            aggregation after every local update.
+        batch_size: Identical batch size; defaults to the experiment's
+            ``base_batch_size``.
+    """
+
+    def __init__(
+        self,
+        merge_features: bool = False,
+        aggregate_every_iteration: bool = False,
+        batch_size: int | None = None,
+    ) -> None:
+        self.merge_features = merge_features
+        self.aggregate_every_iteration = aggregate_every_iteration
+        self._batch_size = batch_size
+
+    def plan_round(self, context: ControlContext) -> RoundPlan:
+        batch = self._batch_size if self._batch_size is not None else context.base_batch_size
+        num_workers = context.per_sample_durations.shape[0]
+        return _plan_from_batches(
+            context, np.full(num_workers, batch, dtype=np.int64)
+        )
+
+
+class RegulatedBatchPolicy:
+    """All workers, batch sizes regulated by Eq. 9, no merging or selection."""
+
+    def __init__(
+        self,
+        merge_features: bool = False,
+        aggregate_every_iteration: bool = False,
+    ) -> None:
+        self.merge_features = merge_features
+        self.aggregate_every_iteration = aggregate_every_iteration
+
+    def plan_round(self, context: ControlContext) -> RoundPlan:
+        batch_sizes = regulate_batch_sizes(
+            context.per_sample_durations, context.max_batch_size
+        )
+        return _plan_from_batches(context, batch_sizes)

@@ -1,0 +1,102 @@
+"""Split-learning baselines built on the shared training engine.
+
+* **SplitFed** (Thapa et al., AAAI'22): typical SFL that aggregates bottom
+  models after every local update (high traffic).
+* **LocFedMix-SL** (Oh et al., WWW'22): typical SFL with ``tau`` local
+  iterations between aggregations; identical fixed batch sizes.
+* **AdaSFL** (Liao et al., ToN'23): SFL with adaptive, per-worker batch
+  sizes (Eq. 9) but no feature merging and no IID-aware selection.
+* **SFLVariant**: the three motivation variants of Section II (SFL-T,
+  SFL-FM, SFL-BR) expressed through the same policies.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.policies import FixedBatchPolicy, RegulatedBatchPolicy
+from repro.config import ExperimentConfig
+from repro.core.engine import SplitTrainingEngine
+from repro.core.worker import SplitWorker
+from repro.data.dataset import TrainTestSplit
+from repro.exceptions import ConfigurationError
+from repro.metrics.history import History
+from repro.nn.split import SplitModel
+from repro.simulation.cluster import Cluster
+
+
+class _SplitBaseline:
+    """Common plumbing for split-learning baselines."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        split: SplitModel,
+        workers: list[SplitWorker],
+        cluster: Cluster,
+        data: TrainTestSplit,
+        policy,
+        bandwidth_budget_override: float | None = None,
+    ) -> None:
+        self.policy = policy
+        self.engine = SplitTrainingEngine(
+            config=config,
+            split=split,
+            workers=workers,
+            cluster=cluster,
+            data=data,
+            policy=policy,
+            bandwidth_budget_override=bandwidth_budget_override,
+        )
+
+    def run(self, num_rounds: int | None = None) -> History:
+        """Train and return the per-round history."""
+        return self.engine.run(num_rounds)
+
+
+class SplitFed(_SplitBaseline):
+    """SplitFed: typical SFL, aggregation after every local update."""
+
+    def __init__(self, config, split, workers, cluster, data, **kwargs) -> None:
+        policy = FixedBatchPolicy(
+            merge_features=False, aggregate_every_iteration=True
+        )
+        super().__init__(config, split, workers, cluster, data, policy, **kwargs)
+
+
+class LocFedMixSL(_SplitBaseline):
+    """LocFedMix-SL: typical SFL with multiple local updates per round."""
+
+    def __init__(self, config, split, workers, cluster, data, **kwargs) -> None:
+        policy = FixedBatchPolicy(
+            merge_features=False, aggregate_every_iteration=False
+        )
+        super().__init__(config, split, workers, cluster, data, policy, **kwargs)
+
+
+class AdaSFL(_SplitBaseline):
+    """AdaSFL: adaptive batch sizes for heterogeneous workers, no merging."""
+
+    def __init__(self, config, split, workers, cluster, data, **kwargs) -> None:
+        policy = RegulatedBatchPolicy(
+            merge_features=False, aggregate_every_iteration=False
+        )
+        super().__init__(config, split, workers, cluster, data, policy, **kwargs)
+
+
+class SFLVariant(_SplitBaseline):
+    """The motivation variants of Section II: SFL-T, SFL-FM and SFL-BR."""
+
+    VARIANTS = ("sfl_t", "sfl_fm", "sfl_br")
+
+    def __init__(self, variant: str, config, split, workers, cluster, data, **kwargs) -> None:
+        if variant not in self.VARIANTS:
+            raise ConfigurationError(
+                f"unknown SFL variant {variant!r}; known: {self.VARIANTS}"
+            )
+        if variant == "sfl_t":
+            policy = FixedBatchPolicy(merge_features=False)
+        elif variant == "sfl_fm":
+            policy = FixedBatchPolicy(merge_features=True)
+        else:  # sfl_br
+            policy = RegulatedBatchPolicy(merge_features=False)
+        self.variant = variant
+        super().__init__(config, split, workers, cluster, data, policy, **kwargs)

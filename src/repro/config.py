@@ -1,0 +1,168 @@
+"""Experiment configuration.
+
+A single :class:`ExperimentConfig` drives every algorithm (MergeSFL, the
+baselines and the motivation variants) through
+:func:`repro.experiments.runner.run_experiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+from repro.exceptions import ConfigurationError
+
+#: Algorithms accepted by the experiment runner.
+KNOWN_ALGORITHMS = (
+    "mergesfl",
+    "mergesfl_no_fm",
+    "mergesfl_no_br",
+    "fedavg",
+    "splitfed",
+    "locfedmix_sl",
+    "adasfl",
+    "pyramidfl",
+    "sfl_t",
+    "sfl_fm",
+    "sfl_br",
+)
+
+#: Datasets provided by :mod:`repro.data`.
+KNOWN_DATASETS = ("har", "speech", "cifar10", "image100", "blobs")
+
+#: Models provided by :mod:`repro.nn.models`.
+KNOWN_MODELS = ("mlp", "cnn_h", "cnn_s", "alexnet_s", "vgg_s")
+
+
+@dataclass
+class ExperimentConfig:
+    """Full description of one training run.
+
+    Attributes mirror the experimental parameters of Section V-A of the
+    paper; defaults are scaled down so a run finishes quickly on CPU.
+    """
+
+    # Task ----------------------------------------------------------------
+    algorithm: str = "mergesfl"
+    dataset: str = "cifar10"
+    model: str = "alexnet_s"
+    model_width: float = 1.0
+
+    # Federation ----------------------------------------------------------
+    num_workers: int = 10
+    num_rounds: int = 20
+    local_iterations: int = 5          # tau in the paper
+    non_iid_level: float = 0.0         # p = 1/delta; 0 means IID
+    max_batch_size: int = 32           # D, assigned to the fastest worker
+    base_batch_size: int = 16          # identical batch size for non-regulating baselines
+
+    # Optimisation ---------------------------------------------------------
+    learning_rate: float = 0.1
+    lr_decay: float = 0.993
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    max_grad_norm: float | None = 5.0
+
+    # Data scale -----------------------------------------------------------
+    train_samples: int = 2000
+    test_samples: int = 400
+    eval_batch_size: int = 128
+
+    # Simulation -----------------------------------------------------------
+    bandwidth_budget_mbps: float = 120.0   # ingress bandwidth budget B^h of the PS
+    mode_change_interval: int = 20         # rounds between device mode re-draws
+    estimator_alpha: float = 0.8           # moving-average coefficient (Eq. 5-6)
+
+    # MergeSFL control knobs -------------------------------------------------
+    kl_threshold: float = 0.05             # epsilon in Alg. 1
+    ga_population: int = 20
+    ga_generations: int = 15
+    selection_fraction: float = 0.5        # m = N/2 initial population seed
+
+    # Reproducibility --------------------------------------------------------
+    seed: int = 0
+
+    # Free-form extras (kept for forward compatibility of saved configs).
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` when any field is out of range."""
+        if self.algorithm not in KNOWN_ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; known: {KNOWN_ALGORITHMS}"
+            )
+        if self.dataset not in KNOWN_DATASETS:
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; known: {KNOWN_DATASETS}"
+            )
+        if self.model not in KNOWN_MODELS:
+            raise ConfigurationError(
+                f"unknown model {self.model!r}; known: {KNOWN_MODELS}"
+            )
+        positive_fields = {
+            "num_workers": self.num_workers,
+            "num_rounds": self.num_rounds,
+            "local_iterations": self.local_iterations,
+            "max_batch_size": self.max_batch_size,
+            "base_batch_size": self.base_batch_size,
+            "learning_rate": self.learning_rate,
+            "train_samples": self.train_samples,
+            "test_samples": self.test_samples,
+            "eval_batch_size": self.eval_batch_size,
+            "bandwidth_budget_mbps": self.bandwidth_budget_mbps,
+            "mode_change_interval": self.mode_change_interval,
+            "ga_population": self.ga_population,
+            "ga_generations": self.ga_generations,
+            "model_width": self.model_width,
+        }
+        for name, value in positive_fields.items():
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.max_grad_norm is not None and self.max_grad_norm <= 0:
+            raise ConfigurationError(
+                f"max_grad_norm must be positive or None, got {self.max_grad_norm}"
+            )
+        if self.non_iid_level < 0:
+            raise ConfigurationError(
+                f"non_iid_level must be non-negative, got {self.non_iid_level}"
+            )
+        if not 0.0 < self.lr_decay <= 1.0:
+            raise ConfigurationError(
+                f"lr_decay must be in (0, 1], got {self.lr_decay}"
+            )
+        if not 0.0 <= self.estimator_alpha <= 1.0:
+            raise ConfigurationError(
+                f"estimator_alpha must be in [0, 1], got {self.estimator_alpha}"
+            )
+        if self.kl_threshold < 0:
+            raise ConfigurationError(
+                f"kl_threshold must be non-negative, got {self.kl_threshold}"
+            )
+        if not 0.0 < self.selection_fraction <= 1.0:
+            raise ConfigurationError(
+                f"selection_fraction must be in (0, 1], got {self.selection_fraction}"
+            )
+
+    def to_dict(self) -> dict:
+        """Plain-dict representation (JSON-serialisable)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentConfig":
+        """Inverse of :meth:`to_dict`; unknown keys go into ``extras``."""
+        known = {f for f in cls.__dataclass_fields__}
+        kwargs = {key: value for key, value in payload.items() if key in known}
+        extras = {key: value for key, value in payload.items() if key not in known}
+        if extras:
+            merged = dict(kwargs.get("extras", {}))
+            merged.update(extras)
+            kwargs["extras"] = merged
+        return cls(**kwargs)
+
+    def replace(self, **changes) -> "ExperimentConfig":
+        """Return a copy with the given fields replaced."""
+        payload = self.to_dict()
+        payload.update(changes)
+        return ExperimentConfig.from_dict(payload)

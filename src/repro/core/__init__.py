@@ -1,0 +1,47 @@
+"""MergeSFL core: feature merging, batch size regulation, worker arrangement.
+
+The subpackage is organised around the paper's two modules:
+
+* **Control module** (:mod:`repro.core.controller`): worker state
+  estimation, batch-size regulation (Eq. 9), GA-based worker selection
+  minimising the KL divergence to the IID label distribution (Eq. 10-13),
+  Lagrangian batch fine-tuning (Eq. 14) and bandwidth scaling.
+* **Training module** (:mod:`repro.core.engine`): bottom-model training on
+  workers, feature merging, top-model update, gradient dispatching and
+  weighted bottom-model aggregation (Eq. 15-17).
+
+:class:`repro.core.mergesfl.MergeSFL` wires the two together.
+"""
+
+from repro.core.divergence import kl_divergence, mixed_label_distribution, iid_distribution
+from repro.core.batching import regulate_batch_sizes, scale_to_bandwidth
+from repro.core.selection import selection_priorities, genetic_select, greedy_select
+from repro.core.regulation import finetune_batch_sizes
+from repro.core.merging import FeatureMerger, MergedBatch
+from repro.core.worker import SplitWorker
+from repro.core.server import SplitServer
+from repro.core.controller import ControlModule, RoundPlan
+from repro.core.engine import SplitTrainingEngine, ControlPolicy
+from repro.core.mergesfl import MergeSFL, MergeSFLPolicy
+
+__all__ = [
+    "kl_divergence",
+    "mixed_label_distribution",
+    "iid_distribution",
+    "regulate_batch_sizes",
+    "scale_to_bandwidth",
+    "selection_priorities",
+    "genetic_select",
+    "greedy_select",
+    "finetune_batch_sizes",
+    "FeatureMerger",
+    "MergedBatch",
+    "SplitWorker",
+    "SplitServer",
+    "ControlModule",
+    "RoundPlan",
+    "SplitTrainingEngine",
+    "ControlPolicy",
+    "MergeSFL",
+    "MergeSFLPolicy",
+]

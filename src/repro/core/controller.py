@@ -1,0 +1,183 @@
+"""The MergeSFL control module (Section IV-A, Alg. 1).
+
+At the start of every communication round the control module estimates
+worker states, regulates batch sizes (Eq. 9), selects a worker set whose
+merged label distribution approximates IID under the PS ingress-bandwidth
+constraint (Eq. 10-13, genetic algorithm), fine-tunes the batch sizes to
+push the KL divergence below the threshold (Eq. 14, Lagrangian step) and
+finally rescales the batch sizes to use the available bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batching import regulate_batch_sizes, scale_to_bandwidth
+from repro.core.divergence import (
+    iid_distribution,
+    kl_divergence,
+    mixed_label_distribution,
+)
+from repro.core.regulation import finetune_batch_sizes
+from repro.core.selection import genetic_select, greedy_select, selection_priorities
+
+
+@dataclass
+class ControlContext:
+    """Observable state handed to a control policy at the start of a round.
+
+    Attributes:
+        round_index: Zero-based communication-round counter.
+        per_sample_durations: Estimated ``mu_i + beta_i`` per worker (s).
+        label_distributions: ``(num_workers, num_classes)`` matrix of V_i.
+        participation_counts: ``K_i`` per worker.
+        bandwidth_budget: Estimated ingress budget ``B^h`` (same unit as
+            ``bandwidth_per_sample`` times a batch size).
+        bandwidth_per_sample: ``c``, ingress bandwidth occupied per sample.
+        max_batch_size: ``D``, the default maximum batch size.
+        base_batch_size: Identical batch size used by non-regulating baselines.
+        rng: Round-specific random generator.
+    """
+
+    round_index: int
+    per_sample_durations: np.ndarray
+    label_distributions: np.ndarray
+    participation_counts: np.ndarray
+    bandwidth_budget: float
+    bandwidth_per_sample: float
+    max_batch_size: int
+    base_batch_size: int
+    rng: np.random.Generator
+
+
+@dataclass
+class RoundPlan:
+    """Decision of a control policy for one round.
+
+    Attributes:
+        selected: Sorted worker indices forming ``S^h``.
+        batch_sizes: Mapping from selected worker id to its batch size ``d_i``.
+        merged_kl: KL divergence of the planned merged label distribution.
+        info: Free-form diagnostics (selection feasibility, GA stats, ...).
+    """
+
+    selected: list[int]
+    batch_sizes: dict[int, int]
+    merged_kl: float = 0.0
+    info: dict = field(default_factory=dict)
+
+    @property
+    def total_batch(self) -> int:
+        """Total merged batch size of the round."""
+        return int(sum(self.batch_sizes.values()))
+
+
+class ControlModule:
+    """Implements Alg. 1: worker arrangement and configuration.
+
+    Args:
+        kl_threshold: ``epsilon`` for the fine-tuning step.
+        enable_regulation: Apply Eq. 9 batch-size regulation (otherwise all
+            workers use the base batch size).
+        enable_selection: Run the GA worker selection (otherwise all workers
+            participate).
+        enable_finetune: Run the Lagrangian KL fine-tuning and bandwidth
+            scaling steps.
+        ga_population: GA population size.
+        ga_generations: GA generation count.
+        selection_fraction: Fraction ``m/N`` used to seed the GA population.
+        use_greedy: Replace the GA with the greedy selector (ablation).
+    """
+
+    def __init__(
+        self,
+        kl_threshold: float = 0.05,
+        enable_regulation: bool = True,
+        enable_selection: bool = True,
+        enable_finetune: bool = True,
+        ga_population: int = 20,
+        ga_generations: int = 15,
+        selection_fraction: float = 0.5,
+        use_greedy: bool = False,
+    ) -> None:
+        self.kl_threshold = kl_threshold
+        self.enable_regulation = enable_regulation
+        self.enable_selection = enable_selection
+        self.enable_finetune = enable_finetune
+        self.ga_population = ga_population
+        self.ga_generations = ga_generations
+        self.selection_fraction = selection_fraction
+        self.use_greedy = use_greedy
+
+    def plan_round(self, context: ControlContext) -> RoundPlan:
+        """Produce the worker set and batch-size configuration for one round."""
+        num_workers = context.per_sample_durations.shape[0]
+        target = iid_distribution(context.label_distributions)
+
+        # Lines 1-2: batch size regulation (Eq. 9).
+        if self.enable_regulation:
+            batch_sizes = regulate_batch_sizes(
+                context.per_sample_durations, context.max_batch_size
+            )
+        else:
+            batch_sizes = np.full(num_workers, context.base_batch_size, dtype=np.int64)
+
+        # Lines 3-5: priorities and GA selection under the bandwidth constraint.
+        priorities = selection_priorities(context.participation_counts)
+        if self.enable_selection:
+            selector = greedy_select if self.use_greedy else genetic_select
+            kwargs = {}
+            if not self.use_greedy:
+                kwargs = {
+                    "population_size": self.ga_population,
+                    "generations": self.ga_generations,
+                    "seed_fraction": self.selection_fraction,
+                    "rng": context.rng,
+                }
+            selection = selector(
+                batch_sizes,
+                context.label_distributions,
+                target,
+                context.bandwidth_per_sample,
+                context.bandwidth_budget,
+                priorities=priorities,
+                **kwargs,
+            )
+            selected = selection.selected
+            feasible = selection.feasible
+        else:
+            selected = np.arange(num_workers)
+            feasible = True
+
+        # Line 6: Lagrangian fine-tuning of batch sizes towards KL <= epsilon.
+        if self.enable_finetune:
+            batch_sizes = finetune_batch_sizes(
+                batch_sizes,
+                selected,
+                context.label_distributions,
+                target,
+                context.per_sample_durations,
+                kl_threshold=self.kl_threshold,
+                max_batch_size=context.max_batch_size,
+            )
+            # Line 7: scale batch sizes to fill the bandwidth budget.
+            batch_sizes = scale_to_bandwidth(
+                batch_sizes,
+                selected,
+                context.bandwidth_per_sample,
+                context.bandwidth_budget,
+                context.max_batch_size,
+            )
+
+        phi = mixed_label_distribution(
+            context.label_distributions, batch_sizes, selected
+        )
+        plan = RoundPlan(
+            selected=[int(w) for w in selected],
+            batch_sizes={int(w): int(batch_sizes[w]) for w in selected},
+            merged_kl=kl_divergence(phi, target),
+            info={"feasible": feasible},
+        )
+        return plan

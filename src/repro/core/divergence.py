@@ -1,0 +1,63 @@
+"""Label-distribution divergence (Eq. 11-12 of the paper).
+
+Feature merging aims at a merged mini-batch whose label distribution
+``Phi^h`` is close to the IID distribution ``Phi_0``; closeness is measured
+with the KL divergence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.numeric import normalize_distribution
+
+_EPS = 1e-12
+
+
+def kl_divergence(phi: np.ndarray, phi0: np.ndarray) -> float:
+    """KL(phi || phi0) with additive smoothing for empty classes (Eq. 12)."""
+    phi = normalize_distribution(np.asarray(phi, dtype=np.float64))
+    phi0 = normalize_distribution(np.asarray(phi0, dtype=np.float64))
+    if phi.shape != phi0.shape:
+        raise ValueError(f"distribution shapes differ: {phi.shape} vs {phi0.shape}")
+    phi = phi + _EPS
+    phi0 = phi0 + _EPS
+    phi = phi / phi.sum()
+    phi0 = phi0 / phi0.sum()
+    return float(np.sum(phi * np.log(phi / phi0)))
+
+
+def iid_distribution(label_distributions: np.ndarray) -> np.ndarray:
+    """The reference IID distribution ``Phi_0 = (1/N) * sum_i V_i``."""
+    matrix = np.atleast_2d(np.asarray(label_distributions, dtype=np.float64))
+    return normalize_distribution(matrix.mean(axis=0))
+
+
+def mixed_label_distribution(
+    label_distributions: np.ndarray,
+    batch_sizes: np.ndarray,
+    selected: np.ndarray | list[int],
+) -> np.ndarray:
+    """Label distribution of the merged feature sequence (Eq. 11).
+
+    Args:
+        label_distributions: ``(num_workers, num_classes)`` matrix of V_i.
+        batch_sizes: Per-worker batch sizes ``d_i``.
+        selected: Indices of the workers in the worker set ``S^h``.
+
+    Returns:
+        ``Phi^h``: the batch-size-weighted mixture of the selected workers'
+        label distributions.
+    """
+    selected = np.asarray(list(selected), dtype=np.int64)
+    if selected.size == 0:
+        num_classes = np.asarray(label_distributions).shape[1]
+        return np.full(num_classes, 1.0 / num_classes)
+    matrix = np.asarray(label_distributions, dtype=np.float64)[selected]
+    weights = np.asarray(batch_sizes, dtype=np.float64)[selected]
+    if np.any(weights < 0):
+        raise ValueError("batch sizes must be non-negative")
+    if weights.sum() <= 0:
+        return normalize_distribution(matrix.mean(axis=0))
+    mixed = (weights[:, None] * matrix).sum(axis=0) / weights.sum()
+    return normalize_distribution(mixed)

@@ -1,0 +1,294 @@
+"""The split training engine (the paper's training module).
+
+:class:`SplitTrainingEngine` executes communication rounds for every SFL
+variant in the repository.  Per-round decisions (worker set, batch sizes)
+come from a :class:`ControlPolicy`; the engine handles the mechanics that
+all variants share: bottom-model distribution, ``tau`` local iterations of
+split forward/backward propagation (with or without feature merging),
+weighted bottom-model aggregation, simulated-clock accounting, traffic
+accounting and evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.core.controller import ControlContext, RoundPlan
+from repro.core.server import SplitServer
+from repro.core.worker import SplitWorker
+from repro.data.dataset import TrainTestSplit
+from repro.metrics.history import History, RoundRecord
+from repro.nn.models import estimate_forward_flops
+from repro.nn.module import Sequential
+from repro.nn.serialization import model_size_bytes
+from repro.nn.split import SplitModel
+from repro.simulation.cluster import Cluster
+from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
+from repro.simulation.timing import average_waiting_time, round_duration
+from repro.simulation.traffic import TrafficMeter, feature_bytes
+from repro.utils.logging import get_logger
+from repro.utils.rng import spawn_rngs
+
+logger = get_logger("core.engine")
+
+
+class ControlPolicy(Protocol):
+    """Per-round decision maker plugged into the engine."""
+
+    #: Whether the PS merges features before updating the top model.
+    merge_features: bool
+    #: Whether bottom models are aggregated after every local iteration
+    #: (SplitFed) instead of once per round.
+    aggregate_every_iteration: bool
+
+    def plan_round(self, context: ControlContext) -> RoundPlan:
+        """Return the worker set and batch sizes for the round."""
+        ...  # pragma: no cover - protocol definition
+
+
+class SplitTrainingEngine:
+    """Runs split federated training under a pluggable control policy."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        split: SplitModel,
+        workers: list[SplitWorker],
+        cluster: Cluster,
+        data: TrainTestSplit,
+        policy: ControlPolicy,
+        bandwidth_budget_override: float | None = None,
+    ) -> None:
+        self.config = config
+        self.split = split
+        self.workers = workers
+        self.cluster = cluster
+        self.data = data
+        self.policy = policy
+
+        self.server = SplitServer(
+            bottom_template=split.bottom,
+            top_model=split.top,
+            learning_rate=config.learning_rate,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            max_grad_norm=config.max_grad_norm,
+        )
+        self.estimator = WorkerStateEstimator(
+            num_workers=len(workers), alpha=config.estimator_alpha
+        )
+        self.traffic = TrafficMeter()
+        self.history = History(algorithm=config.algorithm)
+
+        # Static quantities of the split model.
+        input_shape = data.feature_shape
+        self.bottom_flops = estimate_forward_flops(self.server.global_bottom, input_shape)
+        sample_feature = self.server.global_bottom.forward(
+            np.zeros((1, *input_shape), dtype=np.float64)
+        )
+        self.feature_shape = tuple(sample_feature.shape[1:])
+        #: Bytes for one sample's feature upload plus gradient download.
+        self.feature_exchange_bytes = 2 * feature_bytes(self.feature_shape, 1)
+        self.bottom_model_bytes = model_size_bytes(self.server.global_bottom)
+
+        #: c in Eq. 10, expressed in megabits per sample.
+        self.bandwidth_per_sample = self.feature_exchange_bytes * 8.0 / 1e6
+        nominal = (
+            bandwidth_budget_override
+            if bandwidth_budget_override is not None
+            else config.bandwidth_budget_mbps
+        )
+        self.bandwidth_estimator = BandwidthEstimator(initial_mbps=nominal)
+        self._budget_scale = nominal / cluster.nominal_budget_mbps
+
+        self._label_distributions = np.stack(
+            [worker.local_label_distribution() for worker in workers]
+        )
+        self._rngs = spawn_rngs(config.seed + 9173, config.num_rounds + 1)
+        self._clock = 0.0
+        self._current_lr = config.learning_rate
+
+    # -- public API -----------------------------------------------------------
+    def run(self, num_rounds: int | None = None) -> History:
+        """Execute the configured number of communication rounds."""
+        rounds = num_rounds if num_rounds is not None else self.config.num_rounds
+        for round_index in range(rounds):
+            self._run_round(round_index)
+        return self.history
+
+    def global_model(self) -> Sequential:
+        """The current global model (bottom + top), as a single Sequential."""
+        combined = Sequential(
+            list(self.server.global_bottom.clone().layers)
+            + list(self.server.top.clone().layers)
+        )
+        combined.eval()
+        return combined
+
+    # -- round mechanics ---------------------------------------------------------
+    def _observe_states(self) -> None:
+        """Refresh the moving-average state estimates from the current devices."""
+        mus = self.cluster.compute_times(self.bottom_flops)
+        betas = self.cluster.comm_times(self.feature_exchange_bytes)
+        self.estimator.update_all(mus, betas)
+
+    def _make_context(self, round_index: int) -> ControlContext:
+        participation = np.asarray(
+            [worker.participation_count for worker in self.workers], dtype=np.float64
+        )
+        budget = self.bandwidth_estimator.estimate()
+        return ControlContext(
+            round_index=round_index,
+            per_sample_durations=self.estimator.per_sample_duration(),
+            label_distributions=self._label_distributions,
+            participation_counts=participation,
+            bandwidth_budget=budget,
+            bandwidth_per_sample=self.bandwidth_per_sample,
+            max_batch_size=self.config.max_batch_size,
+            base_batch_size=self.config.base_batch_size,
+            rng=self._rngs[round_index],
+        )
+
+    def _run_round(self, round_index: int) -> None:
+        config = self.config
+        self.cluster.advance_round(round_index)
+        self._observe_states()
+        context = self._make_context(round_index)
+        plan = self.policy.plan_round(context)
+        if not plan.selected:
+            raise RuntimeError("control policy selected no workers")
+
+        # Distribute the bottom model and configure the selected workers.
+        selected_workers = [self.workers[w] for w in plan.selected]
+        for worker in selected_workers:
+            batch = plan.batch_sizes[worker.worker_id]
+            local_lr = self._scaled_lr(batch)
+            worker.receive_bottom_model(self.server.global_bottom, local_lr)
+        self.server.set_learning_rate(self._top_lr(plan))
+
+        # tau local iterations of split training.
+        losses = []
+        for iteration in range(config.local_iterations):
+            loss = self._run_iteration(plan, selected_workers)
+            losses.append(loss)
+            if self.policy.aggregate_every_iteration:
+                self._aggregate(plan, selected_workers)
+                for worker in selected_workers:
+                    batch = plan.batch_sizes[worker.worker_id]
+                    worker.receive_bottom_model(
+                        self.server.global_bottom, self._scaled_lr(batch)
+                    )
+
+        # End-of-round aggregation (Eq. 17).
+        if not self.policy.aggregate_every_iteration:
+            self._aggregate(plan, selected_workers)
+
+        for worker in selected_workers:
+            worker.participation_count += 1
+
+        duration, waiting = self._account_time_and_traffic(plan)
+        self._clock += duration
+        self.bandwidth_estimator.observe(self.cluster.current_budget_mbps * self._budget_scale)
+
+        accuracy, test_loss = self.server.evaluate(
+            self.data.test.data, self.data.test.targets, config.eval_batch_size
+        )
+        self.history.append(
+            RoundRecord(
+                round_index=round_index,
+                sim_time=self._clock,
+                duration=duration,
+                waiting_time=waiting,
+                traffic_mb=self.traffic.total_megabytes,
+                train_loss=float(np.mean(losses)) if losses else 0.0,
+                test_loss=test_loss,
+                test_accuracy=accuracy,
+                num_selected=len(plan.selected),
+                total_batch=plan.total_batch,
+                merged_kl=plan.merged_kl,
+            )
+        )
+        self._current_lr *= config.lr_decay
+        logger.debug(
+            "round %d: acc=%.3f loss=%.3f time=%.1fs traffic=%.1fMB",
+            round_index, accuracy, np.mean(losses) if losses else 0.0,
+            self._clock, self.traffic.total_megabytes,
+        )
+
+    def _run_iteration(
+        self, plan: RoundPlan, selected_workers: list[SplitWorker]
+    ) -> float:
+        """One local iteration: forward on workers, top update, dispatch, backward."""
+        worker_ids = [worker.worker_id for worker in selected_workers]
+        features = []
+        labels = []
+        for worker in selected_workers:
+            feats, labs = worker.forward_batch(plan.batch_sizes[worker.worker_id])
+            features.append(feats)
+            labels.append(labs)
+        if self.policy.merge_features:
+            loss, gradients = self.server.update_top_merged(worker_ids, features, labels)
+        else:
+            loss, gradients = self.server.update_top_per_worker(
+                worker_ids, features, labels
+            )
+        for worker in selected_workers:
+            worker.backward_and_step(gradients[worker.worker_id])
+        return loss
+
+    def _aggregate(self, plan: RoundPlan, selected_workers: list[SplitWorker]) -> None:
+        """Aggregate bottom models with batch-size-proportional weights (Eq. 17)."""
+        states = [worker.bottom_state() for worker in selected_workers]
+        weights = [float(plan.batch_sizes[w.worker_id]) for w in selected_workers]
+        self.server.aggregate_bottoms(states, weights)
+
+    def _scaled_lr(self, batch_size: int) -> float:
+        """Worker learning rate proportional to its batch size (Section IV-B)."""
+        scale = batch_size / self.config.base_batch_size
+        scale = float(np.clip(scale, 0.25, 4.0))
+        return self._current_lr * scale
+
+    def _top_lr(self, plan: RoundPlan) -> float:
+        """Top-model learning rate for the round.
+
+        When features are merged, the top model takes a single, stable update
+        per iteration over the large merged (approximately IID) batch; the
+        round learning rate is used as-is.  A mild linear-scaling boost can
+        be enabled through ``extras['top_lr_scale']`` for larger fleets, but
+        the default of 1.0 keeps the merged update well inside the stable
+        step-size region of the scaled-down models.
+        """
+        if not self.policy.merge_features:
+            return self._current_lr
+        scale = float(self.config.extras.get("top_lr_scale", 1.0))
+        scale = float(np.clip(scale, 0.25, 16.0))
+        return self._current_lr * scale
+
+    def _account_time_and_traffic(self, plan: RoundPlan) -> tuple[float, float]:
+        """Charge simulated time and network traffic for the round."""
+        config = self.config
+        durations = []
+        aggregations = (
+            config.local_iterations if self.policy.aggregate_every_iteration else 1
+        )
+        for worker_id in plan.selected:
+            device = self.cluster[worker_id]
+            mu = device.compute_time_per_sample(self.bottom_flops)
+            beta = device.comm_time_per_sample(self.feature_exchange_bytes)
+            batch = plan.batch_sizes[worker_id]
+            compute_comm = config.local_iterations * batch * (mu + beta)
+            model_moves = 2 * aggregations * device.model_transfer_time(
+                self.bottom_model_bytes
+            )
+            durations.append(compute_comm + model_moves)
+            # Traffic: features up + gradients down for every iteration, plus
+            # bottom-model exchange once (or once per iteration for SplitFed).
+            self.traffic.add_feature_exchange(
+                config.local_iterations * batch * self.feature_exchange_bytes
+            )
+            self.traffic.add_model_exchange(self.bottom_model_bytes * aggregations)
+        durations = np.asarray(durations)
+        return round_duration(durations), average_waiting_time(durations)

@@ -1,0 +1,107 @@
+"""MergeSFL: the full system (control module + training module).
+
+:class:`MergeSFLPolicy` wraps :class:`~repro.core.controller.ControlModule`
+with the engine's policy interface; :class:`MergeSFL` is a small facade that
+owns the engine and exposes ``run()``.  The ablation variants of Fig. 11
+(``w/o FM`` and ``w/o BR``) are expressed through the two flags.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.core.batching import regulate_batch_sizes
+from repro.core.controller import ControlContext, ControlModule, RoundPlan
+from repro.core.engine import SplitTrainingEngine
+from repro.core.worker import SplitWorker
+from repro.data.dataset import TrainTestSplit
+from repro.metrics.history import History
+from repro.nn.split import SplitModel
+from repro.simulation.cluster import Cluster
+
+
+class MergeSFLPolicy:
+    """Alg. 1 as an engine policy, with ablation switches.
+
+    Args:
+        config: Experiment configuration (GA and threshold knobs are read
+            from it).
+        enable_merging: Feature merging on the PS (``False`` reproduces the
+            ``MergeSFL w/o FM`` ablation).
+        enable_regulation: Batch-size regulation (``False`` reproduces the
+            ``MergeSFL w/o BR`` ablation, which assigns every selected
+            worker the average of the regulated batch sizes).
+        use_greedy_selection: Replace the GA with the greedy selector.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        enable_merging: bool = True,
+        enable_regulation: bool = True,
+        use_greedy_selection: bool = False,
+    ) -> None:
+        self.merge_features = enable_merging
+        self.aggregate_every_iteration = False
+        self.enable_regulation = enable_regulation
+        self._control = ControlModule(
+            kl_threshold=config.kl_threshold,
+            enable_regulation=True,
+            enable_selection=True,
+            enable_finetune=enable_merging,
+            ga_population=config.ga_population,
+            ga_generations=config.ga_generations,
+            selection_fraction=config.selection_fraction,
+            use_greedy=use_greedy_selection,
+        )
+
+    def plan_round(self, context: ControlContext) -> RoundPlan:
+        """Run Alg. 1; apply the w/o-BR averaging when regulation is disabled."""
+        plan = self._control.plan_round(context)
+        if not self.enable_regulation:
+            regulated = regulate_batch_sizes(
+                context.per_sample_durations, context.max_batch_size
+            )
+            average = max(1, int(round(float(np.mean(regulated)))))
+            plan = RoundPlan(
+                selected=plan.selected,
+                batch_sizes={worker: average for worker in plan.selected},
+                merged_kl=plan.merged_kl,
+                info=dict(plan.info, identical_batch=average),
+            )
+        return plan
+
+
+class MergeSFL:
+    """End-to-end MergeSFL system: control module + training module."""
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        split: SplitModel,
+        workers: list[SplitWorker],
+        cluster: Cluster,
+        data: TrainTestSplit,
+        enable_merging: bool = True,
+        enable_regulation: bool = True,
+        bandwidth_budget_override: float | None = None,
+    ) -> None:
+        self.policy = MergeSFLPolicy(
+            config,
+            enable_merging=enable_merging,
+            enable_regulation=enable_regulation,
+        )
+        self.engine = SplitTrainingEngine(
+            config=config,
+            split=split,
+            workers=workers,
+            cluster=cluster,
+            data=data,
+            policy=self.policy,
+            bandwidth_budget_override=bandwidth_budget_override,
+        )
+
+    def run(self, num_rounds: int | None = None) -> History:
+        """Train for the configured number of rounds and return the history."""
+        return self.engine.run(num_rounds)

@@ -1,0 +1,119 @@
+"""Batch-size fine-tuning under the IID constraint (Alg. 1 line 6, Eq. 14).
+
+After selection, the merged label distribution may still miss the IID
+target.  MergeSFL therefore re-adjusts the selected workers' batch sizes to
+push ``KL(Phi^h || Phi_0)`` below the threshold ``epsilon`` while adding as
+little extra waiting time as possible.  The paper casts this as a Lagrange
+dual problem; this implementation solves the equivalent constrained
+programme with SciPy's SLSQP on a smooth surrogate of Eq. 14 and falls back
+to a penalty-based projected search when SLSQP fails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.divergence import kl_divergence, mixed_label_distribution
+
+
+def _surrogate_waiting_cost(
+    new_sizes: np.ndarray, base_sizes: np.ndarray, durations: np.ndarray
+) -> float:
+    """Smooth surrogate of the added waiting time Delta(S^h) (Eq. 14)."""
+    deltas = new_sizes - base_sizes
+    return float(np.sum((deltas**2) * durations) / max(len(base_sizes), 1))
+
+
+def finetune_batch_sizes(
+    batch_sizes: np.ndarray,
+    selected: np.ndarray | list[int],
+    label_distributions: np.ndarray,
+    target_distribution: np.ndarray,
+    per_sample_durations: np.ndarray,
+    kl_threshold: float,
+    max_batch_size: int,
+    min_batch_size: int = 1,
+    penalty_steps: int = 200,
+) -> np.ndarray:
+    """Fine-tune the selected workers' batch sizes so KL <= threshold.
+
+    Args:
+        batch_sizes: Full-length batch-size vector from Eq. 9.
+        selected: Worker indices in ``S^h``.
+        label_distributions: ``(num_workers, num_classes)`` matrix of V_i.
+        target_distribution: ``Phi_0``.
+        per_sample_durations: Estimated ``mu_i + beta_i`` per worker.
+        kl_threshold: ``epsilon``.
+        max_batch_size: Per-worker cap ``D``.
+        min_batch_size: Per-worker floor.
+        penalty_steps: Iterations of the fallback penalty search.
+
+    Returns:
+        A copy of ``batch_sizes`` with the selected entries adjusted
+        (integers within ``[min_batch_size, max_batch_size]``).
+    """
+    result = np.asarray(batch_sizes, dtype=np.float64).copy()
+    selected = np.asarray(list(selected), dtype=np.int64)
+    if selected.size == 0:
+        return result.astype(np.int64)
+    label_distributions = np.atleast_2d(np.asarray(label_distributions))
+    durations = np.asarray(per_sample_durations, dtype=np.float64)[selected]
+    base = result[selected].copy()
+
+    current_phi = mixed_label_distribution(label_distributions, result, selected)
+    if kl_divergence(current_phi, target_distribution) <= kl_threshold:
+        return result.astype(np.int64)
+
+    sub_dists = label_distributions[selected]
+
+    def kl_of(sizes: np.ndarray) -> float:
+        weights = np.clip(sizes, 1e-6, None)
+        mixed = (weights[:, None] * sub_dists).sum(axis=0) / weights.sum()
+        return kl_divergence(mixed, target_distribution)
+
+    def objective(sizes: np.ndarray) -> float:
+        return _surrogate_waiting_cost(sizes, base, durations)
+
+    bounds = [(float(min_batch_size), float(max_batch_size))] * selected.size
+    constraints = [{"type": "ineq", "fun": lambda s: kl_threshold - kl_of(s)}]
+    solution = None
+    try:
+        fit = optimize.minimize(
+            objective,
+            x0=base,
+            method="SLSQP",
+            bounds=bounds,
+            constraints=constraints,
+            options={"maxiter": 200, "ftol": 1e-9},
+        )
+        if fit.success and kl_of(fit.x) <= kl_threshold * 1.05:
+            solution = fit.x
+    except (ValueError, RuntimeError):
+        solution = None
+
+    if solution is None:
+        # Penalty fallback: coordinate descent that shrinks the batch of the
+        # worker whose label distribution deviates most from the target.
+        sizes = base.copy()
+        for __ in range(penalty_steps):
+            if kl_of(sizes) <= kl_threshold:
+                break
+            # Heuristic: shrinking the batch of the worker whose label
+            # distribution deviates most from the target reduces the mixture KL.
+            deviations = np.asarray([
+                kl_divergence(dist, target_distribution) for dist in sub_dists
+            ])
+            order = np.argsort(-deviations)
+            adjusted = False
+            for idx in order:
+                if sizes[idx] > min_batch_size:
+                    sizes[idx] -= 1.0
+                    adjusted = True
+                    break
+            if not adjusted:
+                break
+        solution = sizes
+
+    result[selected] = np.clip(np.round(solution), min_batch_size, max_batch_size)
+    return result.astype(np.int64)

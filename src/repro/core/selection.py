@@ -1,0 +1,208 @@
+"""Worker selection (Eq. 13 + the genetic algorithm of Alg. 1, lines 3-5).
+
+The control module must pick a worker set ``S^h`` whose merged label
+distribution is as close to IID as possible while the occupied ingress
+bandwidth stays within budget.  Workers that have participated less often
+get higher priority so every worker's data eventually contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batching import occupied_bandwidth
+from repro.core.divergence import kl_divergence, mixed_label_distribution
+from repro.exceptions import SelectionError
+from repro.utils.rng import new_rng
+
+
+def selection_priorities(participation_counts: np.ndarray) -> np.ndarray:
+    """Selection priority p_i = sum_j (K_j + 1) / (K_i + 1)  (Eq. 13)."""
+    counts = np.asarray(participation_counts, dtype=np.float64)
+    if np.any(counts < 0):
+        raise ValueError("participation counts must be non-negative")
+    total = (counts + 1.0).sum()
+    return total / (counts + 1.0)
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of a worker-selection run.
+
+    Attributes:
+        selected: Sorted worker indices forming ``S^h``.
+        kl: KL divergence of the selected set's merged label distribution.
+        feasible: Whether the bandwidth constraint is satisfied.
+    """
+
+    selected: np.ndarray
+    kl: float
+    feasible: bool
+
+
+def _fitness(
+    mask: np.ndarray,
+    batch_sizes: np.ndarray,
+    label_distributions: np.ndarray,
+    target: np.ndarray,
+    bandwidth_per_sample: float,
+    bandwidth_budget: float,
+) -> float:
+    """Penalised fitness: KL divergence + constraint violation - utilisation bonus."""
+    selected = np.flatnonzero(mask)
+    if selected.size == 0:
+        return 1e6
+    phi = mixed_label_distribution(label_distributions, batch_sizes, selected)
+    kl = kl_divergence(phi, target)
+    used = occupied_bandwidth(batch_sizes, selected, bandwidth_per_sample)
+    violation = max(0.0, used - bandwidth_budget) / bandwidth_budget
+    utilisation = min(1.0, used / bandwidth_budget)
+    return kl + 10.0 * violation + 0.05 * (1.0 - utilisation)
+
+
+def genetic_select(
+    batch_sizes: np.ndarray,
+    label_distributions: np.ndarray,
+    target_distribution: np.ndarray,
+    bandwidth_per_sample: float,
+    bandwidth_budget: float,
+    priorities: np.ndarray | None = None,
+    population_size: int = 20,
+    generations: int = 15,
+    mutation_rate: float = 0.05,
+    seed_fraction: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> SelectionResult:
+    """Select the worker set ``S^h`` with a genetic algorithm (Alg. 1 line 5).
+
+    Individuals are membership bit-masks over the workers.  The initial
+    population is seeded with the ``m`` highest-priority workers (Eq. 13);
+    evolution minimises the KL divergence of the merged label distribution
+    under the ingress-bandwidth constraint (Eq. 10).
+
+    Returns:
+        The best individual found, decoded into a :class:`SelectionResult`.
+    """
+    rng = rng if rng is not None else new_rng()
+    batch_sizes = np.asarray(batch_sizes, dtype=np.int64)
+    label_distributions = np.atleast_2d(np.asarray(label_distributions))
+    num_workers = batch_sizes.shape[0]
+    if label_distributions.shape[0] != num_workers:
+        raise SelectionError(
+            "label_distributions and batch_sizes describe different worker counts"
+        )
+    if num_workers == 0:
+        raise SelectionError("cannot select from zero workers")
+    if priorities is None:
+        priorities = np.ones(num_workers)
+    priorities = np.asarray(priorities, dtype=np.float64)
+
+    def evaluate(mask: np.ndarray) -> float:
+        return _fitness(
+            mask, batch_sizes, label_distributions, target_distribution,
+            bandwidth_per_sample, bandwidth_budget,
+        )
+
+    # Seed: the m highest-priority workers, plus random perturbations of it.
+    seed_count = max(1, int(round(seed_fraction * num_workers)))
+    priority_order = np.argsort(-priorities)
+    seed_mask = np.zeros(num_workers, dtype=bool)
+    seed_mask[priority_order[:seed_count]] = True
+
+    population = [seed_mask.copy()]
+    for __ in range(population_size - 1):
+        individual = seed_mask.copy()
+        flips = rng.random(num_workers) < 0.25
+        individual[flips] = ~individual[flips]
+        if not individual.any():
+            individual[int(rng.integers(num_workers))] = True
+        population.append(individual)
+
+    scores = np.asarray([evaluate(ind) for ind in population])
+
+    for __ in range(generations):
+        new_population = [population[int(np.argmin(scores))].copy()]  # elitism
+        while len(new_population) < population_size:
+            # Tournament selection of two parents.
+            contenders = rng.integers(0, population_size, size=4)
+            parent_a = population[int(contenders[:2][np.argmin(scores[contenders[:2]])])]
+            parent_b = population[int(contenders[2:][np.argmin(scores[contenders[2:]])])]
+            # Uniform crossover.
+            crossover = rng.random(num_workers) < 0.5
+            child = np.where(crossover, parent_a, parent_b)
+            # Bit-flip mutation.
+            flips = rng.random(num_workers) < mutation_rate
+            child = np.where(flips, ~child, child)
+            if not child.any():
+                child[int(rng.integers(num_workers))] = True
+            new_population.append(child)
+        population = new_population
+        scores = np.asarray([evaluate(ind) for ind in population])
+
+    best = population[int(np.argmin(scores))]
+    selected = np.flatnonzero(best)
+    phi = mixed_label_distribution(label_distributions, batch_sizes, selected)
+    used = occupied_bandwidth(batch_sizes, selected, bandwidth_per_sample)
+    return SelectionResult(
+        selected=np.sort(selected),
+        kl=kl_divergence(phi, target_distribution),
+        feasible=used <= bandwidth_budget * (1.0 + 1e-9),
+    )
+
+
+def greedy_select(
+    batch_sizes: np.ndarray,
+    label_distributions: np.ndarray,
+    target_distribution: np.ndarray,
+    bandwidth_per_sample: float,
+    bandwidth_budget: float,
+    priorities: np.ndarray | None = None,
+) -> SelectionResult:
+    """Greedy baseline for the selection step (used by the ablation bench).
+
+    Workers are added in priority order while they fit in the bandwidth
+    budget and do not increase the KL divergence of the running mixture by
+    more than they have to (each step picks the candidate whose addition
+    yields the lowest mixture KL).
+    """
+    batch_sizes = np.asarray(batch_sizes, dtype=np.int64)
+    label_distributions = np.atleast_2d(np.asarray(label_distributions))
+    num_workers = batch_sizes.shape[0]
+    if priorities is None:
+        priorities = np.ones(num_workers)
+    remaining = list(np.argsort(-np.asarray(priorities)))
+    selected: list[int] = []
+    while remaining:
+        best_candidate = None
+        best_kl = np.inf
+        for candidate in remaining:
+            trial = selected + [candidate]
+            used = occupied_bandwidth(batch_sizes, trial, bandwidth_per_sample)
+            if used > bandwidth_budget:
+                continue
+            phi = mixed_label_distribution(label_distributions, batch_sizes, trial)
+            trial_kl = kl_divergence(phi, target_distribution)
+            if trial_kl < best_kl:
+                best_kl = trial_kl
+                best_candidate = candidate
+        if best_candidate is None:
+            break
+        selected.append(best_candidate)
+        remaining.remove(best_candidate)
+        current_phi = mixed_label_distribution(
+            label_distributions, batch_sizes, selected
+        )
+        if kl_divergence(current_phi, target_distribution) < 1e-3 and len(selected) >= 2:
+            break
+    if not selected:
+        # Always select at least the single highest-priority worker.
+        selected = [int(np.argsort(-np.asarray(priorities))[0])]
+    phi = mixed_label_distribution(label_distributions, batch_sizes, selected)
+    used = occupied_bandwidth(batch_sizes, selected, bandwidth_per_sample)
+    return SelectionResult(
+        selected=np.sort(np.asarray(selected)),
+        kl=kl_divergence(phi, target_distribution),
+        feasible=used <= bandwidth_budget * (1.0 + 1e-9),
+    )

@@ -1,0 +1,134 @@
+"""Parameter-server side of split federated learning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.merging import FeatureMerger, MergedBatch
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD
+from repro.nn.serialization import average_state_dicts
+
+
+class SplitServer:
+    """Hosts the top model, merges features and aggregates bottom models.
+
+    The server provides two update paths that mirror the paper's SFL-FM and
+    SFL-T behaviours:
+
+    * :meth:`update_top_merged` -- one forward/backward pass of the top
+      model over the merged feature sequence (Eq. 16), returning per-worker
+      gradient segments for dispatching.
+    * :meth:`update_top_per_worker` -- sequential per-worker updates of the
+      top model (typical SFL without feature merging).
+    """
+
+    def __init__(
+        self,
+        bottom_template: Sequential,
+        top_model: Sequential,
+        learning_rate: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = 5.0,
+    ) -> None:
+        self.global_bottom = bottom_template.clone()
+        self.top = top_model.clone()
+        self.top.train()
+        self.loss_fn = CrossEntropyLoss()
+        self.top_optimizer = SGD(
+            self.top.parameters(),
+            lr=learning_rate,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            max_grad_norm=max_grad_norm,
+        )
+        self.merger = FeatureMerger()
+
+    # -- top-model updates ---------------------------------------------------
+    def update_top_merged(
+        self,
+        worker_ids: list[int],
+        features: list[np.ndarray],
+        labels: list[np.ndarray],
+    ) -> tuple[float, dict[int, np.ndarray]]:
+        """Feature merging update (Eq. 16) followed by gradient dispatching.
+
+        Returns:
+            ``(loss, gradients)`` where ``gradients`` maps each worker id to
+            the gradient segment of its features.
+        """
+        merged: MergedBatch = self.merger.merge(worker_ids, features, labels)
+        self.top_optimizer.zero_grad()
+        logits = self.top.forward(merged.features)
+        loss = self.loss_fn.forward(logits, merged.labels)
+        merged_gradient = self.top.backward(self.loss_fn.backward())
+        self.top_optimizer.step()
+        segments = self.merger.dispatch(merged, merged_gradient)
+        # The merged loss is averaged over the whole mixed sequence, so each
+        # segment carries a 1/M scale.  Re-normalise every worker's segment to
+        # the mean gradient over its own d_i samples, so bottom models update
+        # with the same magnitude as in typical SFL (Eq. 15).
+        total = merged.total_samples
+        rescaled = {
+            worker_id: segment * (total / segment.shape[0])
+            for worker_id, segment in segments.items()
+        }
+        return loss, rescaled
+
+    def update_top_per_worker(
+        self,
+        worker_ids: list[int],
+        features: list[np.ndarray],
+        labels: list[np.ndarray],
+    ) -> tuple[float, dict[int, np.ndarray]]:
+        """Typical-SFL update: the top model is updated once per worker, in turn."""
+        gradients: dict[int, np.ndarray] = {}
+        losses = []
+        for worker_id, feats, labs in zip(worker_ids, features, labels):
+            self.top_optimizer.zero_grad()
+            logits = self.top.forward(feats)
+            losses.append(self.loss_fn.forward(logits, labs))
+            gradients[worker_id] = self.top.backward(self.loss_fn.backward())
+            self.top_optimizer.step()
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        return mean_loss, gradients
+
+    # -- bottom-model aggregation ---------------------------------------------
+    def aggregate_bottoms(
+        self,
+        states: list[dict[str, np.ndarray]],
+        weights: list[float] | None = None,
+    ) -> None:
+        """Aggregate worker bottom models into the global bottom (Eq. 4 / Eq. 17)."""
+        aggregated = average_state_dicts(states, weights)
+        self.global_bottom.load_state_dict(aggregated)
+
+    # -- evaluation -------------------------------------------------------------
+    def evaluate(
+        self, data: np.ndarray, targets: np.ndarray, batch_size: int = 256
+    ) -> tuple[float, float]:
+        """Accuracy and mean loss of the current global model on a test set."""
+        self.global_bottom.eval()
+        self.top.eval()
+        correct = 0
+        losses = []
+        for start in range(0, data.shape[0], batch_size):
+            stop = start + batch_size
+            batch = data[start:stop]
+            labels = targets[start:stop]
+            logits = self.top.forward(self.global_bottom.forward(batch))
+            losses.append(self.loss_fn.forward(logits, labels) * batch.shape[0])
+            correct += int((logits.argmax(axis=1) == labels).sum())
+        self.global_bottom.train()
+        self.top.train()
+        total = data.shape[0]
+        if total == 0:
+            return 0.0, 0.0
+        return correct / total, float(np.sum(losses) / total)
+
+    # -- learning-rate control -----------------------------------------------
+    def set_learning_rate(self, learning_rate: float) -> None:
+        """Set the top-model learning rate (per-round decay)."""
+        self.top_optimizer.lr = learning_rate

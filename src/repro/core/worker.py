@@ -1,0 +1,139 @@
+"""Worker-side training of the bottom model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.data.loader import BatchLoader
+from repro.data.partition import label_distribution
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD
+
+
+class SplitWorker:
+    """A federated worker holding a bottom model and a local data shard.
+
+    The worker performs the worker side of split training: forward
+    propagation of the bottom model on a local mini-batch (producing the
+    features sent to the PS) and backward propagation from the gradient the
+    PS dispatches back, followed by a local SGD step whose learning rate is
+    scaled with the worker's batch size (Section IV-B).
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        dataset: Dataset,
+        num_classes: int,
+        seed: int = 0,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        max_grad_norm: float | None = 5.0,
+    ) -> None:
+        self.worker_id = worker_id
+        self.dataset = dataset
+        self.num_classes = num_classes
+        self.loader = BatchLoader(dataset, seed=seed)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self.bottom: Sequential | None = None
+        self.optimizer: SGD | None = None
+        self.participation_count = 0
+        self._pending_batch_size = 0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        """Size of the local data shard."""
+        return len(self.dataset)
+
+    def local_label_distribution(self) -> np.ndarray:
+        """Label distribution V_i of the whole local shard."""
+        return label_distribution(
+            self.dataset.targets, np.arange(len(self.dataset)), self.num_classes
+        )
+
+    def receive_bottom_model(self, bottom: Sequential, learning_rate: float) -> None:
+        """Install a fresh copy of the global bottom model for this round."""
+        self.bottom = bottom.clone()
+        self.bottom.train()
+        self.optimizer = SGD(
+            self.bottom.parameters(),
+            lr=learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            max_grad_norm=self.max_grad_norm,
+        )
+
+    def set_learning_rate(self, learning_rate: float) -> None:
+        """Update the local learning rate (batch-size-proportional scaling)."""
+        if self.optimizer is None:
+            raise RuntimeError("worker has no bottom model installed")
+        self.optimizer.lr = learning_rate
+
+    def bottom_state(self) -> dict[str, np.ndarray]:
+        """State dict of the locally updated bottom model."""
+        if self.bottom is None:
+            raise RuntimeError("worker has no bottom model installed")
+        return self.bottom.state_dict()
+
+    # -- split training ------------------------------------------------------
+    def forward_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Run the bottom model on the next local mini-batch.
+
+        Returns:
+            ``(features, labels)`` where ``features`` is the split-layer
+            activation sent to the PS.
+        """
+        if self.bottom is None:
+            raise RuntimeError("worker has no bottom model installed")
+        data, labels = self.loader.next_batch(batch_size)
+        self._pending_batch_size = data.shape[0]
+        features = self.bottom.forward(data)
+        return features, labels
+
+    def backward_and_step(self, feature_gradient: np.ndarray) -> None:
+        """Back-propagate the dispatched gradient and take a local SGD step."""
+        if self.bottom is None or self.optimizer is None:
+            raise RuntimeError("worker has no bottom model installed")
+        if feature_gradient.shape[0] != self._pending_batch_size:
+            raise ValueError(
+                f"gradient batch {feature_gradient.shape[0]} does not match the "
+                f"pending forward batch {self._pending_batch_size}"
+            )
+        self.optimizer.zero_grad()
+        self.bottom.backward(feature_gradient)
+        self.optimizer.step()
+
+    # -- local (non-split) training for FL baselines -------------------------
+    def train_full_model(
+        self,
+        model: Sequential,
+        loss_fn,
+        iterations: int,
+        batch_size: int,
+        learning_rate: float,
+    ) -> dict[str, np.ndarray]:
+        """Train a full model locally (used by FedAvg / PyramidFL baselines).
+
+        Returns the locally updated state dict; the caller owns aggregation.
+        """
+        local = model.clone()
+        local.train()
+        optimizer = SGD(
+            local.parameters(),
+            lr=learning_rate,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            max_grad_norm=self.max_grad_norm,
+        )
+        for __ in range(iterations):
+            data, labels = self.loader.next_batch(batch_size)
+            optimizer.zero_grad()
+            logits = local.forward(data)
+            loss_fn.forward(logits, labels)
+            local.backward(loss_fn.backward())
+            optimizer.step()
+        return local.state_dict()

@@ -1,0 +1,52 @@
+"""Mini-batch loading."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import new_rng
+
+
+class BatchLoader:
+    """Cycling mini-batch sampler over a worker's local shard.
+
+    Unlike an epoch-based loader, federated workers draw a fixed number of
+    mini-batches per round regardless of shard size, so this loader samples
+    batches with replacement across rounds: it shuffles the shard, walks it
+    sequentially, and reshuffles when exhausted.  Batch size may change
+    between calls (batch size regulation reconfigures it every round).
+    """
+
+    def __init__(self, dataset: Dataset, seed: int = 0) -> None:
+        self.dataset = dataset
+        self._rng = new_rng(seed)
+        self._order = self._rng.permutation(len(dataset))
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def next_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return the next ``(data, targets)`` mini-batch of the given size."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        size = min(batch_size, len(self.dataset))
+        picked: list[int] = []
+        while len(picked) < size:
+            if self._cursor >= len(self._order):
+                self._order = self._rng.permutation(len(self.dataset))
+                self._cursor = 0
+            take = min(size - len(picked), len(self._order) - self._cursor)
+            picked.extend(self._order[self._cursor:self._cursor + take].tolist())
+            self._cursor += take
+        indices = np.asarray(picked, dtype=np.int64)
+        return self.dataset.data[indices], self.dataset.targets[indices]
+
+    def iter_eval_batches(self, batch_size: int):
+        """Iterate once over the dataset in order (for evaluation)."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        for start in range(0, len(self.dataset), batch_size):
+            stop = start + batch_size
+            yield self.dataset.data[start:stop], self.dataset.targets[start:stop]

@@ -1,0 +1,127 @@
+"""Worker data partitioning (statistical heterogeneity).
+
+The paper draws each worker's class proportions from a Dirichlet
+distribution ``Dir(delta * q)`` where ``q`` is the prior class distribution
+and ``delta`` controls identicalness; the non-IID level is reported as
+``p = 1 / delta`` with ``p = 0`` denoting IID (Section V-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError
+from repro.utils.rng import new_rng
+
+
+def non_iid_level_to_alpha(level: float) -> float | None:
+    """Convert the paper's non-IID level ``p`` into a Dirichlet concentration.
+
+    Returns ``None`` for ``p == 0`` (IID).
+    """
+    if level < 0:
+        raise ValueError(f"non-IID level must be non-negative, got {level}")
+    if level == 0:
+        return None
+    return 1.0 / level
+
+
+def iid_partition(
+    targets: np.ndarray, num_workers: int, rng: np.random.Generator | None = None
+) -> list[np.ndarray]:
+    """Shuffle samples and deal them out evenly across workers."""
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    rng = rng if rng is not None else new_rng()
+    indices = rng.permutation(len(targets))
+    return [np.sort(shard) for shard in np.array_split(indices, num_workers)]
+
+
+def dirichlet_partition(
+    targets: np.ndarray,
+    num_workers: int,
+    alpha: float,
+    rng: np.random.Generator | None = None,
+    min_samples: int = 2,
+    max_retries: int = 50,
+) -> list[np.ndarray]:
+    """Partition by drawing per-worker class proportions from ``Dir(alpha)``.
+
+    Args:
+        targets: Integer labels of the full training set.
+        num_workers: Number of shards to create.
+        alpha: Dirichlet concentration; small alpha means heavy label skew.
+        rng: Random generator.
+        min_samples: Minimum shard size; the draw is retried until satisfied.
+        max_retries: Maximum number of re-draws before giving up.
+
+    Returns:
+        A list of ``num_workers`` index arrays (sorted, disjoint, covering
+        all samples).
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    if alpha <= 0:
+        raise ValueError(f"alpha must be positive, got {alpha}")
+    rng = rng if rng is not None else new_rng()
+    targets = np.asarray(targets, dtype=np.int64)
+    num_classes = int(targets.max()) + 1 if targets.size else 0
+    if num_classes == 0:
+        raise DataError("cannot partition an empty dataset")
+
+    for __ in range(max_retries):
+        shards: list[list[int]] = [[] for __ in range(num_workers)]
+        for cls in range(num_classes):
+            cls_indices = np.flatnonzero(targets == cls)
+            rng.shuffle(cls_indices)
+            proportions = rng.dirichlet([alpha] * num_workers)
+            counts = np.floor(proportions * len(cls_indices)).astype(int)
+            # Distribute the remainder to the largest-proportion workers.
+            remainder = len(cls_indices) - counts.sum()
+            if remainder > 0:
+                order = np.argsort(-proportions)
+                counts[order[:remainder]] += 1
+            offset = 0
+            for worker, count in enumerate(counts):
+                shards[worker].extend(cls_indices[offset:offset + count].tolist())
+                offset += count
+        sizes = [len(shard) for shard in shards]
+        if min(sizes) >= min_samples:
+            return [np.sort(np.asarray(shard, dtype=np.int64)) for shard in shards]
+    # Fall back: top up undersized shards from the largest one.
+    shards_arrays = [np.asarray(shard, dtype=np.int64) for shard in shards]
+    for worker, shard in enumerate(shards_arrays):
+        while len(shards_arrays[worker]) < min_samples:
+            donor = int(np.argmax([len(s) for s in shards_arrays]))
+            moved, shards_arrays[donor] = (
+                shards_arrays[donor][:1],
+                shards_arrays[donor][1:],
+            )
+            shards_arrays[worker] = np.concatenate([shards_arrays[worker], moved])
+    return [np.sort(shard) for shard in shards_arrays]
+
+
+def partition_dataset(
+    dataset: Dataset,
+    num_workers: int,
+    non_iid_level: float = 0.0,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Partition a dataset by the paper's non-IID level convention."""
+    rng = new_rng(seed)
+    alpha = non_iid_level_to_alpha(non_iid_level)
+    if alpha is None:
+        return iid_partition(dataset.targets, num_workers, rng)
+    return dirichlet_partition(dataset.targets, num_workers, alpha, rng)
+
+
+def label_distribution(
+    targets: np.ndarray, indices: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Normalised label histogram of ``targets[indices]`` (vector V_i, Eq. 11)."""
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.size == 0:
+        return np.full(num_classes, 1.0 / num_classes)
+    counts = np.bincount(targets[indices], minlength=num_classes).astype(np.float64)
+    return counts / counts.sum()

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the MergeSFL reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or model configuration is invalid."""
+
+
+class ShapeError(ReproError):
+    """A tensor has an unexpected shape."""
+
+
+class SplitError(ReproError):
+    """A model cannot be split at the requested layer."""
+
+
+class SelectionError(ReproError):
+    """Worker selection could not produce a feasible worker set."""
+
+
+class DataError(ReproError):
+    """A dataset or partition is malformed."""

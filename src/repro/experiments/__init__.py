@@ -1,0 +1,18 @@
+"""Experiment assembly, per-figure reproduction entry points and reporting."""
+
+from repro.experiments.runner import (
+    run_experiment,
+    build_components,
+    build_algorithm,
+    build_model_for,
+)
+from repro.experiments.reporting import format_table, format_comparison
+
+__all__ = [
+    "run_experiment",
+    "build_components",
+    "build_algorithm",
+    "build_model_for",
+    "format_table",
+    "format_comparison",
+]

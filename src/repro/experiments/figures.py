@@ -1,0 +1,304 @@
+"""Per-figure reproduction entry points.
+
+Every table and figure of the paper's evaluation has a function here that
+runs the corresponding experiment(s) and returns the rows/series the paper
+reports.  The default parameters are scaled down (fewer workers, rounds and
+samples than the 80-device testbed) so the whole benchmark suite finishes
+on a CPU-only machine; pass ``overrides`` to scale up.  EXPERIMENTS.md
+records the measured numbers next to the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import ExperimentConfig
+from repro.data.synthetic import DATASET_SPECS, make_dataset
+from repro.experiments.gradients import GradientComparison, compare_gradient_directions
+from repro.experiments.runner import run_experiment
+from repro.metrics.history import History
+from repro.metrics.summary import (
+    best_accuracy,
+    compare_histories,
+    final_accuracy,
+    mean_waiting_time,
+    time_to_accuracy,
+    traffic_to_accuracy,
+)
+from repro.nn.models import build_model, default_split_layer
+from repro.nn.split import split_model
+from repro.simulation.device import DEVICE_PROFILES
+from repro.utils.rng import new_rng
+
+#: The five approaches compared throughout Section V-B.
+FIVE_APPROACHES = ("mergesfl", "pyramidfl", "adasfl", "locfedmix_sl", "fedavg")
+
+#: The three motivation variants of Section II.
+MOTIVATION_VARIANTS = ("sfl_br", "sfl_fm", "sfl_t")
+
+#: Scaled-down defaults shared by every figure entry point.
+FAST_DEFAULTS = {
+    "num_workers": 8,
+    "num_rounds": 5,
+    "local_iterations": 8,
+    "train_samples": 640,
+    "test_samples": 200,
+    "max_batch_size": 16,
+    "base_batch_size": 8,
+    "model_width": 0.5,
+    "learning_rate": 0.08,
+    "seed": 7,
+}
+
+
+def _config(dataset: str, algorithm: str, non_iid_level: float, **overrides) -> ExperimentConfig:
+    """Build a config for one dataset/algorithm pair with fast defaults."""
+    spec = DATASET_SPECS[dataset]
+    params = dict(FAST_DEFAULTS)
+    params.update(overrides)
+    return ExperimentConfig(
+        algorithm=algorithm,
+        dataset=dataset,
+        model=spec.default_model,
+        non_iid_level=non_iid_level,
+        **params,
+    )
+
+
+def run_approaches(
+    dataset: str,
+    approaches: tuple[str, ...] = FIVE_APPROACHES,
+    non_iid_level: float = 0.0,
+    **overrides,
+) -> dict[str, History]:
+    """Run a set of approaches on one dataset and return their histories."""
+    histories: dict[str, History] = {}
+    for approach in approaches:
+        config = _config(dataset, approach, non_iid_level, **overrides)
+        histories[approach] = run_experiment(config)
+    return histories
+
+
+# -- Section II motivation -----------------------------------------------------
+
+def figure2_3_motivation(dataset: str = "cifar10", **overrides) -> dict:
+    """Figs. 2-3: SFL-T vs SFL-FM vs SFL-BR on non-IID data.
+
+    Returns accuracy curves, completion times and average waiting times for
+    the three motivation variants.
+    """
+    histories = run_approaches(
+        dataset, approaches=MOTIVATION_VARIANTS, non_iid_level=10.0, **overrides
+    )
+    rows = []
+    for name, history in histories.items():
+        rows.append({
+            "variant": name,
+            "final_accuracy": final_accuracy(history),
+            "total_time_s": history.records[-1].sim_time,
+            "mean_waiting_time_s": mean_waiting_time(history),
+        })
+    return {"histories": histories, "rows": rows}
+
+
+def figure4_gradient_directions(
+    dataset: str = "cifar10",
+    num_workers: int = 4,
+    batch_size: int = 16,
+    model_width: float = 0.5,
+    seed: int = 7,
+) -> GradientComparison:
+    """Fig. 4: gradient direction of SFL-FM vs SFL-T vs standalone SGD.
+
+    Builds per-worker mini-batches that are individually label-skewed but
+    jointly IID, then runs the one-iteration gradient comparison.
+    """
+    spec = DATASET_SPECS[dataset]
+    data = make_dataset(dataset, train_samples=1200, test_samples=100, seed=seed)
+    model = build_model(
+        spec.default_model,
+        num_classes=data.num_classes,
+        in_channels=data.feature_shape[0],
+        image_size=data.feature_shape[1],
+        width=model_width,
+        seed=seed,
+    )
+    split = split_model(model, default_split_layer(spec.default_model, model))
+
+    # Build skewed per-worker mini-batches whose union covers all classes.
+    rng = new_rng(seed)
+    targets = data.train.targets
+    classes = np.arange(data.num_classes)
+    shards = np.array_split(rng.permutation(classes), num_workers)
+    batches = []
+    for shard in shards:
+        pool = np.flatnonzero(np.isin(targets, shard))
+        picked = rng.choice(pool, size=min(batch_size, pool.size), replace=False)
+        batches.append((data.train.data[picked], targets[picked]))
+    return compare_gradient_directions(split, batches)
+
+
+# -- Table II ---------------------------------------------------------------------
+
+def table2_device_specifications() -> list[dict]:
+    """Table II: Jetson device technical specifications used by the simulator."""
+    rows = []
+    for profile in DEVICE_PROFILES.values():
+        rows.append({
+            "device": profile.name,
+            "ai_performance": profile.ai_performance,
+            "gpu": profile.gpu,
+            "cpu": profile.cpu,
+            "memory_gb": profile.memory_gb,
+            "train_gflops": profile.train_gflops,
+            "num_modes": profile.num_modes,
+        })
+    return rows
+
+
+# -- Section V-B overall performance ------------------------------------------------
+
+def figure6_iid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"), **overrides) -> dict:
+    """Fig. 6: time-to-accuracy of the five approaches on IID data."""
+    results = {}
+    for dataset in datasets:
+        histories = run_approaches(dataset, non_iid_level=0.0, **overrides)
+        results[dataset] = {
+            "histories": histories,
+            "comparison": compare_histories(histories),
+        }
+    return results
+
+
+def figure7_noniid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"), **overrides) -> dict:
+    """Fig. 7: time-to-accuracy of the five approaches at non-IID level p=10."""
+    results = {}
+    for dataset in datasets:
+        histories = run_approaches(dataset, non_iid_level=10.0, **overrides)
+        results[dataset] = {
+            "histories": histories,
+            "comparison": compare_histories(histories),
+        }
+    return results
+
+
+def figure8_network_traffic(histories_per_dataset: dict[str, dict[str, History]] | None = None,
+                            datasets: tuple[str, ...] = ("cifar10",), **overrides) -> dict:
+    """Fig. 8: network traffic consumed to reach target accuracies.
+
+    Reuses Fig. 7-style runs (non-IID) when none are supplied.
+    """
+    if histories_per_dataset is None:
+        histories_per_dataset = {
+            dataset: run_approaches(dataset, non_iid_level=10.0, **overrides)
+            for dataset in datasets
+        }
+    rows = []
+    for dataset, histories in histories_per_dataset.items():
+        ceiling = min(best_accuracy(history) for history in histories.values())
+        targets = [0.5 * ceiling, 0.75 * ceiling, ceiling]
+        for name, history in histories.items():
+            for target in targets:
+                rows.append({
+                    "dataset": dataset,
+                    "approach": name,
+                    "target_accuracy": target,
+                    "traffic_mb": traffic_to_accuracy(history, target),
+                })
+    return {"histories": histories_per_dataset, "rows": rows}
+
+
+def figure9_waiting_time(histories_per_dataset: dict[str, dict[str, History]] | None = None,
+                         datasets: tuple[str, ...] = ("cifar10",), **overrides) -> dict:
+    """Fig. 9: average per-round waiting time of the five approaches."""
+    if histories_per_dataset is None:
+        histories_per_dataset = {
+            dataset: run_approaches(dataset, non_iid_level=10.0, **overrides)
+            for dataset in datasets
+        }
+    rows = []
+    for dataset, histories in histories_per_dataset.items():
+        for name, history in histories.items():
+            rows.append({
+                "dataset": dataset,
+                "approach": name,
+                "mean_waiting_time_s": mean_waiting_time(history),
+            })
+    return {"histories": histories_per_dataset, "rows": rows}
+
+
+# -- Section V-C non-IID levels ---------------------------------------------------
+
+def figure10_noniid_levels(
+    dataset: str = "cifar10",
+    levels: tuple[float, ...] = (0.0, 2.0, 10.0),
+    approaches: tuple[str, ...] = FIVE_APPROACHES,
+    **overrides,
+) -> dict:
+    """Fig. 10: final accuracy of each approach as the non-IID level grows."""
+    rows = []
+    histories: dict[float, dict[str, History]] = {}
+    for level in levels:
+        histories[level] = run_approaches(
+            dataset, approaches=approaches, non_iid_level=level, **overrides
+        )
+        for name, history in histories[level].items():
+            rows.append({
+                "dataset": dataset,
+                "non_iid_level": level,
+                "approach": name,
+                "final_accuracy": final_accuracy(history),
+                "best_accuracy": best_accuracy(history),
+            })
+    return {"histories": histories, "rows": rows}
+
+
+# -- Section V-D ablation ------------------------------------------------------------
+
+def figure11_ablation(dataset: str = "cifar10", **overrides) -> dict:
+    """Fig. 11: MergeSFL vs MergeSFL w/o FM vs MergeSFL w/o BR (IID and non-IID)."""
+    variants = ("mergesfl", "mergesfl_no_fm", "mergesfl_no_br")
+    results = {}
+    for label, level in (("iid", 0.0), ("non_iid", 10.0)):
+        histories = run_approaches(
+            dataset, approaches=variants, non_iid_level=level, **overrides
+        )
+        results[label] = {
+            "histories": histories,
+            "comparison": compare_histories(histories),
+        }
+    return results
+
+
+# -- Section V-E scalability -----------------------------------------------------------
+
+def figure12_scalability(
+    dataset: str = "cifar10",
+    scales: tuple[int, ...] = (8, 16, 24),
+    target_fraction: float = 0.9,
+    **overrides,
+) -> dict:
+    """Fig. 12: completion time and training process at different system scales.
+
+    The paper simulates 100/200/300/400 workers; the scaled-down default
+    sweeps smaller fleets but reports the same quantities (time to reach a
+    common target accuracy, plus each scale's accuracy trajectory).
+    """
+    histories: dict[int, History] = {}
+    for scale in scales:
+        config_overrides = dict(overrides)
+        config_overrides["num_workers"] = scale
+        histories[scale] = run_experiment(
+            _config(dataset, "mergesfl", non_iid_level=0.0, **config_overrides)
+        )
+    ceiling = min(best_accuracy(history) for history in histories.values())
+    target = target_fraction * ceiling
+    rows = []
+    for scale, history in histories.items():
+        rows.append({
+            "num_workers": scale,
+            "target_accuracy": target,
+            "time_to_target_s": time_to_accuracy(history, target),
+            "final_accuracy": final_accuracy(history),
+        })
+    return {"histories": histories, "rows": rows, "target": target}

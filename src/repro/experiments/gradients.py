@@ -1,0 +1,202 @@
+"""Gradient-direction analysis (Fig. 4 of the paper).
+
+The paper's motivation compares, for a single iteration starting from the
+same model, the top-model gradient produced by
+
+* typical SFL (SFL-T): the top model is updated per worker on its own
+  non-IID mini-batch,
+* SFL with feature merging (SFL-FM): the top model sees the merged,
+  approximately IID mini-batch,
+* standalone SGD: the whole model is trained centrally on the union of the
+  mini-batches (the reference "right" direction).
+
+Fig. 4 visualises these gradients with PCA; this module computes both the
+2-D PCA projection and the cosine alignment with the standalone gradient,
+which is the quantitative version of "SFL-FM is much closer to standalone
+SGD than SFL-T".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Sequential
+from repro.nn.split import SplitModel
+
+
+@dataclass
+class GradientComparison:
+    """Result of the one-iteration gradient analysis.
+
+    Attributes:
+        cosine_fm: Cosine similarity between the SFL-FM top gradient and the
+            standalone-SGD top gradient.
+        cosine_t: Cosine similarity between the (averaged) SFL-T top
+            gradients and the standalone-SGD top gradient.
+        pca_points: Mapping from approach name to its 2-D PCA coordinates.
+        bottom_cosines: Per-worker cosine similarity between the bottom
+            gradients under SFL-FM and SFL-T.
+    """
+
+    cosine_fm: float
+    cosine_t: float
+    pca_points: dict[str, np.ndarray]
+    bottom_cosines: list[float]
+
+
+def _flat_grads(model: Sequential) -> np.ndarray:
+    """Concatenate all parameter gradients of a model into one vector."""
+    grads = [param.grad.reshape(-1) for param in model.parameters()]
+    if not grads:
+        return np.zeros(0)
+    return np.concatenate(grads)
+
+
+def _cosine(first: np.ndarray, second: np.ndarray) -> float:
+    """Cosine similarity, 0.0 when either vector is null."""
+    norm = np.linalg.norm(first) * np.linalg.norm(second)
+    if norm == 0:
+        return 0.0
+    return float(np.dot(first, second) / norm)
+
+
+def _top_gradient_merged(
+    split: SplitModel, batches: list[tuple[np.ndarray, np.ndarray]]
+) -> np.ndarray:
+    """Top-model gradient under feature merging (one iteration, no update)."""
+    bottom = split.bottom.clone()
+    top = split.top.clone()
+    loss_fn = CrossEntropyLoss()
+    features = [bottom.forward(data) for data, __ in batches]
+    labels = [labs for __, labs in batches]
+    merged = np.concatenate(features, axis=0)
+    merged_labels = np.concatenate(labels, axis=0)
+    top.zero_grad()
+    logits = top.forward(merged)
+    loss_fn.forward(logits, merged_labels)
+    top.backward(loss_fn.backward())
+    return _flat_grads(top)
+
+
+def _top_gradient_per_worker(
+    split: SplitModel, batches: list[tuple[np.ndarray, np.ndarray]]
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Average per-worker top gradient under typical SFL, plus each worker's."""
+    loss_fn = CrossEntropyLoss()
+    per_worker = []
+    for data, labels in batches:
+        bottom = split.bottom.clone()
+        top = split.top.clone()
+        top.zero_grad()
+        features = bottom.forward(data)
+        logits = top.forward(features)
+        loss_fn.forward(logits, labels)
+        top.backward(loss_fn.backward())
+        per_worker.append(_flat_grads(top))
+    return np.mean(np.stack(per_worker), axis=0), per_worker
+
+
+def _standalone_gradient(
+    split: SplitModel, batches: list[tuple[np.ndarray, np.ndarray]]
+) -> np.ndarray:
+    """Top-part gradient of standalone SGD on the union mini-batch."""
+    full = Sequential(list(split.bottom.clone().layers) + list(split.top.clone().layers))
+    loss_fn = CrossEntropyLoss()
+    data = np.concatenate([batch for batch, __ in batches], axis=0)
+    labels = np.concatenate([labs for __, labs in batches], axis=0)
+    full.zero_grad()
+    logits = full.forward(data)
+    loss_fn.forward(logits, labels)
+    full.backward(loss_fn.backward())
+    top_params = len(split.top.parameters())
+    grads = [param.grad.reshape(-1) for param in full.parameters()[-top_params:]]
+    return np.concatenate(grads) if grads else np.zeros(0)
+
+
+def _bottom_gradients(
+    split: SplitModel,
+    batches: list[tuple[np.ndarray, np.ndarray]],
+    merged: bool,
+) -> list[np.ndarray]:
+    """Per-worker bottom gradients with or without feature merging."""
+    loss_fn = CrossEntropyLoss()
+    if merged:
+        bottoms = [split.bottom.clone() for __ in batches]
+        top = split.top.clone()
+        features = [bottom.forward(data) for bottom, (data, __) in zip(bottoms, batches)]
+        labels = np.concatenate([labs for __, labs in batches], axis=0)
+        merged_features = np.concatenate(features, axis=0)
+        logits = top.forward(merged_features)
+        loss_fn.forward(logits, labels)
+        grad = top.backward(loss_fn.backward())
+        results = []
+        offset = 0
+        for bottom, (data, __) in zip(bottoms, batches):
+            size = data.shape[0]
+            bottom.zero_grad()
+            bottom.backward(grad[offset:offset + size])
+            results.append(_flat_grads(bottom))
+            offset += size
+        return results
+    results = []
+    for data, labs in batches:
+        bottom = split.bottom.clone()
+        top = split.top.clone()
+        features = bottom.forward(data)
+        logits = top.forward(features)
+        loss_fn.forward(logits, labs)
+        grad = top.backward(loss_fn.backward())
+        bottom.zero_grad()
+        bottom.backward(grad)
+        results.append(_flat_grads(bottom))
+    return results
+
+
+def _pca_2d(vectors: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Project named vectors onto their two leading principal components."""
+    names = list(vectors)
+    matrix = np.stack([vectors[name] for name in names])
+    centred = matrix - matrix.mean(axis=0, keepdims=True)
+    __, __, v_t = np.linalg.svd(centred, full_matrices=False)
+    components = v_t[:2] if v_t.shape[0] >= 2 else np.vstack([v_t, np.zeros_like(v_t)])
+    projected = centred @ components.T
+    return {name: projected[index] for index, name in enumerate(names)}
+
+
+def compare_gradient_directions(
+    split: SplitModel, batches: list[tuple[np.ndarray, np.ndarray]]
+) -> GradientComparison:
+    """Run the Fig. 4 analysis for one iteration.
+
+    Args:
+        split: A split model (fresh, untrained halves are fine).
+        batches: One ``(data, labels)`` non-IID mini-batch per worker; their
+            union should be approximately IID.
+
+    Returns:
+        A :class:`GradientComparison` with cosine alignments and PCA points.
+    """
+    if len(batches) < 2:
+        raise ValueError("the analysis needs at least two worker mini-batches")
+    standalone = _standalone_gradient(split, batches)
+    merged = _top_gradient_merged(split, batches)
+    per_worker_mean, per_worker = _top_gradient_per_worker(split, batches)
+
+    pca_inputs = {"sgd": standalone, "sfl_fm": merged, "sfl_t": per_worker_mean}
+    for index, grad in enumerate(per_worker):
+        pca_inputs[f"sfl_t_worker{index}"] = grad
+
+    bottom_fm = _bottom_gradients(split, batches, merged=True)
+    bottom_t = _bottom_gradients(split, batches, merged=False)
+    bottom_cosines = [
+        _cosine(fm, t) for fm, t in zip(bottom_fm, bottom_t)
+    ]
+    return GradientComparison(
+        cosine_fm=_cosine(merged, standalone),
+        cosine_t=_cosine(per_worker_mean, standalone),
+        pca_points=_pca_2d(pca_inputs),
+        bottom_cosines=bottom_cosines,
+    )

@@ -1,0 +1,57 @@
+"""Plain-text tables for benchmark and example output."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Render a fixed-width text table.
+
+    Args:
+        headers: Column headers.
+        rows: Table rows; cells are converted with ``str`` (floats get 4
+            significant digits).
+        title: Optional title line.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        if cell is None:
+            return "-"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)
+
+
+def format_comparison(
+    table: dict[str, dict[str, float | None]], title: str = ""
+) -> str:
+    """Render the output of :func:`repro.metrics.summary.compare_histories`."""
+    headers = ["approach", "final_acc", "best_acc", "time_to_target_s",
+               "traffic_to_target_mb", "mean_wait_s", "total_time_s"]
+    rows = []
+    for name, metrics in table.items():
+        rows.append([
+            name,
+            metrics.get("final_accuracy"),
+            metrics.get("best_accuracy"),
+            metrics.get("time_to_target_s"),
+            metrics.get("traffic_to_target_mb"),
+            metrics.get("mean_waiting_time_s"),
+            metrics.get("total_time_s"),
+        ])
+    return format_table(headers, rows, title=title)

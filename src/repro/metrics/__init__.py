@@ -1,0 +1,24 @@
+"""Metrics: training history, time-to-accuracy, traffic-to-accuracy."""
+
+from repro.metrics.history import History, RoundRecord
+from repro.metrics.summary import (
+    time_to_accuracy,
+    traffic_to_accuracy,
+    final_accuracy,
+    best_accuracy,
+    mean_waiting_time,
+    speedup,
+    compare_histories,
+)
+
+__all__ = [
+    "History",
+    "RoundRecord",
+    "time_to_accuracy",
+    "traffic_to_accuracy",
+    "final_accuracy",
+    "best_accuracy",
+    "mean_waiting_time",
+    "speedup",
+    "compare_histories",
+]

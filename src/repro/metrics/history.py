@@ -1,0 +1,93 @@
+"""Per-round training history."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+
+
+@dataclass
+class RoundRecord:
+    """Everything measured about one communication round.
+
+    Attributes:
+        round_index: Zero-based round counter.
+        sim_time: Cumulative simulated wall-clock time (seconds).
+        duration: This round's duration (seconds).
+        waiting_time: Average worker idle time in this round (seconds).
+        traffic_mb: Cumulative network traffic (MB).
+        train_loss: Mean training loss over the round's iterations.
+        test_loss: Test loss of the global model after the round.
+        test_accuracy: Test accuracy of the global model after the round.
+        num_selected: Number of workers in the round's worker set.
+        total_batch: Total merged batch size.
+        merged_kl: KL divergence of the merged label distribution.
+    """
+
+    round_index: int
+    sim_time: float
+    duration: float
+    waiting_time: float
+    traffic_mb: float
+    train_loss: float
+    test_loss: float
+    test_accuracy: float
+    num_selected: int
+    total_batch: int
+    merged_kl: float = 0.0
+
+
+@dataclass
+class History:
+    """Ordered collection of :class:`RoundRecord` for one training run."""
+
+    algorithm: str = ""
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        """Append a round record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index: int) -> RoundRecord:
+        return self.records[index]
+
+    # -- convenience accessors ------------------------------------------------
+    @property
+    def accuracies(self) -> list[float]:
+        """Per-round test accuracy."""
+        return [record.test_accuracy for record in self.records]
+
+    @property
+    def times(self) -> list[float]:
+        """Per-round cumulative simulated time."""
+        return [record.sim_time for record in self.records]
+
+    @property
+    def traffic(self) -> list[float]:
+        """Per-round cumulative traffic in MB."""
+        return [record.traffic_mb for record in self.records]
+
+    @property
+    def waiting_times(self) -> list[float]:
+        """Per-round average waiting time."""
+        return [record.waiting_time for record in self.records]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "algorithm": self.algorithm,
+            "records": [asdict(record) for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "History":
+        """Inverse of :meth:`to_dict`."""
+        history = cls(algorithm=payload.get("algorithm", ""))
+        for record in payload.get("records", []):
+            history.append(RoundRecord(**record))
+        return history

@@ -1,0 +1,89 @@
+"""Summary statistics over training histories (the paper's three metrics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.history import History
+
+
+def final_accuracy(history: History) -> float:
+    """Test accuracy after the last round (the paper's 'final test accuracy')."""
+    if not history.records:
+        return 0.0
+    return history.records[-1].test_accuracy
+
+
+def best_accuracy(history: History) -> float:
+    """Best test accuracy observed during training."""
+    if not history.records:
+        return 0.0
+    return max(history.accuracies)
+
+
+def time_to_accuracy(history: History, target: float) -> float | None:
+    """Simulated seconds until the target accuracy is first reached.
+
+    Returns ``None`` if the target was never reached.
+    """
+    for record in history.records:
+        if record.test_accuracy >= target:
+            return record.sim_time
+    return None
+
+
+def traffic_to_accuracy(history: History, target: float) -> float | None:
+    """Cumulative traffic (MB) when the target accuracy is first reached."""
+    for record in history.records:
+        if record.test_accuracy >= target:
+            return record.traffic_mb
+    return None
+
+
+def mean_waiting_time(history: History) -> float:
+    """Average per-round waiting time over the whole run."""
+    if not history.records:
+        return 0.0
+    return float(np.mean(history.waiting_times))
+
+
+def speedup(baseline: History, candidate: History, target: float) -> float | None:
+    """Ratio of baseline to candidate time-to-accuracy (>1 means faster).
+
+    Returns ``None`` if either run never reaches the target.
+    """
+    baseline_time = time_to_accuracy(baseline, target)
+    candidate_time = time_to_accuracy(candidate, target)
+    if baseline_time is None or candidate_time is None or candidate_time == 0:
+        return None
+    return baseline_time / candidate_time
+
+
+def compare_histories(
+    histories: dict[str, History], target: float | None = None
+) -> dict[str, dict[str, float | None]]:
+    """Tabulate final accuracy, waiting time and time/traffic-to-accuracy.
+
+    Args:
+        histories: Mapping from approach name to its history.
+        target: Accuracy target; when omitted, the highest accuracy reached
+            by every approach is used, so every row is populated.
+
+    Returns:
+        Mapping from approach name to a metric dictionary.
+    """
+    if target is None and histories:
+        ceilings = [best_accuracy(history) for history in histories.values()]
+        target = min(ceilings) if ceilings else 0.0
+    table: dict[str, dict[str, float | None]] = {}
+    for name, history in histories.items():
+        table[name] = {
+            "final_accuracy": final_accuracy(history),
+            "best_accuracy": best_accuracy(history),
+            "time_to_target_s": time_to_accuracy(history, target),
+            "traffic_to_target_mb": traffic_to_accuracy(history, target),
+            "mean_waiting_time_s": mean_waiting_time(history),
+            "total_time_s": history.records[-1].sim_time if history.records else 0.0,
+            "total_traffic_mb": history.records[-1].traffic_mb if history.records else 0.0,
+        }
+    return table

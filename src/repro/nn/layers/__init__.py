@@ -1,0 +1,24 @@
+"""Neural-network layers."""
+
+from repro.nn.layers.linear import Linear
+from repro.nn.layers.conv import Conv2d, Conv1d
+from repro.nn.layers.pooling import MaxPool2d, MaxPool1d, AvgPool2d
+from repro.nn.layers.activations import ReLU, Tanh, Sigmoid
+from repro.nn.layers.shape import Flatten
+from repro.nn.layers.regularization import Dropout, BatchNorm1d, BatchNorm2d
+
+__all__ = [
+    "Linear",
+    "Conv2d",
+    "Conv1d",
+    "MaxPool2d",
+    "MaxPool1d",
+    "AvgPool2d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Flatten",
+    "Dropout",
+    "BatchNorm1d",
+    "BatchNorm2d",
+]

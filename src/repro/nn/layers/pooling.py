@@ -1,0 +1,122 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+from repro.nn.module import Module
+
+
+def _pool_pair(kernel_size: int | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(kernel_size, tuple):
+        return kernel_size
+    return (kernel_size, kernel_size)
+
+
+class MaxPool2d(Module):
+    """Non-overlapping 2-D max pooling with ``stride == kernel_size``.
+
+    ``kernel_size`` may be an int (square window) or an ``(kh, kw)`` tuple.
+    Inputs whose spatial size is not divisible by the kernel are truncated
+    on the right/bottom (the same convention PyTorch uses with default
+    ceil_mode=False).
+    """
+
+    def __init__(self, kernel_size: int | tuple[int, int]) -> None:
+        super().__init__()
+        kh, kw = _pool_pair(kernel_size)
+        if kh <= 0 or kw <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = (kh, kw)
+        self._cache: tuple[np.ndarray, tuple[int, ...]] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ShapeError(f"MaxPool2d expects 4-D input, got {inputs.shape}")
+        kh, kw = self.kernel_size
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = height // kh, width // kw
+        if out_h == 0 or out_w == 0:
+            raise ShapeError(
+                f"input spatial size {height}x{width} smaller than kernel {self.kernel_size}"
+            )
+        trimmed = inputs[:, :, : out_h * kh, : out_w * kw]
+        windows = trimmed.reshape(batch, channels, out_h, kh, out_w, kw)
+        out = windows.max(axis=(3, 5))
+        # Mask of the max positions per window (ties share the gradient).
+        expanded = out[:, :, :, None, :, None]
+        mask = (windows == expanded).astype(np.float64)
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+        mask = mask / counts
+        self._cache = (mask, inputs.shape)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        mask, input_shape = self._cache
+        kh, kw = self.kernel_size
+        batch, channels, height, width = input_shape
+        out_h, out_w = height // kh, width // kw
+        grad_windows = mask * grad_output[:, :, :, None, :, None]
+        grad_trimmed = grad_windows.reshape(batch, channels, out_h * kh, out_w * kw)
+        grad_input = np.zeros(input_shape, dtype=np.float64)
+        grad_input[:, :, : out_h * kh, : out_w * kw] = grad_trimmed
+        return grad_input
+
+
+class MaxPool1d(Module):
+    """Non-overlapping 1-D max pooling, delegating to :class:`MaxPool2d`."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        self._pool = MaxPool2d((1, kernel_size))
+        self.kernel_size = kernel_size
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 3:
+            raise ShapeError(f"MaxPool1d expects 3-D input, got {inputs.shape}")
+        out = self._pool.forward(inputs[:, :, None, :])
+        return out[:, :, 0, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self._pool.backward(grad_output[:, :, None, :])
+        return grad[:, :, 0, :]
+
+
+class AvgPool2d(Module):
+    """Non-overlapping 2-D average pooling with ``stride == kernel_size``."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("kernel_size must be positive")
+        self.kernel_size = kernel_size
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ShapeError(f"AvgPool2d expects 4-D input, got {inputs.shape}")
+        k = self.kernel_size
+        batch, channels, height, width = inputs.shape
+        out_h, out_w = height // k, width // k
+        if out_h == 0 or out_w == 0:
+            raise ShapeError(
+                f"input spatial size {height}x{width} smaller than kernel {k}"
+            )
+        self._input_shape = inputs.shape
+        trimmed = inputs[:, :, : out_h * k, : out_w * k]
+        windows = trimmed.reshape(batch, channels, out_h, k, out_w, k)
+        return windows.mean(axis=(3, 5))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        k = self.kernel_size
+        batch, channels, height, width = self._input_shape
+        out_h, out_w = height // k, width // k
+        grad = np.repeat(np.repeat(grad_output, k, axis=2), k, axis=3) / (k * k)
+        grad_input = np.zeros(self._input_shape, dtype=np.float64)
+        grad_input[:, :, : out_h * k, : out_w * k] = grad
+        return grad_input

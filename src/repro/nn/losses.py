@@ -1,0 +1,99 @@
+"""Loss functions.
+
+Losses are not :class:`~repro.nn.module.Module` instances because they take
+two arguments (predictions and targets).  Each loss returns the scalar loss
+from ``forward`` and the gradient of the loss with respect to the
+predictions from ``backward``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ShapeError
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer labels as one-hot rows."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(
+            f"labels must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy over integer class labels (mean reduction)."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Compute the mean cross-entropy loss.
+
+        Args:
+            logits: Raw scores of shape ``(batch, num_classes)``.
+            labels: Integer labels of shape ``(batch,)``.
+        """
+        if logits.ndim != 2:
+            raise ShapeError(f"logits must be 2-D, got {logits.shape}")
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape[0] != logits.shape[0]:
+            raise ShapeError(
+                f"batch mismatch: logits {logits.shape[0]} vs labels {labels.shape[0]}"
+            )
+        probs = softmax(logits)
+        self._cache = (probs, labels)
+        batch = logits.shape[0]
+        log_likelihood = -np.log(probs[np.arange(batch), labels] + 1e-12)
+        return float(log_likelihood.mean())
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, labels = self._cache
+        batch = probs.shape[0]
+        grad = probs.copy()
+        grad[np.arange(batch), labels] -= 1.0
+        return grad / batch
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MSELoss:
+    """Mean squared error (mean over all elements)."""
+
+    def __init__(self) -> None:
+        self._cache: tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"shape mismatch: {predictions.shape} vs {targets.shape}"
+            )
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

@@ -1,0 +1,97 @@
+"""Parameter (de)serialisation used by federated aggregation and traffic accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+
+#: Bytes per parameter when models/features travel over the simulated network.
+#: The paper quotes 32-bit model/feature sizes (VGG16 = 321 MB), so traffic is
+#: accounted in float32 even though computation is float64.
+BYTES_PER_PARAMETER = 4
+
+
+def get_flat_params(module: Module) -> np.ndarray:
+    """Concatenate every parameter of ``module`` into a single 1-D vector."""
+    params = module.parameters()
+    if not params:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate([p.data.reshape(-1) for p in params])
+
+
+def set_flat_params(module: Module, flat: np.ndarray) -> None:
+    """Write a flat vector produced by :func:`get_flat_params` back into ``module``."""
+    flat = np.asarray(flat, dtype=np.float64)
+    expected = module.num_parameters()
+    if flat.size != expected:
+        raise ValueError(
+            f"flat vector has {flat.size} elements, module expects {expected}"
+        )
+    offset = 0
+    for param in module.parameters():
+        count = param.size
+        param.data = flat[offset:offset + count].reshape(param.data.shape).copy()
+        offset += count
+
+
+def average_state_dicts(
+    states: list[dict[str, np.ndarray]],
+    weights: list[float] | None = None,
+) -> dict[str, np.ndarray]:
+    """Weighted average of state dicts (Eq. 4 / Eq. 17 of the paper).
+
+    Args:
+        states: State dicts with identical key sets and shapes.
+        weights: Per-state weights; uniform when omitted.  Weights are
+            normalised internally so they only need to be non-negative.
+
+    Returns:
+        A new state dict holding the weighted average.
+    """
+    if not states:
+        raise ValueError("cannot average an empty list of state dicts")
+    if weights is None:
+        weights = [1.0] * len(states)
+    if len(weights) != len(states):
+        raise ValueError("weights and states must have the same length")
+    weight_array = np.asarray(weights, dtype=np.float64)
+    if np.any(weight_array < 0):
+        raise ValueError("weights must be non-negative")
+    total = weight_array.sum()
+    if total <= 0:
+        raise ValueError("at least one weight must be positive")
+    weight_array = weight_array / total
+
+    keys = set(states[0])
+    for state in states[1:]:
+        if set(state) != keys:
+            raise KeyError("state dicts have mismatched keys")
+
+    averaged: dict[str, np.ndarray] = {}
+    for key in states[0]:
+        stacked = np.stack([state[key] for state in states], axis=0)
+        averaged[key] = np.tensordot(weight_array, stacked, axes=1)
+    return averaged
+
+
+def state_dict_distance(
+    first: dict[str, np.ndarray], second: dict[str, np.ndarray]
+) -> float:
+    """Euclidean distance between two state dicts (used in tests and PyramidFL)."""
+    if set(first) != set(second):
+        raise KeyError("state dicts have mismatched keys")
+    total = 0.0
+    for key, value in first.items():
+        total += float(np.sum((value - second[key]) ** 2))
+    return float(np.sqrt(total))
+
+
+def num_parameters(module: Module) -> int:
+    """Total number of trainable scalars in ``module``."""
+    return module.num_parameters()
+
+
+def model_size_bytes(module: Module) -> int:
+    """Size of the module on the wire, assuming float32 serialisation."""
+    return module.num_parameters() * BYTES_PER_PARAMETER

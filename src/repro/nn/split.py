@@ -1,0 +1,62 @@
+"""Model splitting: the defining operation of split federated learning.
+
+A full model ``w`` is carved at the *split layer* into a bottom submodel
+``w_b`` (trained on workers) and a top submodel ``w_p`` (trained on the
+parameter server).  The bottom's output at the split layer is the *feature*
+(smashed data) exchanged with the server; the gradient flowing back into
+the split layer is what the server dispatches to workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SplitError
+from repro.nn.module import Module, Sequential
+
+
+@dataclass
+class SplitModel:
+    """The two halves of a split model.
+
+    Attributes:
+        bottom: Worker-side submodel (input layer up to, excluding, the
+            split position).
+        top: Server-side submodel (split position to the output layer).
+        split_index: Index in the original ``Sequential`` where the cut was
+            made.
+    """
+
+    bottom: Sequential
+    top: Sequential
+    split_index: int
+
+    def full_forward(self, inputs):
+        """Run the two halves back to back (used for evaluation)."""
+        return self.top.forward(self.bottom.forward(inputs))
+
+
+def split_model(model: Module, split_index: int) -> SplitModel:
+    """Split a :class:`Sequential` model at ``split_index``.
+
+    Layers ``[0, split_index)`` become the bottom model and layers
+    ``[split_index, len(model))`` become the top model.  The returned halves
+    are deep copies, so mutating them does not affect the original model.
+
+    Args:
+        model: A ``Sequential`` model.
+        split_index: Cut position; must satisfy ``0 < split_index < len(model)``.
+
+    Raises:
+        SplitError: If the model is not Sequential or the index is out of
+            range (both halves must be non-empty).
+    """
+    if not isinstance(model, Sequential):
+        raise SplitError(f"only Sequential models can be split, got {type(model)!r}")
+    if not 0 < split_index < len(model):
+        raise SplitError(
+            f"split index must be in (0, {len(model)}), got {split_index}"
+        )
+    bottom = Sequential(model.layers[:split_index]).clone()
+    top = Sequential(model.layers[split_index:]).clone()
+    return SplitModel(bottom=bottom, top=top, split_index=split_index)

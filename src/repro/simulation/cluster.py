@@ -1,0 +1,92 @@
+"""Heterogeneous cluster construction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.device import sample_device_profile
+from repro.simulation.network import WifiNetworkModel, assign_distance
+from repro.simulation.worker_device import WorkerDevice
+from repro.utils.rng import spawn_rngs
+
+
+class Cluster:
+    """A collection of simulated worker devices plus the PS ingress link."""
+
+    def __init__(
+        self,
+        devices: list[WorkerDevice],
+        bandwidth_budget_mbps: float,
+        rng: np.random.Generator,
+        budget_jitter: float = 0.15,
+    ) -> None:
+        if bandwidth_budget_mbps <= 0:
+            raise ValueError("bandwidth_budget_mbps must be positive")
+        self.devices = devices
+        self.nominal_budget_mbps = bandwidth_budget_mbps
+        self.budget_jitter = budget_jitter
+        self._rng = rng
+        self.current_budget_mbps = bandwidth_budget_mbps
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __getitem__(self, worker_id: int) -> WorkerDevice:
+        return self.devices[worker_id]
+
+    def advance_round(self, round_index: int) -> None:
+        """Refresh every device and re-draw the PS ingress bandwidth budget."""
+        for device in self.devices:
+            device.advance_round(round_index)
+        noise = self._rng.normal(1.0, self.budget_jitter)
+        self.current_budget_mbps = float(
+            np.clip(self.nominal_budget_mbps * noise,
+                    0.3 * self.nominal_budget_mbps,
+                    2.0 * self.nominal_budget_mbps)
+        )
+
+    def compute_times(self, forward_flops: float) -> np.ndarray:
+        """Per-sample compute time mu_i for every worker (seconds)."""
+        return np.asarray(
+            [d.compute_time_per_sample(forward_flops) for d in self.devices]
+        )
+
+    def comm_times(self, bytes_per_sample: float) -> np.ndarray:
+        """Per-sample communication time beta_i for every worker (seconds)."""
+        return np.asarray(
+            [d.comm_time_per_sample(bytes_per_sample) for d in self.devices]
+        )
+
+
+def build_cluster(
+    num_workers: int,
+    bandwidth_budget_mbps: float,
+    seed: int = 0,
+    mode_change_interval: int = 20,
+) -> Cluster:
+    """Construct a heterogeneous cluster mirroring the paper's testbed.
+
+    Device families follow the 30/40/10 TX2/NX/AGX mix and workers are
+    spread evenly over the four WiFi distance groups.
+    """
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    rngs = spawn_rngs(seed, num_workers + 2)
+    devices = []
+    for worker_id in range(num_workers):
+        profile = sample_device_profile(rngs[worker_id])
+        network = WifiNetworkModel(distance_m=assign_distance(worker_id))
+        devices.append(
+            WorkerDevice(
+                worker_id=worker_id,
+                profile=profile,
+                network=network,
+                rng=rngs[worker_id],
+                mode_change_interval=mode_change_interval,
+            )
+        )
+    return Cluster(
+        devices=devices,
+        bandwidth_budget_mbps=bandwidth_budget_mbps,
+        rng=rngs[num_workers],
+    )

@@ -1,0 +1,117 @@
+"""Jetson device profiles (Table II of the paper).
+
+Each profile models a device family with its sustainable training
+throughput and the set of performance modes the testbed cycles through
+("we randomly change the modes for devices every 20 communication
+rounds").  The paper notes that the fastest AGX mode trains about 100x
+faster than the slowest TX2 mode; the mode factors below reproduce that
+spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of a device family.
+
+    Attributes:
+        name: Family name (``jetson_tx2`` etc.).
+        ai_performance: Marketing AI performance figure from Table II (for
+            documentation only).
+        gpu: GPU description from Table II.
+        cpu: CPU description from Table II.
+        memory_gb: On-board memory in GB.
+        train_gflops: Effective sustainable training throughput in GFLOP/s
+            at the highest performance mode (well below the peak figure, as
+            in real mixed CPU/GPU training).
+        mode_factors: Relative speed of each performance mode (mode 0 is
+            the fastest).
+    """
+
+    name: str
+    ai_performance: str
+    gpu: str
+    cpu: str
+    memory_gb: int
+    train_gflops: float
+    mode_factors: tuple[float, ...]
+
+    @property
+    def num_modes(self) -> int:
+        """Number of selectable performance modes."""
+        return len(self.mode_factors)
+
+    def throughput(self, mode: int) -> float:
+        """Training throughput in FLOP/s for a given mode index."""
+        if not 0 <= mode < self.num_modes:
+            raise ValueError(
+                f"{self.name} has modes 0..{self.num_modes - 1}, got {mode}"
+            )
+        return self.train_gflops * 1e9 * self.mode_factors[mode]
+
+
+JETSON_TX2 = DeviceProfile(
+    name="jetson_tx2",
+    ai_performance="1.33 TFLOPS",
+    gpu="256-core Pascal",
+    cpu="Denver 2 and ARM A57 (4)",
+    memory_gb=8,
+    train_gflops=2.0,
+    mode_factors=(1.0, 0.6, 0.3, 0.15),
+)
+
+JETSON_NX = DeviceProfile(
+    name="jetson_nx",
+    ai_performance="21 TOPS",
+    gpu="384-core Volta",
+    cpu="6-core Carmel ARM",
+    memory_gb=8,
+    train_gflops=10.0,
+    mode_factors=(1.0, 0.8, 0.65, 0.5, 0.4, 0.3, 0.2, 0.12),
+)
+
+JETSON_AGX = DeviceProfile(
+    name="jetson_agx",
+    ai_performance="32 TOPS",
+    gpu="512-core Volta",
+    cpu="8-core Carmel ARM",
+    memory_gb=32,
+    train_gflops=30.0,
+    mode_factors=(1.0, 0.85, 0.7, 0.55, 0.45, 0.35, 0.25, 0.15),
+)
+
+#: All profiles keyed by name.
+DEVICE_PROFILES: dict[str, DeviceProfile] = {
+    profile.name: profile for profile in (JETSON_TX2, JETSON_NX, JETSON_AGX)
+}
+
+#: Testbed composition: 30 TX2, 40 NX, 10 AGX out of 80 devices (Section V-A),
+#: expressed as sampling weights.
+DEVICE_MIX: dict[str, float] = {
+    "jetson_tx2": 30 / 80,
+    "jetson_nx": 40 / 80,
+    "jetson_agx": 10 / 80,
+}
+
+
+def sample_device_profile(rng: np.random.Generator) -> DeviceProfile:
+    """Sample a device family according to the testbed composition."""
+    names = list(DEVICE_MIX)
+    weights = np.asarray([DEVICE_MIX[name] for name in names])
+    choice = rng.choice(len(names), p=weights / weights.sum())
+    return DEVICE_PROFILES[names[int(choice)]]
+
+
+def heterogeneity_span() -> float:
+    """Ratio between the fastest and slowest per-sample compute throughput.
+
+    The paper reports roughly 100x between AGX mode 0 and TX2's lowest mode.
+    """
+    fastest = JETSON_AGX.throughput(0)
+    slowest = JETSON_TX2.throughput(JETSON_TX2.num_modes - 1)
+    return fastest / slowest

@@ -1,0 +1,90 @@
+"""Worker state estimation (Eq. 5-6) and PS bandwidth estimation.
+
+The control module of MergeSFL does not see true device speeds; it keeps a
+moving-average estimate of each worker's per-sample compute time ``mu`` and
+transmission time ``beta`` refreshed from the latest observation, plus an
+estimate of the PS ingress bandwidth based on the previous rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.numeric import moving_average
+
+
+class WorkerStateEstimator:
+    """Moving-average estimator of per-worker compute/communication time."""
+
+    def __init__(self, num_workers: int, alpha: float = 0.8) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+        self.alpha = alpha
+        self.num_workers = num_workers
+        self._mu = np.zeros(num_workers)
+        self._beta = np.zeros(num_workers)
+        self._seen = np.zeros(num_workers, dtype=bool)
+
+    def update(self, worker_id: int, mu: float, beta: float) -> None:
+        """Fold one observation into the estimates (Eq. 5 and Eq. 6)."""
+        if mu < 0 or beta < 0:
+            raise ValueError("observed times must be non-negative")
+        if not self._seen[worker_id]:
+            self._mu[worker_id] = mu
+            self._beta[worker_id] = beta
+            self._seen[worker_id] = True
+            return
+        self._mu[worker_id] = moving_average(self._mu[worker_id], mu, self.alpha)
+        self._beta[worker_id] = moving_average(self._beta[worker_id], beta, self.alpha)
+
+    def update_all(self, mus: np.ndarray, betas: np.ndarray) -> None:
+        """Update every worker in one call."""
+        for worker_id, (mu, beta) in enumerate(zip(mus, betas)):
+            self.update(worker_id, float(mu), float(beta))
+
+    def estimates(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current ``(mu, beta)`` estimates (copies)."""
+        return self._mu.copy(), self._beta.copy()
+
+    def per_sample_duration(self) -> np.ndarray:
+        """Estimated ``mu_i + beta_i`` per worker (seconds per sample)."""
+        return self._mu + self._beta
+
+    def is_initialised(self) -> bool:
+        """Whether every worker has been observed at least once."""
+        return bool(self._seen.all())
+
+
+class BandwidthEstimator:
+    """Estimate the PS ingress bandwidth budget from past observations.
+
+    Keeps a sliding history of the realised ingress bandwidth and predicts
+    the next round's budget as a trimmed statistic (the paper: "analyze the
+    statistical distribution of the ingress bandwidth based on the behaviour
+    of the PS in the previous rounds").
+    """
+
+    def __init__(self, initial_mbps: float, history: int = 10, quantile: float = 0.4) -> None:
+        if initial_mbps <= 0:
+            raise ValueError("initial_mbps must be positive")
+        if history <= 0:
+            raise ValueError("history must be positive")
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        self._history: list[float] = [initial_mbps]
+        self._max_history = history
+        self._quantile = quantile
+
+    def observe(self, realised_mbps: float) -> None:
+        """Record the ingress bandwidth realised in the round that just finished."""
+        if realised_mbps <= 0:
+            raise ValueError("realised bandwidth must be positive")
+        self._history.append(realised_mbps)
+        if len(self._history) > self._max_history:
+            self._history.pop(0)
+
+    def estimate(self) -> float:
+        """Conservative estimate of the next round's ingress bandwidth (Mb/s)."""
+        return float(np.quantile(np.asarray(self._history), self._quantile))

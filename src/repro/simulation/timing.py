@@ -1,0 +1,49 @@
+"""Round timing model (Eq. 7-8 of the paper).
+
+Worker ``i`` running ``tau`` local iterations with batch size ``d_i`` takes
+``t_i = tau * d_i * (mu_i + beta_i)`` seconds in a round; the round finishes
+when the slowest selected worker finishes, and every faster worker idles for
+the difference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def iteration_duration(batch_size: int, mu: float, beta: float) -> float:
+    """Duration of one local iteration for a single worker (seconds)."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if mu < 0 or beta < 0:
+        raise ValueError("per-sample times must be non-negative")
+    return batch_size * (mu + beta)
+
+
+def worker_round_duration(
+    tau: int, batch_size: int, mu: float, beta: float
+) -> float:
+    """Duration of a whole round for one worker: ``tau * d * (mu + beta)``."""
+    if tau <= 0:
+        raise ValueError("tau must be positive")
+    return tau * iteration_duration(batch_size, mu, beta)
+
+
+def round_duration(worker_durations: np.ndarray) -> float:
+    """Completion time of a synchronous round (the slowest worker)."""
+    durations = np.asarray(worker_durations, dtype=np.float64)
+    if durations.size == 0:
+        return 0.0
+    if np.any(durations < 0):
+        raise ValueError("durations must be non-negative")
+    return float(durations.max())
+
+
+def average_waiting_time(worker_durations: np.ndarray) -> float:
+    """Average idle time across workers in a synchronous round (Eq. 8)."""
+    durations = np.asarray(worker_durations, dtype=np.float64)
+    if durations.size == 0:
+        return 0.0
+    if np.any(durations < 0):
+        raise ValueError("durations must be non-negative")
+    return float((durations.max() - durations).mean())

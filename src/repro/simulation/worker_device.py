@@ -1,0 +1,80 @@
+"""Per-worker device state: compute mode and link bandwidth."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.device import DeviceProfile
+from repro.simulation.network import WifiNetworkModel
+
+#: Backward pass costs roughly twice the forward pass, so training one
+#: sample costs about three forward passes worth of FLOPs.
+TRAIN_FLOPS_MULTIPLIER = 3.0
+
+
+class WorkerDevice:
+    """Simulated edge device hosting one federated worker.
+
+    The device exposes the two per-sample quantities the paper's timing
+    model needs: the computing time ``mu`` for processing one data sample
+    and the transmission time ``beta`` for shipping one sample's feature
+    (and receiving its gradient) over the WiFi link.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        profile: DeviceProfile,
+        network: WifiNetworkModel,
+        rng: np.random.Generator,
+        mode_change_interval: int = 20,
+    ) -> None:
+        if mode_change_interval <= 0:
+            raise ValueError("mode_change_interval must be positive")
+        self.worker_id = worker_id
+        self.profile = profile
+        self.network = network
+        self.mode_change_interval = mode_change_interval
+        self._rng = rng
+        self.mode = int(rng.integers(0, profile.num_modes))
+        self.bandwidth_mbps = network.sample_bandwidth_mbps(rng)
+        self._last_mode_round = 0
+
+    # -- round lifecycle ---------------------------------------------------
+    def advance_round(self, round_index: int) -> None:
+        """Refresh time-varying state at the start of a communication round.
+
+        Bandwidth is re-drawn every round; the performance mode is re-drawn
+        every ``mode_change_interval`` rounds, as in the paper's testbed.
+        """
+        self.bandwidth_mbps = self.network.sample_bandwidth_mbps(self._rng)
+        if round_index - self._last_mode_round >= self.mode_change_interval:
+            self.mode = int(self._rng.integers(0, self.profile.num_modes))
+            self._last_mode_round = round_index
+
+    # -- per-sample costs ----------------------------------------------------
+    def compute_time_per_sample(self, forward_flops: float) -> float:
+        """Seconds to train on one sample (mu_i in the paper)."""
+        if forward_flops <= 0:
+            raise ValueError("forward_flops must be positive")
+        train_flops = forward_flops * TRAIN_FLOPS_MULTIPLIER
+        return train_flops / self.profile.throughput(self.mode)
+
+    def comm_time_per_sample(self, bytes_per_sample: float) -> float:
+        """Seconds to exchange one sample's feature + gradient (beta_i)."""
+        if bytes_per_sample < 0:
+            raise ValueError("bytes_per_sample must be non-negative")
+        bits = bytes_per_sample * 8.0
+        return bits / (self.bandwidth_mbps * 1e6)
+
+    def model_transfer_time(self, model_bytes: float) -> float:
+        """Seconds to upload or download a (sub)model of the given size."""
+        if model_bytes < 0:
+            raise ValueError("model_bytes must be non-negative")
+        return model_bytes * 8.0 / (self.bandwidth_mbps * 1e6)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WorkerDevice(id={self.worker_id}, profile={self.profile.name}, "
+            f"mode={self.mode}, bw={self.bandwidth_mbps:.1f}Mbps)"
+        )

@@ -1,0 +1,18 @@
+"""Shared utilities: RNG handling, logging helpers, small numeric helpers."""
+
+from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.logging import get_logger
+from repro.utils.numeric import (
+    normalize_distribution,
+    safe_divide,
+    moving_average,
+)
+
+__all__ = [
+    "new_rng",
+    "spawn_rngs",
+    "get_logger",
+    "normalize_distribution",
+    "safe_divide",
+    "moving_average",
+]

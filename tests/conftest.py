@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.data.synthetic import make_blobs
+from repro.nn.models import build_mlp
+from repro.nn.split import split_model
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for tests."""
+    return new_rng(1234)
+
+
+@pytest.fixture
+def blobs():
+    """A tiny vector dataset (32-dim, 4 classes) for fast training tests."""
+    return make_blobs(train_samples=400, test_samples=100, seed=0)
+
+
+@pytest.fixture
+def tiny_mlp():
+    """A small MLP matching the blobs dataset."""
+    return build_mlp(input_dim=32, num_classes=4, hidden_dims=(32, 16), seed=0)
+
+
+@pytest.fixture
+def tiny_split(tiny_mlp):
+    """The tiny MLP split after its first hidden layer."""
+    return split_model(tiny_mlp, split_index=2)
+
+
+@pytest.fixture
+def fast_config() -> ExperimentConfig:
+    """A configuration that trains in well under a second."""
+    return ExperimentConfig(
+        algorithm="mergesfl",
+        dataset="blobs",
+        model="mlp",
+        num_workers=5,
+        num_rounds=3,
+        local_iterations=3,
+        non_iid_level=2.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=300,
+        test_samples=80,
+        learning_rate=0.1,
+        seed=3,
+    )

@@ -1,0 +1,174 @@
+"""Tests for the control module (Alg. 1) and the split training engine."""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.controller import ControlContext, ControlModule, RoundPlan
+from repro.core.divergence import iid_distribution
+from repro.core.engine import SplitTrainingEngine
+from repro.core.mergesfl import MergeSFL, MergeSFLPolicy
+from repro.baselines.policies import FixedBatchPolicy
+from repro.experiments.runner import build_components, build_algorithm
+from repro.utils.rng import new_rng
+
+
+def _context(num_workers=6, num_classes=4, seed=0, budget=None):
+    rng = new_rng(seed)
+    durations = rng.uniform(0.05, 0.5, size=num_workers)
+    dists = rng.dirichlet([0.3] * num_classes, size=num_workers)
+    batch_budget = budget if budget is not None else 0.6 * num_workers * 16
+    return ControlContext(
+        round_index=0,
+        per_sample_durations=durations,
+        label_distributions=dists,
+        participation_counts=np.zeros(num_workers),
+        bandwidth_budget=batch_budget,
+        bandwidth_per_sample=1.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        rng=rng,
+    )
+
+
+class TestControlModule:
+    def test_plan_structure(self):
+        control = ControlModule()
+        plan = control.plan_round(_context())
+        assert isinstance(plan, RoundPlan)
+        assert plan.selected == sorted(plan.selected)
+        assert set(plan.batch_sizes) == set(plan.selected)
+        assert all(size >= 1 for size in plan.batch_sizes.values())
+
+    def test_respects_bandwidth_budget(self):
+        context = _context(budget=30.0)
+        plan = ControlModule().plan_round(context)
+        assert plan.total_batch <= 30.0 * (1 + 1e-6)
+
+    def test_regulation_gives_fast_workers_larger_batches(self):
+        context = _context()
+        plan = ControlModule(enable_selection=False, enable_finetune=False).plan_round(context)
+        durations = context.per_sample_durations
+        fastest = int(np.argmin(durations))
+        slowest = int(np.argmax(durations))
+        assert plan.batch_sizes[fastest] >= plan.batch_sizes[slowest]
+
+    def test_disable_regulation_uses_base_batch(self):
+        context = _context()
+        control = ControlModule(
+            enable_regulation=False, enable_selection=False, enable_finetune=False
+        )
+        plan = control.plan_round(context)
+        assert all(size == 8 for size in plan.batch_sizes.values())
+
+    def test_disable_selection_selects_everyone(self):
+        context = _context()
+        plan = ControlModule(enable_selection=False, enable_finetune=False).plan_round(context)
+        assert plan.selected == list(range(6))
+
+    def test_merged_kl_reported(self):
+        plan = ControlModule().plan_round(_context())
+        assert plan.merged_kl >= 0.0
+
+    def test_greedy_selection_variant(self):
+        plan = ControlModule(use_greedy=True).plan_round(_context())
+        assert len(plan.selected) >= 1
+
+    def test_total_batch_property(self):
+        plan = RoundPlan(selected=[0, 1], batch_sizes={0: 4, 1: 6})
+        assert plan.total_batch == 10
+
+
+class TestMergeSFLPolicy:
+    def test_no_br_variant_uses_identical_batches(self, fast_config):
+        policy = MergeSFLPolicy(fast_config, enable_regulation=False)
+        plan = policy.plan_round(_context())
+        sizes = set(plan.batch_sizes.values())
+        assert len(sizes) == 1
+
+    def test_no_fm_variant_disables_merging(self, fast_config):
+        policy = MergeSFLPolicy(fast_config, enable_merging=False)
+        assert policy.merge_features is False
+
+    def test_default_flags(self, fast_config):
+        policy = MergeSFLPolicy(fast_config)
+        assert policy.merge_features is True
+        assert policy.aggregate_every_iteration is False
+
+
+class TestSplitTrainingEngine:
+    def test_history_has_one_record_per_round(self, fast_config):
+        components = build_components(fast_config)
+        algorithm = build_algorithm(components)
+        history = algorithm.run()
+        assert len(history) == fast_config.num_rounds
+        assert history.records[0].round_index == 0
+
+    def test_clock_and_traffic_monotone(self, fast_config):
+        components = build_components(fast_config)
+        history = build_algorithm(components).run()
+        times = history.times
+        traffic = history.traffic
+        assert all(a < b for a, b in zip(times, times[1:]))
+        assert all(a <= b for a, b in zip(traffic, traffic[1:]))
+
+    def test_training_improves_accuracy(self, fast_config):
+        config = fast_config.replace(num_rounds=5, non_iid_level=0.0)
+        history = build_algorithm(build_components(config)).run()
+        assert history.accuracies[-1] > 0.5
+
+    def test_global_model_combines_halves(self, fast_config):
+        components = build_components(fast_config)
+        algorithm = build_algorithm(components)
+        algorithm.run()
+        model = algorithm.engine.global_model()
+        out = model.forward(components.data.test.data[:4])
+        assert out.shape == (4, components.data.num_classes)
+
+    def test_splitfed_aggregates_every_iteration_costs_more_traffic(self, fast_config):
+        loc = build_algorithm(build_components(fast_config.replace(algorithm="locfedmix_sl"))).run()
+        sf = build_algorithm(build_components(fast_config.replace(algorithm="splitfed"))).run()
+        assert sf.records[-1].traffic_mb > loc.records[-1].traffic_mb
+
+    def test_engine_rejects_empty_selection(self, fast_config):
+        components = build_components(fast_config)
+
+        class EmptyPolicy:
+            merge_features = False
+            aggregate_every_iteration = False
+
+            def plan_round(self, context):
+                return RoundPlan(selected=[], batch_sizes={})
+
+        engine = SplitTrainingEngine(
+            config=fast_config,
+            split=components.split,
+            workers=components.workers,
+            cluster=components.cluster,
+            data=components.data,
+            policy=EmptyPolicy(),
+        )
+        with pytest.raises(RuntimeError):
+            engine.run(1)
+
+    def test_participation_counts_increase(self, fast_config):
+        components = build_components(fast_config)
+        algorithm = build_algorithm(components)
+        algorithm.run()
+        counts = [worker.participation_count for worker in components.workers]
+        assert sum(counts) > 0
+
+
+class TestMergeSFLFacade:
+    def test_run_returns_history(self, fast_config):
+        components = build_components(fast_config)
+        mergesfl = MergeSFL(
+            config=fast_config,
+            split=components.split,
+            workers=components.workers,
+            cluster=components.cluster,
+            data=components.data,
+            bandwidth_budget_override=components.bandwidth_budget,
+        )
+        history = mergesfl.run(2)
+        assert len(history) == 2

@@ -1,0 +1,135 @@
+"""Tests for KL divergence, mixed label distributions and batch regulation."""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import (
+    occupied_bandwidth,
+    regulate_batch_sizes,
+    scale_to_bandwidth,
+)
+from repro.core.divergence import (
+    iid_distribution,
+    kl_divergence,
+    mixed_label_distribution,
+)
+
+
+class TestKLDivergence:
+    def test_zero_for_identical_distributions(self):
+        phi = np.array([0.2, 0.3, 0.5])
+        assert kl_divergence(phi, phi) == pytest.approx(0.0, abs=1e-9)
+
+    def test_positive_for_different_distributions(self):
+        assert kl_divergence([0.9, 0.1], [0.5, 0.5]) > 0.0
+
+    def test_asymmetric(self):
+        a, b = np.array([0.8, 0.2]), np.array([0.3, 0.7])
+        assert kl_divergence(a, b) != pytest.approx(kl_divergence(b, a))
+
+    def test_handles_zero_entries(self):
+        value = kl_divergence([1.0, 0.0], [0.5, 0.5])
+        assert np.isfinite(value) and value > 0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            kl_divergence([0.5, 0.5], [1.0, 0.0, 0.0])
+
+
+class TestIidAndMixedDistributions:
+    def test_iid_distribution_is_mean(self):
+        dists = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert np.allclose(iid_distribution(dists), [0.5, 0.5])
+
+    def test_mixed_distribution_weights_by_batch_size(self):
+        dists = np.array([[1.0, 0.0], [0.0, 1.0]])
+        batch_sizes = np.array([3, 1])
+        phi = mixed_label_distribution(dists, batch_sizes, [0, 1])
+        assert np.allclose(phi, [0.75, 0.25])
+
+    def test_mixed_distribution_subset_only(self):
+        dists = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        phi = mixed_label_distribution(dists, np.array([4, 4, 4]), [2])
+        assert np.allclose(phi, [0.5, 0.5])
+
+    def test_empty_selection_gives_uniform(self):
+        dists = np.array([[1.0, 0.0], [0.0, 1.0]])
+        phi = mixed_label_distribution(dists, np.array([1, 1]), [])
+        assert np.allclose(phi, 0.5)
+
+    def test_merging_skewed_workers_approaches_iid(self):
+        # Complementary one-class workers, equal batches -> exactly IID.
+        dists = np.eye(4)
+        phi = mixed_label_distribution(dists, np.full(4, 8), list(range(4)))
+        target = iid_distribution(dists)
+        assert kl_divergence(phi, target) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBatchRegulation:
+    def test_fastest_worker_gets_max_batch(self):
+        durations = np.array([0.1, 0.2, 0.4])
+        sizes = regulate_batch_sizes(durations, max_batch_size=32)
+        assert sizes[0] == 32
+
+    def test_eq9_floor_rule(self):
+        durations = np.array([0.1, 0.25])
+        sizes = regulate_batch_sizes(durations, max_batch_size=10)
+        assert sizes[1] == int(np.floor(10 * 0.1 / 0.25))
+
+    def test_durations_aligned_after_regulation(self):
+        durations = np.array([0.05, 0.1, 0.2, 0.4])
+        sizes = regulate_batch_sizes(durations, max_batch_size=64)
+        per_worker_time = sizes * durations
+        assert per_worker_time.max() / per_worker_time.min() < 1.5
+
+    def test_minimum_batch_enforced(self):
+        durations = np.array([0.001, 10.0])
+        sizes = regulate_batch_sizes(durations, max_batch_size=16)
+        assert sizes[1] >= 1
+
+    def test_invalid_durations(self):
+        with pytest.raises(ValueError):
+            regulate_batch_sizes(np.array([0.0, 1.0]), 16)
+
+    def test_empty_input(self):
+        assert regulate_batch_sizes(np.array([]), 16).size == 0
+
+
+class TestBandwidthScaling:
+    def test_scales_up_to_fill_budget(self):
+        sizes = np.array([4, 4, 4])
+        scaled = scale_to_bandwidth(
+            sizes, [0, 1, 2], bandwidth_per_sample=1.0,
+            bandwidth_budget=24.0, max_batch_size=16,
+        )
+        assert scaled.sum() > sizes.sum()
+        assert occupied_bandwidth(scaled, [0, 1, 2], 1.0) <= 24.0
+
+    def test_scales_down_when_over_budget(self):
+        sizes = np.array([16, 16])
+        scaled = scale_to_bandwidth(
+            sizes, [0, 1], bandwidth_per_sample=1.0,
+            bandwidth_budget=10.0, max_batch_size=16,
+        )
+        assert occupied_bandwidth(scaled, [0, 1], 1.0) <= 10.0
+        assert np.all(scaled >= 1)
+
+    def test_respects_per_worker_cap(self):
+        sizes = np.array([4])
+        scaled = scale_to_bandwidth(
+            sizes, [0], bandwidth_per_sample=1.0,
+            bandwidth_budget=1000.0, max_batch_size=16,
+        )
+        assert scaled[0] <= 16
+
+    def test_unselected_workers_untouched(self):
+        sizes = np.array([4, 8])
+        scaled = scale_to_bandwidth(
+            sizes, [0], bandwidth_per_sample=1.0,
+            bandwidth_budget=100.0, max_batch_size=16,
+        )
+        assert scaled[1] == 8
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            scale_to_bandwidth(np.array([1]), [0], 1.0, 0.0, 16)

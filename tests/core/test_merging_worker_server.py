@@ -1,0 +1,192 @@
+"""Tests for feature merging, gradient dispatching, workers and the server."""
+
+import numpy as np
+import pytest
+
+from repro.core.merging import FeatureMerger
+from repro.core.server import SplitServer
+from repro.core.worker import SplitWorker
+from repro.data.synthetic import make_blobs
+from repro.exceptions import ShapeError
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import build_mlp
+from repro.nn.split import split_model
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture
+def merger():
+    return FeatureMerger()
+
+
+class TestFeatureMerger:
+    def test_merge_concatenates_in_worker_order(self, merger):
+        feats = [np.ones((2, 4)), np.zeros((3, 4))]
+        labels = [np.array([0, 1]), np.array([2, 2, 2])]
+        merged = merger.merge([7, 9], feats, labels)
+        assert merged.total_samples == 5
+        assert merged.worker_ids == [7, 9]
+        assert merged.segment_sizes == [2, 3]
+        assert np.allclose(merged.features[:2], 1.0)
+        assert np.allclose(merged.features[2:], 0.0)
+
+    def test_dispatch_inverts_merge(self, merger):
+        feats = [np.ones((2, 4)), np.zeros((3, 4))]
+        labels = [np.array([0, 1]), np.array([2, 2, 2])]
+        merged = merger.merge([1, 2], feats, labels)
+        gradient = np.arange(20, dtype=np.float64).reshape(5, 4)
+        segments = merger.dispatch(merged, gradient)
+        assert np.allclose(np.concatenate([segments[1], segments[2]]), gradient)
+        assert segments[1].shape == (2, 4)
+        assert segments[2].shape == (3, 4)
+
+    def test_merge_rejects_empty(self, merger):
+        with pytest.raises(ShapeError):
+            merger.merge([], [], [])
+
+    def test_merge_rejects_feature_label_mismatch(self, merger):
+        with pytest.raises(ShapeError):
+            merger.merge([0], [np.ones((2, 4))], [np.array([1])])
+
+    def test_merge_rejects_inconsistent_feature_shapes(self, merger):
+        with pytest.raises(ShapeError):
+            merger.merge(
+                [0, 1], [np.ones((2, 4)), np.ones((2, 5))],
+                [np.zeros(2, dtype=int), np.zeros(2, dtype=int)],
+            )
+
+    def test_dispatch_rejects_wrong_batch(self, merger):
+        merged = merger.merge([0], [np.ones((2, 4))], [np.array([0, 1])])
+        with pytest.raises(ShapeError):
+            merger.dispatch(merged, np.ones((3, 4)))
+
+
+def _worker(worker_id=0, samples=60, seed=0):
+    data = make_blobs(train_samples=samples, test_samples=10, seed=seed)
+    return SplitWorker(worker_id, data.train, num_classes=4, seed=seed), data
+
+
+class TestSplitWorker:
+    def test_label_distribution_sums_to_one(self):
+        worker, __ = _worker()
+        dist = worker.local_label_distribution()
+        assert dist.shape == (4,)
+        assert np.isclose(dist.sum(), 1.0)
+
+    def test_forward_requires_model(self):
+        worker, __ = _worker()
+        with pytest.raises(RuntimeError):
+            worker.forward_batch(4)
+
+    def test_forward_backward_updates_bottom(self, tiny_mlp):
+        worker, __ = _worker()
+        split = split_model(tiny_mlp, 2)
+        worker.receive_bottom_model(split.bottom, learning_rate=0.1)
+        before = worker.bottom_state()
+        features, labels = worker.forward_batch(8)
+        assert features.shape[0] == 8 and labels.shape == (8,)
+        worker.backward_and_step(np.ones_like(features))
+        after = worker.bottom_state()
+        assert any(
+            not np.allclose(before[key], after[key]) for key in before
+        )
+
+    def test_backward_batch_mismatch_raises(self, tiny_mlp):
+        worker, __ = _worker()
+        split = split_model(tiny_mlp, 2)
+        worker.receive_bottom_model(split.bottom, learning_rate=0.1)
+        features, __labels = worker.forward_batch(8)
+        with pytest.raises(ValueError):
+            worker.backward_and_step(np.ones((4, features.shape[1])))
+
+    def test_receive_bottom_model_is_a_copy(self, tiny_mlp):
+        worker, __ = _worker()
+        split = split_model(tiny_mlp, 2)
+        worker.receive_bottom_model(split.bottom, learning_rate=0.1)
+        worker.bottom.parameters()[0].data[:] = 0.0
+        assert not np.allclose(split.bottom.parameters()[0].data, 0.0)
+
+    def test_train_full_model_reduces_loss(self, tiny_mlp):
+        worker, data = _worker(samples=200)
+        loss_fn = CrossEntropyLoss()
+        state = worker.train_full_model(
+            tiny_mlp, loss_fn, iterations=30, batch_size=32, learning_rate=0.2
+        )
+        trained = tiny_mlp.clone()
+        trained.load_state_dict(state)
+        trained.eval()
+        logits = trained.forward(data.train.data)
+        accuracy = (logits.argmax(axis=1) == data.train.targets).mean()
+        assert accuracy > 0.5
+
+
+def _server_setup(seed=0):
+    model = build_mlp(input_dim=32, num_classes=4, hidden_dims=(32, 16), seed=seed)
+    split = split_model(model, 2)
+    server = SplitServer(split.bottom, split.top, learning_rate=0.1)
+    return server, split
+
+
+class TestSplitServer:
+    def test_merged_update_returns_per_worker_gradients(self):
+        server, split = _server_setup()
+        rng = new_rng(0)
+        feats = [split.bottom.forward(rng.normal(size=(4, 32))) for __ in range(3)]
+        labels = [rng.integers(0, 4, size=4) for __ in range(3)]
+        loss, grads = server.update_top_merged([0, 1, 2], feats, labels)
+        assert loss > 0
+        assert set(grads) == {0, 1, 2}
+        assert all(grads[w].shape == feats[i].shape for i, w in enumerate([0, 1, 2]))
+
+    def test_merged_update_changes_top_parameters(self):
+        server, split = _server_setup()
+        before = server.top.state_dict()
+        rng = new_rng(0)
+        feats = [split.bottom.forward(rng.normal(size=(6, 32)))]
+        server.update_top_merged([0], feats, [rng.integers(0, 4, size=6)])
+        after = server.top.state_dict()
+        assert any(not np.allclose(before[k], after[k]) for k in before)
+
+    def test_dispatched_gradients_are_rescaled_per_worker(self):
+        # A worker's segment must equal the gradient of the loss averaged over
+        # its own samples, independent of how many other workers merged.
+        server_solo, split = _server_setup(seed=1)
+        server_pair, __ = _server_setup(seed=1)
+        rng = new_rng(3)
+        x_a = rng.normal(size=(4, 32))
+        y_a = rng.integers(0, 4, size=4)
+        x_b = rng.normal(size=(8, 32))
+        y_b = rng.integers(0, 4, size=8)
+        feats_a = split.bottom.forward(x_a)
+        feats_b = split.bottom.forward(x_b)
+        __, solo = server_solo.update_top_merged([0], [feats_a], [y_a])
+        __, pair = server_pair.update_top_merged([0, 1], [feats_a, feats_b], [y_a, y_b])
+        assert np.allclose(solo[0], pair[0], atol=1e-9)
+
+    def test_per_worker_update_path(self):
+        server, split = _server_setup()
+        rng = new_rng(0)
+        feats = [split.bottom.forward(rng.normal(size=(4, 32))) for __ in range(2)]
+        labels = [rng.integers(0, 4, size=4) for __ in range(2)]
+        loss, grads = server.update_top_per_worker([5, 6], feats, labels)
+        assert loss > 0 and set(grads) == {5, 6}
+
+    def test_aggregate_bottoms_weighted(self):
+        server, split = _server_setup()
+        state_a = {k: np.zeros_like(v) for k, v in split.bottom.state_dict().items()}
+        state_b = {k: np.ones_like(v) for k, v in split.bottom.state_dict().items()}
+        server.aggregate_bottoms([state_a, state_b], weights=[1.0, 3.0])
+        aggregated = server.global_bottom.state_dict()
+        assert all(np.allclose(v, 0.75) for v in aggregated.values())
+
+    def test_evaluate_returns_accuracy_and_loss(self):
+        server, __ = _server_setup()
+        data = make_blobs(train_samples=10, test_samples=40, seed=0)
+        accuracy, loss = server.evaluate(data.test.data, data.test.targets)
+        assert 0.0 <= accuracy <= 1.0
+        assert loss > 0
+
+    def test_set_learning_rate(self):
+        server, __ = _server_setup()
+        server.set_learning_rate(0.01)
+        assert server.top_optimizer.lr == 0.01

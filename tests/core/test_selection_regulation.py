@@ -1,0 +1,159 @@
+"""Tests for priorities, GA/greedy worker selection and batch fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.batching import occupied_bandwidth
+from repro.core.divergence import iid_distribution, kl_divergence, mixed_label_distribution
+from repro.core.regulation import finetune_batch_sizes
+from repro.core.selection import genetic_select, greedy_select, selection_priorities
+from repro.exceptions import SelectionError
+from repro.utils.rng import new_rng
+
+
+def _skewed_problem(num_workers=8, num_classes=4, seed=0):
+    """Workers that each hold (mostly) one class."""
+    rng = new_rng(seed)
+    dists = np.zeros((num_workers, num_classes))
+    for worker in range(num_workers):
+        dists[worker, worker % num_classes] = 0.9
+        dists[worker, (worker + 1) % num_classes] = 0.1
+    batch_sizes = rng.integers(4, 17, size=num_workers)
+    target = iid_distribution(dists)
+    return dists, batch_sizes, target
+
+
+class TestPriorities:
+    def test_eq13_formula(self):
+        counts = np.array([0.0, 1.0, 3.0])
+        priorities = selection_priorities(counts)
+        total = (counts + 1).sum()
+        assert np.allclose(priorities, total / (counts + 1))
+
+    def test_less_frequent_workers_have_higher_priority(self):
+        priorities = selection_priorities(np.array([0.0, 5.0]))
+        assert priorities[0] > priorities[1]
+
+    def test_negative_counts_raise(self):
+        with pytest.raises(ValueError):
+            selection_priorities(np.array([-1.0]))
+
+
+class TestGeneticSelect:
+    def test_selects_feasible_low_kl_set(self):
+        dists, batch_sizes, target = _skewed_problem()
+        budget = 0.7 * batch_sizes.sum()
+        result = genetic_select(
+            batch_sizes, dists, target, bandwidth_per_sample=1.0,
+            bandwidth_budget=budget, rng=new_rng(0),
+        )
+        assert result.feasible
+        assert len(result.selected) >= 1
+        used = occupied_bandwidth(batch_sizes, result.selected, 1.0)
+        assert used <= budget * (1 + 1e-9)
+
+    def test_beats_random_selection_on_kl(self):
+        dists, batch_sizes, target = _skewed_problem(num_workers=12)
+        budget = 0.5 * batch_sizes.sum()
+        result = genetic_select(
+            batch_sizes, dists, target, 1.0, budget, rng=new_rng(1),
+            generations=20,
+        )
+        rng = new_rng(2)
+        random_kls = []
+        for __ in range(20):
+            subset = rng.choice(12, size=6, replace=False)
+            phi = mixed_label_distribution(dists, batch_sizes, subset)
+            random_kls.append(kl_divergence(phi, target))
+        assert result.kl <= np.median(random_kls)
+
+    def test_deterministic_given_rng(self):
+        dists, batch_sizes, target = _skewed_problem()
+        a = genetic_select(batch_sizes, dists, target, 1.0, 40, rng=new_rng(3))
+        b = genetic_select(batch_sizes, dists, target, 1.0, 40, rng=new_rng(3))
+        assert np.array_equal(a.selected, b.selected)
+
+    def test_priority_seed_prefers_rare_workers(self):
+        dists, batch_sizes, target = _skewed_problem()
+        priorities = np.ones(8)
+        priorities[0] = 100.0  # worker 0 almost never participated
+        result = genetic_select(
+            batch_sizes, dists, target, 1.0, 0.8 * batch_sizes.sum(),
+            priorities=priorities, rng=new_rng(0),
+        )
+        assert 0 in result.selected
+
+    def test_zero_workers_raises(self):
+        with pytest.raises(SelectionError):
+            genetic_select(np.array([], dtype=int), np.zeros((0, 2)), np.array([0.5, 0.5]), 1.0, 10)
+
+    def test_mismatched_inputs_raise(self):
+        with pytest.raises(SelectionError):
+            genetic_select(np.array([1, 2]), np.zeros((3, 2)), np.array([0.5, 0.5]), 1.0, 10)
+
+
+class TestGreedySelect:
+    def test_selects_at_least_one_worker(self):
+        dists, batch_sizes, target = _skewed_problem()
+        result = greedy_select(batch_sizes, dists, target, 1.0, batch_sizes.sum())
+        assert len(result.selected) >= 1
+
+    def test_respects_budget(self):
+        dists, batch_sizes, target = _skewed_problem()
+        budget = 0.4 * batch_sizes.sum()
+        result = greedy_select(batch_sizes, dists, target, 1.0, budget)
+        assert occupied_bandwidth(batch_sizes, result.selected, 1.0) <= budget
+
+
+class TestFinetuneBatchSizes:
+    def test_no_change_when_already_within_threshold(self):
+        dists = np.tile(np.array([0.25, 0.25, 0.25, 0.25]), (4, 1))
+        batch_sizes = np.array([8, 8, 8, 8])
+        target = iid_distribution(dists)
+        tuned = finetune_batch_sizes(
+            batch_sizes, [0, 1, 2, 3], dists, target,
+            per_sample_durations=np.full(4, 0.1),
+            kl_threshold=0.05, max_batch_size=16,
+        )
+        assert np.array_equal(tuned, batch_sizes)
+
+    def test_reduces_kl_below_threshold_when_possible(self):
+        # Two one-class workers with unbalanced batches: rebalancing fixes KL.
+        dists = np.array([[1.0, 0.0], [0.0, 1.0]])
+        batch_sizes = np.array([12, 4])
+        target = np.array([0.5, 0.5])
+        tuned = finetune_batch_sizes(
+            batch_sizes, [0, 1], dists, target,
+            per_sample_durations=np.array([0.1, 0.1]),
+            kl_threshold=0.01, max_batch_size=16,
+        )
+        phi = mixed_label_distribution(dists, tuned, [0, 1])
+        assert kl_divergence(phi, target) <= 0.05
+
+    def test_respects_bounds(self):
+        dists = np.array([[1.0, 0.0], [0.0, 1.0], [0.8, 0.2]])
+        batch_sizes = np.array([16, 2, 10])
+        target = np.array([0.5, 0.5])
+        tuned = finetune_batch_sizes(
+            batch_sizes, [0, 1, 2], dists, target,
+            per_sample_durations=np.array([0.1, 0.3, 0.2]),
+            kl_threshold=0.02, max_batch_size=16,
+        )
+        assert np.all(tuned >= 1) and np.all(tuned <= 16)
+
+    def test_returns_integers(self):
+        dists = np.array([[0.7, 0.3], [0.2, 0.8]])
+        tuned = finetune_batch_sizes(
+            np.array([10, 10]), [0, 1], dists, np.array([0.5, 0.5]),
+            per_sample_durations=np.array([0.1, 0.1]),
+            kl_threshold=0.001, max_batch_size=16,
+        )
+        assert tuned.dtype == np.int64
+
+    def test_empty_selection_is_noop(self):
+        tuned = finetune_batch_sizes(
+            np.array([4, 4]), [], np.eye(2), np.array([0.5, 0.5]),
+            per_sample_durations=np.array([0.1, 0.1]),
+            kl_threshold=0.01, max_batch_size=8,
+        )
+        assert np.array_equal(tuned, [4, 4])

@@ -1,0 +1,50 @@
+"""Tests for the batch loader."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import BatchLoader
+from repro.data.synthetic import make_blobs
+
+
+@pytest.fixture
+def loader():
+    data = make_blobs(train_samples=50, test_samples=10, seed=0)
+    return BatchLoader(data.train, seed=0)
+
+
+class TestBatchLoader:
+    def test_batch_shapes(self, loader):
+        data, labels = loader.next_batch(8)
+        assert data.shape == (8, 32)
+        assert labels.shape == (8,)
+
+    def test_batch_larger_than_shard_is_clamped(self, loader):
+        data, __ = loader.next_batch(500)
+        assert data.shape[0] == 50
+
+    def test_batch_size_can_change_between_calls(self, loader):
+        assert loader.next_batch(4)[0].shape[0] == 4
+        assert loader.next_batch(16)[0].shape[0] == 16
+
+    def test_cycles_through_whole_dataset(self, loader):
+        seen = set()
+        for __ in range(10):
+            data, __labels = loader.next_batch(5)
+            for row in data:
+                seen.add(tuple(np.round(row[:3], 6)))
+        assert len(seen) == 50
+
+    def test_invalid_batch_size(self, loader):
+        with pytest.raises(ValueError):
+            loader.next_batch(0)
+
+    def test_eval_batches_cover_dataset_in_order(self, loader):
+        total = sum(batch.shape[0] for batch, __ in loader.iter_eval_batches(16))
+        assert total == 50
+
+    def test_deterministic_given_seed(self):
+        data = make_blobs(train_samples=30, test_samples=5, seed=0)
+        first = BatchLoader(data.train, seed=7).next_batch(10)
+        second = BatchLoader(data.train, seed=7).next_batch(10)
+        assert np.allclose(first[0], second[0])

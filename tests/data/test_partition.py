@@ -1,0 +1,105 @@
+"""Tests for IID/Dirichlet partitioning and label distributions."""
+
+import numpy as np
+import pytest
+
+from repro.data.partition import (
+    dirichlet_partition,
+    iid_partition,
+    label_distribution,
+    non_iid_level_to_alpha,
+    partition_dataset,
+)
+from repro.data.synthetic import make_blobs
+from repro.utils.rng import new_rng
+
+
+def _coverage(shards, total):
+    merged = np.concatenate(shards)
+    return len(merged) == total and len(np.unique(merged)) == total
+
+
+class TestNonIidLevel:
+    def test_zero_means_iid(self):
+        assert non_iid_level_to_alpha(0) is None
+
+    def test_reciprocal_mapping(self):
+        assert non_iid_level_to_alpha(10) == pytest.approx(0.1)
+        assert non_iid_level_to_alpha(0.5) == pytest.approx(2.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            non_iid_level_to_alpha(-1)
+
+
+class TestIidPartition:
+    def test_covers_all_samples_without_overlap(self):
+        targets = np.arange(103) % 5
+        shards = iid_partition(targets, 7, new_rng(0))
+        assert len(shards) == 7
+        assert _coverage(shards, 103)
+
+    def test_shard_sizes_balanced(self):
+        shards = iid_partition(np.zeros(100, dtype=int), 4, new_rng(0))
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestDirichletPartition:
+    def test_covers_all_samples_without_overlap(self):
+        targets = np.repeat(np.arange(5), 40)
+        shards = dirichlet_partition(targets, 6, alpha=0.3, rng=new_rng(0))
+        assert _coverage(shards, 200)
+
+    def test_minimum_shard_size_respected(self):
+        targets = np.repeat(np.arange(4), 50)
+        shards = dirichlet_partition(
+            targets, 8, alpha=0.05, rng=new_rng(1), min_samples=2
+        )
+        assert min(len(s) for s in shards) >= 2
+
+    def test_small_alpha_gives_more_skew_than_large_alpha(self):
+        targets = np.repeat(np.arange(5), 100)
+        skewed = dirichlet_partition(targets, 10, alpha=0.05, rng=new_rng(0))
+        uniform = dirichlet_partition(targets, 10, alpha=100.0, rng=new_rng(0))
+
+        def mean_entropy(shards):
+            entropies = []
+            for shard in shards:
+                dist = label_distribution(targets, shard, 5)
+                entropies.append(-np.sum(dist * np.log(dist + 1e-12)))
+            return np.mean(entropies)
+
+        assert mean_entropy(skewed) < mean_entropy(uniform)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(10, dtype=int), 0, alpha=1.0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(np.zeros(10, dtype=int), 2, alpha=0.0)
+
+
+class TestPartitionDataset:
+    def test_iid_level_zero_uses_even_split(self):
+        data = make_blobs(train_samples=120, test_samples=10, seed=0)
+        shards = partition_dataset(data.train, 6, non_iid_level=0.0, seed=0)
+        sizes = [len(s) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_given_seed(self):
+        data = make_blobs(train_samples=120, test_samples=10, seed=0)
+        a = partition_dataset(data.train, 5, non_iid_level=5.0, seed=3)
+        b = partition_dataset(data.train, 5, non_iid_level=5.0, seed=3)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestLabelDistribution:
+    def test_sums_to_one(self):
+        targets = np.array([0, 0, 1, 2, 2, 2])
+        dist = label_distribution(targets, np.arange(6), 3)
+        assert np.isclose(dist.sum(), 1.0)
+        assert np.allclose(dist, [2 / 6, 1 / 6, 3 / 6])
+
+    def test_empty_indices_give_uniform(self):
+        dist = label_distribution(np.array([0, 1]), np.array([], dtype=int), 4)
+        assert np.allclose(dist, 0.25)

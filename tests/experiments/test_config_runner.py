@@ -1,0 +1,118 @@
+"""Tests for ExperimentConfig and the experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.config import KNOWN_ALGORITHMS, ExperimentConfig
+from repro.exceptions import ConfigurationError
+from repro.experiments.reporting import format_comparison, format_table
+from repro.experiments.runner import (
+    build_components,
+    build_model_for,
+    run_experiment,
+)
+from repro.metrics.summary import compare_histories
+
+
+class TestExperimentConfig:
+    def test_defaults_are_valid(self):
+        config = ExperimentConfig()
+        assert config.algorithm == "mergesfl"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(algorithm="sgd")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="mnist")
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(num_workers=0)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(learning_rate=-0.1)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(non_iid_level=-1)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(lr_decay=1.5)
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(max_grad_norm=0.0)
+
+    def test_dict_roundtrip(self):
+        config = ExperimentConfig(dataset="har", model="cnn_h", num_workers=7)
+        clone = ExperimentConfig.from_dict(config.to_dict())
+        assert clone == config
+
+    def test_from_dict_collects_unknown_keys_into_extras(self):
+        config = ExperimentConfig.from_dict({"dataset": "blobs", "model": "mlp",
+                                             "mystery_knob": 3})
+        assert config.extras["mystery_knob"] == 3
+
+    def test_replace(self):
+        config = ExperimentConfig()
+        changed = config.replace(num_rounds=99)
+        assert changed.num_rounds == 99
+        assert config.num_rounds != 99
+
+    def test_all_known_algorithms_construct(self):
+        for algorithm in KNOWN_ALGORITHMS:
+            ExperimentConfig(algorithm=algorithm)
+
+
+class TestRunnerAssembly:
+    def test_build_components_shapes(self, fast_config):
+        components = build_components(fast_config)
+        assert len(components.workers) == fast_config.num_workers
+        assert len(components.cluster) == fast_config.num_workers
+        assert components.bandwidth_budget > 0
+        total = sum(worker.num_samples for worker in components.workers)
+        assert total == fast_config.train_samples
+
+    def test_build_model_for_matches_dataset(self, fast_config):
+        components = build_components(fast_config)
+        model = build_model_for(fast_config, components.data)
+        out = model.forward(components.data.test.data[:2])
+        assert out.shape == (2, components.data.num_classes)
+
+    def test_mismatched_model_dataset_rejected(self):
+        config = ExperimentConfig(dataset="blobs", model="alexnet_s")
+        with pytest.raises(ConfigurationError):
+            build_components(config)
+
+    def test_explicit_bandwidth_budget(self, fast_config):
+        config = fast_config.replace(extras={"auto_budget": False},
+                                     bandwidth_budget_mbps=42.0)
+        components = build_components(config)
+        assert components.bandwidth_budget == 42.0
+
+    def test_run_experiment_deterministic(self, fast_config):
+        first = run_experiment(fast_config)
+        second = run_experiment(fast_config)
+        assert np.allclose(first.accuracies, second.accuracies)
+        assert np.allclose(first.times, second.times)
+
+    def test_run_experiment_different_seeds_differ(self, fast_config):
+        first = run_experiment(fast_config)
+        second = run_experiment(fast_config.replace(seed=99))
+        # A different seed changes the cluster, partition and initial model,
+        # so the simulated timeline and losses must differ (accuracy may
+        # saturate on the easy smoke-test task).
+        times_differ = not np.allclose(first.times, second.times)
+        losses_differ = not np.allclose(
+            [r.test_loss for r in first.records],
+            [r.test_loss for r in second.records],
+        )
+        assert times_differ or losses_differ
+
+
+class TestReporting:
+    def test_format_table_contains_cells(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in text and "2.5" in text and "x" in text and "-" in text
+
+    def test_format_comparison_renders_all_rows(self, fast_config):
+        history = run_experiment(fast_config)
+        table = compare_histories({"mergesfl": history})
+        text = format_comparison(table, title="cmp")
+        assert "mergesfl" in text and "final_acc" in text

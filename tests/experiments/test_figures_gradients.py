@@ -1,0 +1,105 @@
+"""Tests for the per-figure entry points and the Fig. 4 gradient analysis."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs
+from repro.experiments import figures
+from repro.experiments.gradients import compare_gradient_directions
+from repro.nn.models import build_mlp
+from repro.nn.split import split_model
+from repro.utils.rng import new_rng
+
+#: Overrides that make figure entry points fast enough for unit tests.
+TINY = {
+    "num_workers": 4,
+    "num_rounds": 2,
+    "local_iterations": 2,
+    "train_samples": 200,
+    "test_samples": 60,
+    "model_width": 0.25,
+}
+
+
+def _skewed_batches(num_workers=4, batch=8, seed=0):
+    data = make_blobs(train_samples=400, test_samples=50, seed=seed)
+    rng = new_rng(seed)
+    batches = []
+    for worker in range(num_workers):
+        cls = worker % data.num_classes
+        pool = np.flatnonzero(data.train.targets == cls)
+        picked = rng.choice(pool, size=batch, replace=False)
+        batches.append((data.train.data[picked], data.train.targets[picked]))
+    return batches
+
+
+class TestGradientComparison:
+    def test_merged_gradient_aligns_better_than_sequential(self, tiny_mlp):
+        split = split_model(tiny_mlp, 2)
+        result = compare_gradient_directions(split, _skewed_batches())
+        assert -1.0 <= result.cosine_t <= 1.0
+        assert result.cosine_fm >= result.cosine_t - 1e-9
+        assert result.cosine_fm > 0.95
+
+    def test_pca_points_are_2d(self, tiny_mlp):
+        split = split_model(tiny_mlp, 2)
+        result = compare_gradient_directions(split, _skewed_batches())
+        assert {"sgd", "sfl_fm", "sfl_t"} <= set(result.pca_points)
+        assert all(point.shape == (2,) for point in result.pca_points.values())
+
+    def test_bottom_cosines_one_per_worker(self, tiny_mlp):
+        split = split_model(tiny_mlp, 2)
+        result = compare_gradient_directions(split, _skewed_batches(num_workers=3))
+        assert len(result.bottom_cosines) == 3
+
+    def test_requires_two_batches(self, tiny_mlp):
+        split = split_model(tiny_mlp, 2)
+        with pytest.raises(ValueError):
+            compare_gradient_directions(split, _skewed_batches(num_workers=1))
+
+
+class TestFigureEntryPoints:
+    def test_table2_rows(self):
+        rows = figures.table2_device_specifications()
+        assert {row["device"] for row in rows} == {
+            "jetson_tx2", "jetson_nx", "jetson_agx",
+        }
+        assert all(row["memory_gb"] > 0 for row in rows)
+
+    def test_figure2_3_motivation_rows(self):
+        result = figures.figure2_3_motivation(dataset="har", **TINY)
+        assert {row["variant"] for row in result["rows"]} == set(figures.MOTIVATION_VARIANTS)
+        assert all(row["total_time_s"] > 0 for row in result["rows"])
+
+    def test_figure4_runs_on_cifar_analogue(self):
+        result = figures.figure4_gradient_directions(num_workers=3, batch_size=8,
+                                                     model_width=0.25)
+        assert result.cosine_fm > result.cosine_t - 1e-9
+
+    def test_figure6_structure(self):
+        result = figures.figure6_iid_accuracy(datasets=("har",), **TINY)
+        assert "har" in result
+        assert set(result["har"]["histories"]) == set(figures.FIVE_APPROACHES)
+
+    def test_figure10_rows_cover_levels_and_approaches(self):
+        result = figures.figure10_noniid_levels(
+            dataset="har", levels=(0.0, 10.0),
+            approaches=("mergesfl", "fedavg"), **TINY,
+        )
+        rows = result["rows"]
+        assert len(rows) == 4
+        assert {row["non_iid_level"] for row in rows} == {0.0, 10.0}
+
+    def test_figure11_ablation_structure(self):
+        result = figures.figure11_ablation(dataset="har", **TINY)
+        assert set(result) == {"iid", "non_iid"}
+        assert set(result["iid"]["histories"]) == {
+            "mergesfl", "mergesfl_no_fm", "mergesfl_no_br",
+        }
+
+    def test_figure12_scalability_rows(self):
+        result = figures.figure12_scalability(dataset="har", scales=(4, 6), **{
+            key: value for key, value in TINY.items() if key != "num_workers"
+        })
+        assert [row["num_workers"] for row in result["rows"]] == [4, 6]
+        assert all(row["final_accuracy"] >= 0 for row in result["rows"])

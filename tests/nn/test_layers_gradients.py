@@ -1,0 +1,175 @@
+"""Numerical gradient checks for every layer type.
+
+Each check perturbs inputs (and parameters) with central differences and
+compares against the analytic backward pass.  These are the foundation of
+the whole reproduction: split federated learning is only as correct as the
+gradients flowing through the split layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv1d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool1d,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.utils.rng import new_rng
+
+
+def numeric_input_grad(layer, x, grad_out, eps=1e-6):
+    """Central-difference gradient of sum(layer(x) * grad_out) w.r.t. x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = np.sum(layer.forward(x) * grad_out)
+        flat[index] = original - eps
+        minus = np.sum(layer.forward(x) * grad_out)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_layer(layer, x, atol=1e-5):
+    """Assert the analytic input gradient matches the numerical one."""
+    rng = new_rng(0)
+    out = layer.forward(x)
+    grad_out = rng.normal(size=out.shape)
+    analytic = layer.backward(grad_out)
+    numeric = numeric_input_grad(layer, x.copy(), grad_out)
+    assert np.allclose(analytic, numeric, atol=atol), (
+        f"{type(layer).__name__}: max err "
+        f"{np.abs(analytic - numeric).max():.2e}"
+    )
+
+
+@pytest.fixture
+def rng():
+    return new_rng(42)
+
+
+class TestInputGradients:
+    def test_linear(self, rng):
+        check_layer(Linear(6, 4, rng=rng), rng.normal(size=(3, 6)))
+
+    def test_conv2d(self, rng):
+        layer = Conv2d(2, 3, kernel_size=3, padding=1, rng=rng)
+        check_layer(layer, rng.normal(size=(2, 2, 5, 5)))
+
+    def test_conv2d_stride(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, stride=2, rng=rng)
+        check_layer(layer, rng.normal(size=(2, 1, 7, 7)))
+
+    def test_conv1d(self, rng):
+        layer = Conv1d(2, 3, kernel_size=3, padding=1, rng=rng)
+        check_layer(layer, rng.normal(size=(2, 2, 8)))
+
+    def test_maxpool2d(self, rng):
+        check_layer(MaxPool2d(2), rng.normal(size=(2, 2, 4, 4)))
+
+    def test_maxpool1d(self, rng):
+        check_layer(MaxPool1d(2), rng.normal(size=(2, 3, 8)))
+
+    def test_avgpool2d(self, rng):
+        check_layer(AvgPool2d(2), rng.normal(size=(2, 2, 4, 4)))
+
+    def test_relu(self, rng):
+        check_layer(ReLU(), rng.normal(size=(4, 7)) + 0.05)
+
+    def test_tanh(self, rng):
+        check_layer(Tanh(), rng.normal(size=(4, 7)))
+
+    def test_sigmoid(self, rng):
+        check_layer(Sigmoid(), rng.normal(size=(4, 7)))
+
+    def test_flatten(self, rng):
+        check_layer(Flatten(), rng.normal(size=(3, 2, 4, 4)))
+
+    def test_batchnorm1d_eval_mode(self, rng):
+        layer = BatchNorm1d(5)
+        layer.eval()
+        check_layer(layer, rng.normal(size=(4, 5)))
+
+    def test_batchnorm1d_train_mode(self, rng):
+        layer = BatchNorm1d(5)
+        check_layer(layer, rng.normal(size=(6, 5)), atol=1e-4)
+
+    def test_batchnorm2d_train_mode(self, rng):
+        layer = BatchNorm2d(3)
+        check_layer(layer, rng.normal(size=(2, 3, 3, 3)), atol=1e-4)
+
+
+class TestParameterGradients:
+    def test_linear_weight_grad(self, rng):
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5))
+        out = layer.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        layer.zero_grad()
+        layer.backward(grad_out)
+        analytic = layer.weight.grad.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(analytic)
+        for i in range(analytic.shape[0]):
+            for j in range(analytic.shape[1]):
+                layer.weight.data[i, j] += eps
+                plus = np.sum(layer.forward(x) * grad_out)
+                layer.weight.data[i, j] -= 2 * eps
+                minus = np.sum(layer.forward(x) * grad_out)
+                layer.weight.data[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_conv2d_weight_grad(self, rng):
+        layer = Conv2d(1, 2, kernel_size=3, rng=rng)
+        x = rng.normal(size=(2, 1, 5, 5))
+        out = layer.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        layer.zero_grad()
+        layer.backward(grad_out)
+        analytic = layer.weight.grad.copy()
+
+        eps = 1e-6
+        numeric = np.zeros_like(analytic)
+        for i in range(analytic.shape[0]):
+            for j in range(analytic.shape[1]):
+                layer.weight.data[i, j] += eps
+                plus = np.sum(layer.forward(x) * grad_out)
+                layer.weight.data[i, j] -= 2 * eps
+                minus = np.sum(layer.forward(x) * grad_out)
+                layer.weight.data[i, j] += eps
+                numeric[i, j] = (plus - minus) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_bias_grad_is_sum_of_output_grads(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(5, 3))
+        layer.forward(x)
+        grad_out = rng.normal(size=(5, 2))
+        layer.zero_grad()
+        layer.backward(grad_out)
+        assert np.allclose(layer.bias.grad, grad_out.sum(axis=0))
+
+    def test_gradients_accumulate_across_calls(self, rng):
+        layer = Linear(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        grad_out = np.ones((4, 2))
+        layer.forward(x)
+        layer.backward(grad_out)
+        once = layer.weight.grad.copy()
+        layer.forward(x)
+        layer.backward(grad_out)
+        assert np.allclose(layer.weight.grad, 2 * once)

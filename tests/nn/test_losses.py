@@ -1,0 +1,104 @@
+"""Tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.nn.losses import CrossEntropyLoss, MSELoss, one_hot, softmax
+from repro.utils.rng import new_rng
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        probs = softmax(new_rng(0).normal(size=(5, 7)))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(probs, 0.5)
+
+    def test_monotone_in_logits(self):
+        probs = softmax(np.array([[1.0, 2.0, 3.0]]))
+        assert probs[0, 2] > probs[0, 1] > probs[0, 0]
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert np.allclose(encoded, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestCrossEntropyLoss:
+    def test_uniform_logits_give_log_num_classes(self):
+        loss = CrossEntropyLoss()
+        value = loss.forward(np.zeros((4, 10)), np.arange(4) % 10)
+        assert np.isclose(value, np.log(10), atol=1e-6)
+
+    def test_perfect_prediction_has_near_zero_loss(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((3, 4), -100.0)
+        labels = np.array([0, 1, 2])
+        logits[np.arange(3), labels] = 100.0
+        assert loss.forward(logits, labels) < 1e-6
+
+    def test_gradient_matches_numeric(self):
+        rng = new_rng(0)
+        logits = rng.normal(size=(4, 5))
+        labels = rng.integers(0, 5, size=4)
+        loss = CrossEntropyLoss()
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(logits.shape[0]):
+            for j in range(logits.shape[1]):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numeric[i, j] = (
+                    CrossEntropyLoss().forward(plus, labels)
+                    - CrossEntropyLoss().forward(minus, labels)
+                ) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self):
+        loss = CrossEntropyLoss()
+        logits = new_rng(1).normal(size=(6, 3))
+        loss.forward(logits, np.zeros(6, dtype=int))
+        assert np.allclose(loss.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            CrossEntropyLoss().forward(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            CrossEntropyLoss().backward()
+
+
+class TestMSELoss:
+    def test_zero_for_equal_inputs(self):
+        loss = MSELoss()
+        x = np.ones((3, 3))
+        assert loss.forward(x, x) == 0.0
+
+    def test_value_and_gradient(self):
+        loss = MSELoss()
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        assert np.isclose(loss.forward(pred, target), 2.5)
+        assert np.allclose(loss.backward(), pred)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            MSELoss().forward(np.zeros((2, 2)), np.zeros((2, 3)))

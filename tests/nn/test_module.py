@@ -1,0 +1,108 @@
+"""Tests for Module and Sequential containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Sequential
+from repro.utils.rng import new_rng
+
+
+def _model(seed=0):
+    rng = new_rng(seed)
+    return Sequential([Linear(4, 8, rng=rng), ReLU(), Linear(8, 3, rng=rng)])
+
+
+class TestSequential:
+    def test_forward_shape(self):
+        model = _model()
+        out = model.forward(np.zeros((5, 4)))
+        assert out.shape == (5, 3)
+
+    def test_call_is_forward(self):
+        model = _model()
+        x = np.ones((2, 4))
+        assert np.allclose(model(x), model.forward(x))
+
+    def test_len_iter_getitem(self):
+        model = _model()
+        assert len(model) == 3
+        assert isinstance(model[1], ReLU)
+        assert len(list(iter(model))) == 3
+
+    def test_slicing_returns_sequential(self):
+        model = _model()
+        bottom = model[:2]
+        top = model[2:]
+        assert isinstance(bottom, Sequential)
+        assert len(bottom) == 2 and len(top) == 1
+
+    def test_parameters_collects_all(self):
+        model = _model()
+        assert len(model.parameters()) == 4  # two Linear layers x (W, b)
+
+    def test_named_parameters_are_unique(self):
+        model = _model()
+        names = [name for name, __ in model.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_state_dict_roundtrip(self):
+        model = _model(seed=0)
+        other = _model(seed=1)
+        other.load_state_dict(model.state_dict())
+        x = np.linspace(0, 1, 8).reshape(2, 4)
+        assert np.allclose(model.forward(x), other.forward(x))
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        model = _model()
+        state = model.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = _model()
+        state = model.state_dict()
+        key = next(iter(state))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_clone_is_independent(self):
+        model = _model()
+        clone = model.clone()
+        clone.parameters()[0].data[:] = 0.0
+        assert not np.allclose(model.parameters()[0].data, 0.0)
+
+    def test_train_eval_propagates(self):
+        model = _model()
+        model.eval()
+        assert all(not layer.training for layer in model)
+        model.train()
+        assert all(layer.training for layer in model)
+
+    def test_zero_grad(self):
+        model = _model()
+        out = model.forward(np.ones((2, 4)))
+        model.backward(np.ones_like(out))
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+    def test_num_parameters(self):
+        model = _model()
+        expected = 4 * 8 + 8 + 8 * 3 + 3
+        assert model.num_parameters() == expected
+
+    def test_backward_chain_rule_matches_numeric(self):
+        model = _model()
+        x = new_rng(2).normal(size=(3, 4))
+        out = model.forward(x)
+        grad_out = np.ones_like(out)
+        grad_in = model.backward(grad_out)
+        # Numerical check of d(sum(out))/dx for one element.
+        eps = 1e-6
+        x2 = x.copy()
+        x2[0, 0] += eps
+        numeric = (model.forward(x2).sum() - model.forward(x).sum()) / eps
+        assert np.isclose(grad_in[0, 0], numeric, atol=1e-4)

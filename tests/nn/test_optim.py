@@ -1,0 +1,111 @@
+"""Tests for SGD and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.models import build_mlp
+from repro.nn.optim import SGD, ExponentialLR, StepLR
+from repro.nn.parameter import Parameter
+from repro.utils.rng import new_rng
+
+
+def _quadratic_params():
+    return [Parameter(np.array([4.0, -2.0]))]
+
+
+class TestSGD:
+    def test_step_moves_against_gradient(self):
+        params = _quadratic_params()
+        params[0].grad[:] = np.array([1.0, -1.0])
+        SGD(params, lr=0.5).step()
+        assert np.allclose(params[0].data, [3.5, -1.5])
+
+    def test_zero_grad(self):
+        params = _quadratic_params()
+        params[0].grad[:] = 1.0
+        opt = SGD(params, lr=0.1)
+        opt.zero_grad()
+        assert np.all(params[0].grad == 0.0)
+
+    def test_weight_decay_shrinks_parameters(self):
+        params = _quadratic_params()
+        SGD(params, lr=0.1, weight_decay=1.0).step()
+        assert np.all(np.abs(params[0].data) < np.abs([4.0, -2.0]))
+
+    def test_momentum_accumulates_velocity(self):
+        params = _quadratic_params()
+        opt = SGD(params, lr=0.1, momentum=0.9)
+        params[0].grad[:] = 1.0
+        opt.step()
+        first_move = 4.0 - params[0].data[0]
+        params[0].grad[:] = 1.0
+        opt.step()
+        second_move = (4.0 - first_move) - params[0].data[0]
+        assert second_move > first_move
+
+    def test_gradient_clipping_bounds_update(self):
+        params = [Parameter(np.zeros(4))]
+        params[0].grad[:] = 100.0
+        opt = SGD(params, lr=1.0, max_grad_norm=1.0)
+        opt.step()
+        assert np.linalg.norm(params[0].data) <= 1.0 + 1e-9
+
+    def test_grad_norm(self):
+        params = [Parameter(np.zeros(3))]
+        params[0].grad[:] = np.array([3.0, 4.0, 0.0])
+        assert np.isclose(SGD(params, lr=0.1).grad_norm(), 5.0)
+
+    def test_invalid_hyperparameters(self):
+        params = _quadratic_params()
+        with pytest.raises(ValueError):
+            SGD(params, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(params, lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD(params, lr=0.1, weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            SGD(params, lr=0.1, max_grad_norm=0.0)
+
+    def test_minimises_small_classification_problem(self):
+        rng = new_rng(0)
+        model = build_mlp(input_dim=8, num_classes=3, hidden_dims=(16,), seed=0)
+        loss_fn = CrossEntropyLoss()
+        opt = SGD(model.parameters(), lr=0.2)
+        x = rng.normal(size=(60, 8))
+        y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+        first_loss = None
+        for __ in range(60):
+            opt.zero_grad()
+            logits = model.forward(x)
+            loss = loss_fn.forward(logits, y)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(loss_fn.backward())
+            opt.step()
+        assert loss < first_loss * 0.5
+
+
+class TestSchedulers:
+    def test_exponential_decay(self):
+        opt = SGD(_quadratic_params(), lr=1.0)
+        sched = ExponentialLR(opt, gamma=0.5)
+        sched.step()
+        sched.step()
+        assert np.isclose(opt.lr, 0.25)
+        assert np.isclose(sched.current_lr, 0.25)
+
+    def test_step_decay(self):
+        opt = SGD(_quadratic_params(), lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert np.isclose(opt.lr, 1.0)
+        sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_invalid_gamma(self):
+        opt = SGD(_quadratic_params(), lr=1.0)
+        with pytest.raises(ValueError):
+            ExponentialLR(opt, gamma=0.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)

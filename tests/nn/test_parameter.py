@@ -1,0 +1,39 @@
+"""Tests for repro.nn.parameter."""
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+
+class TestParameter:
+    def test_data_is_float64(self):
+        param = Parameter(np.array([1, 2, 3], dtype=np.int32))
+        assert param.data.dtype == np.float64
+
+    def test_grad_starts_at_zero_with_same_shape(self):
+        param = Parameter(np.ones((3, 4)))
+        assert param.grad.shape == (3, 4)
+        assert np.all(param.grad == 0.0)
+
+    def test_shape_and_size(self):
+        param = Parameter(np.zeros((2, 5)))
+        assert param.shape == (2, 5)
+        assert param.size == 10
+
+    def test_zero_grad_resets_in_place(self):
+        param = Parameter(np.ones(3))
+        param.grad += 2.0
+        buffer = param.grad
+        param.zero_grad()
+        assert np.all(param.grad == 0.0)
+        assert param.grad is buffer
+
+    def test_copy_is_independent(self):
+        param = Parameter(np.ones(3), name="w")
+        param.grad += 1.0
+        clone = param.copy()
+        clone.data[0] = 99.0
+        clone.grad[0] = 99.0
+        assert param.data[0] == 1.0
+        assert param.grad[0] == 1.0
+        assert clone.name == "w"

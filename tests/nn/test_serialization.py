@@ -1,0 +1,90 @@
+"""Tests for parameter serialisation and aggregation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_mlp
+from repro.nn.serialization import (
+    average_state_dicts,
+    get_flat_params,
+    model_size_bytes,
+    num_parameters,
+    set_flat_params,
+    state_dict_distance,
+)
+
+
+class TestFlatParams:
+    def test_roundtrip(self):
+        model = build_mlp(input_dim=6, num_classes=3, hidden_dims=(5,), seed=0)
+        flat = get_flat_params(model)
+        other = build_mlp(input_dim=6, num_classes=3, hidden_dims=(5,), seed=1)
+        set_flat_params(other, flat)
+        assert np.allclose(get_flat_params(other), flat)
+
+    def test_flat_length_matches_num_parameters(self):
+        model = build_mlp(input_dim=6, num_classes=3, hidden_dims=(5,), seed=0)
+        assert get_flat_params(model).size == num_parameters(model)
+
+    def test_wrong_length_raises(self):
+        model = build_mlp(input_dim=4, num_classes=2, hidden_dims=(3,), seed=0)
+        with pytest.raises(ValueError):
+            set_flat_params(model, np.zeros(3))
+
+
+class TestAverageStateDicts:
+    def test_uniform_average(self):
+        states = [{"w": np.array([0.0, 0.0])}, {"w": np.array([2.0, 4.0])}]
+        avg = average_state_dicts(states)
+        assert np.allclose(avg["w"], [1.0, 2.0])
+
+    def test_weighted_average_matches_eq17(self):
+        # Eq. 17: weights proportional to batch sizes.
+        states = [{"w": np.array([1.0])}, {"w": np.array([5.0])}]
+        avg = average_state_dicts(states, weights=[1.0, 3.0])
+        assert np.allclose(avg["w"], [4.0])
+
+    def test_weights_are_normalised(self):
+        states = [{"w": np.ones(2)}, {"w": np.ones(2) * 3}]
+        assert np.allclose(
+            average_state_dicts(states, [10, 10])["w"],
+            average_state_dicts(states, [1, 1])["w"],
+        )
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ValueError):
+            average_state_dicts([])
+
+    def test_mismatched_keys_raise(self):
+        with pytest.raises(KeyError):
+            average_state_dicts([{"a": np.ones(1)}, {"b": np.ones(1)}])
+
+    def test_negative_weight_raises(self):
+        states = [{"w": np.ones(1)}, {"w": np.ones(1)}]
+        with pytest.raises(ValueError):
+            average_state_dicts(states, weights=[-1.0, 1.0])
+
+    def test_zero_total_weight_raises(self):
+        states = [{"w": np.ones(1)}]
+        with pytest.raises(ValueError):
+            average_state_dicts(states, weights=[0.0])
+
+
+class TestDistancesAndSizes:
+    def test_distance_zero_for_identical(self):
+        model = build_mlp(input_dim=4, num_classes=2, seed=0)
+        state = model.state_dict()
+        assert state_dict_distance(state, state) == 0.0
+
+    def test_distance_positive_for_different(self):
+        a = build_mlp(input_dim=4, num_classes=2, seed=0).state_dict()
+        b = build_mlp(input_dim=4, num_classes=2, seed=1).state_dict()
+        assert state_dict_distance(a, b) > 0.0
+
+    def test_distance_mismatched_keys_raise(self):
+        with pytest.raises(KeyError):
+            state_dict_distance({"a": np.ones(1)}, {"b": np.ones(1)})
+
+    def test_model_size_is_four_bytes_per_parameter(self):
+        model = build_mlp(input_dim=4, num_classes=2, hidden_dims=(3,), seed=0)
+        assert model_size_bytes(model) == 4 * num_parameters(model)

@@ -1,0 +1,163 @@
+"""Tests for cluster construction, state estimation, traffic and timing."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.cluster import build_cluster
+from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
+from repro.simulation.timing import (
+    average_waiting_time,
+    iteration_duration,
+    round_duration,
+    worker_round_duration,
+)
+from repro.simulation.traffic import TrafficMeter, feature_bytes
+
+
+class TestCluster:
+    def test_build_cluster_size_and_types(self):
+        cluster = build_cluster(num_workers=12, bandwidth_budget_mbps=100, seed=0)
+        assert len(cluster) == 12
+        assert {d.profile.name for d in cluster.devices} <= {
+            "jetson_tx2", "jetson_nx", "jetson_agx",
+        }
+
+    def test_compute_and_comm_time_vectors(self):
+        cluster = build_cluster(num_workers=6, bandwidth_budget_mbps=100, seed=0)
+        mus = cluster.compute_times(1e6)
+        betas = cluster.comm_times(2048)
+        assert mus.shape == (6,) and betas.shape == (6,)
+        assert np.all(mus > 0) and np.all(betas > 0)
+
+    def test_heterogeneity_present(self):
+        cluster = build_cluster(num_workers=30, bandwidth_budget_mbps=100, seed=0)
+        mus = cluster.compute_times(1e6)
+        assert mus.max() / mus.min() > 3.0
+
+    def test_advance_round_refreshes_budget(self):
+        cluster = build_cluster(num_workers=4, bandwidth_budget_mbps=100, seed=0)
+        budgets = set()
+        for round_index in range(5):
+            cluster.advance_round(round_index)
+            budgets.add(round(cluster.current_budget_mbps, 4))
+        assert len(budgets) > 1
+        assert all(b > 0 for b in budgets)
+
+    def test_deterministic_given_seed(self):
+        a = build_cluster(num_workers=5, bandwidth_budget_mbps=50, seed=9)
+        b = build_cluster(num_workers=5, bandwidth_budget_mbps=50, seed=9)
+        assert [d.profile.name for d in a.devices] == [d.profile.name for d in b.devices]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            build_cluster(num_workers=0, bandwidth_budget_mbps=10)
+
+
+class TestWorkerStateEstimator:
+    def test_first_observation_taken_verbatim(self):
+        est = WorkerStateEstimator(num_workers=2, alpha=0.8)
+        est.update(0, mu=1.0, beta=2.0)
+        mus, betas = est.estimates()
+        assert mus[0] == 1.0 and betas[0] == 2.0
+
+    def test_moving_average_eq5_eq6(self):
+        est = WorkerStateEstimator(num_workers=1, alpha=0.8)
+        est.update(0, mu=1.0, beta=1.0)
+        est.update(0, mu=2.0, beta=3.0)
+        mus, betas = est.estimates()
+        assert mus[0] == pytest.approx(0.8 * 1.0 + 0.2 * 2.0)
+        assert betas[0] == pytest.approx(0.8 * 1.0 + 0.2 * 3.0)
+
+    def test_per_sample_duration_is_sum(self):
+        est = WorkerStateEstimator(num_workers=1, alpha=0.5)
+        est.update(0, mu=0.4, beta=0.6)
+        assert est.per_sample_duration()[0] == pytest.approx(1.0)
+
+    def test_update_all_and_initialised(self):
+        est = WorkerStateEstimator(num_workers=3, alpha=0.5)
+        assert not est.is_initialised()
+        est.update_all(np.ones(3), np.ones(3))
+        assert est.is_initialised()
+
+    def test_negative_observation_raises(self):
+        est = WorkerStateEstimator(num_workers=1)
+        with pytest.raises(ValueError):
+            est.update(0, mu=-1.0, beta=0.0)
+
+
+class TestBandwidthEstimator:
+    def test_estimate_tracks_observations(self):
+        est = BandwidthEstimator(initial_mbps=100)
+        for __ in range(10):
+            est.observe(50.0)
+        assert 45 <= est.estimate() <= 60
+
+    def test_estimate_is_conservative(self):
+        est = BandwidthEstimator(initial_mbps=100, quantile=0.25)
+        for value in (80, 90, 100, 110, 120):
+            est.observe(value)
+        assert est.estimate() <= 100
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            BandwidthEstimator(initial_mbps=0)
+        est = BandwidthEstimator(initial_mbps=10)
+        with pytest.raises(ValueError):
+            est.observe(0)
+
+
+class TestTraffic:
+    def test_feature_bytes(self):
+        assert feature_bytes((8, 4, 4), batch_size=2) == 8 * 4 * 4 * 4 * 2
+
+    def test_meter_accumulates_by_category(self):
+        meter = TrafficMeter()
+        meter.add("model", 1000)
+        meter.add_feature_exchange(2000)
+        assert meter.total_bytes == pytest.approx(3000)
+        breakdown = meter.breakdown()
+        assert breakdown["feature"] == pytest.approx(1000)
+        assert breakdown["gradient"] == pytest.approx(1000)
+
+    def test_model_exchange_counts_both_directions(self):
+        meter = TrafficMeter()
+        meter.add_model_exchange(500, num_workers=3)
+        assert meter.total_bytes == pytest.approx(3000)
+
+    def test_megabytes(self):
+        meter = TrafficMeter()
+        meter.add("model", 2e6)
+        assert meter.total_megabytes == pytest.approx(2.0)
+
+    def test_invalid_category_and_negative(self):
+        meter = TrafficMeter()
+        with pytest.raises(ValueError):
+            meter.add("unknown", 10)
+        with pytest.raises(ValueError):
+            meter.add("model", -1)
+
+
+class TestTiming:
+    def test_iteration_and_round_duration(self):
+        assert iteration_duration(10, 0.1, 0.2) == pytest.approx(3.0)
+        assert worker_round_duration(5, 10, 0.1, 0.2) == pytest.approx(15.0)
+
+    def test_round_duration_is_max(self):
+        assert round_duration(np.array([1.0, 5.0, 3.0])) == 5.0
+
+    def test_average_waiting_time_eq8(self):
+        durations = np.array([1.0, 3.0, 5.0])
+        assert average_waiting_time(durations) == pytest.approx((4 + 2 + 0) / 3)
+
+    def test_equal_durations_have_zero_waiting(self):
+        assert average_waiting_time(np.array([2.0, 2.0, 2.0])) == 0.0
+
+    def test_empty_inputs(self):
+        assert round_duration(np.array([])) == 0.0
+        assert average_waiting_time(np.array([])) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            iteration_duration(0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            round_duration(np.array([-1.0]))

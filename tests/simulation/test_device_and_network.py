@@ -1,0 +1,142 @@
+"""Tests for device profiles, the WiFi model and worker devices."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.device import (
+    DEVICE_MIX,
+    DEVICE_PROFILES,
+    JETSON_AGX,
+    JETSON_NX,
+    JETSON_TX2,
+    heterogeneity_span,
+    sample_device_profile,
+)
+from repro.simulation.network import (
+    DISTANCE_GROUPS,
+    MAX_BANDWIDTH_MBPS,
+    MIN_BANDWIDTH_MBPS,
+    WifiNetworkModel,
+    assign_distance,
+)
+from repro.simulation.worker_device import WorkerDevice
+from repro.utils.rng import new_rng
+
+
+class TestDeviceProfiles:
+    def test_table2_families_present(self):
+        assert set(DEVICE_PROFILES) == {"jetson_tx2", "jetson_nx", "jetson_agx"}
+
+    def test_table2_memory_sizes(self):
+        assert JETSON_TX2.memory_gb == 8
+        assert JETSON_NX.memory_gb == 8
+        assert JETSON_AGX.memory_gb == 32
+
+    def test_mode_counts_match_paper(self):
+        # "TX2 can work in one of four modes while NX and AGX work in eight".
+        assert JETSON_TX2.num_modes == 4
+        assert JETSON_NX.num_modes == 8
+        assert JETSON_AGX.num_modes == 8
+
+    def test_throughput_decreases_with_mode_index(self):
+        speeds = [JETSON_NX.throughput(mode) for mode in range(JETSON_NX.num_modes)]
+        assert all(a > b for a, b in zip(speeds, speeds[1:]))
+
+    def test_invalid_mode_raises(self):
+        with pytest.raises(ValueError):
+            JETSON_TX2.throughput(10)
+
+    def test_heterogeneity_span_is_roughly_hundredfold(self):
+        # The paper reports AGX mode 0 being ~100x faster than TX2's slowest mode.
+        assert 50 <= heterogeneity_span() <= 200
+
+    def test_device_mix_matches_testbed(self):
+        assert DEVICE_MIX["jetson_tx2"] == pytest.approx(30 / 80)
+        assert DEVICE_MIX["jetson_nx"] == pytest.approx(40 / 80)
+        assert DEVICE_MIX["jetson_agx"] == pytest.approx(10 / 80)
+
+    def test_sampling_follows_mix(self):
+        rng = new_rng(0)
+        names = [sample_device_profile(rng).name for __ in range(2000)]
+        fraction_nx = names.count("jetson_nx") / len(names)
+        assert 0.4 < fraction_nx < 0.6
+
+
+class TestWifiModel:
+    def test_four_distance_groups(self):
+        assert sorted(DISTANCE_GROUPS) == [2.0, 8.0, 14.0, 20.0]
+
+    def test_bandwidth_within_measured_range(self):
+        rng = new_rng(0)
+        model = WifiNetworkModel(distance_m=20.0)
+        samples = [model.sample_bandwidth_mbps(rng) for __ in range(200)]
+        assert all(MIN_BANDWIDTH_MBPS <= s <= MAX_BANDWIDTH_MBPS for s in samples)
+
+    def test_closer_devices_get_more_bandwidth_on_average(self):
+        rng = new_rng(0)
+        near = WifiNetworkModel(distance_m=2.0)
+        far = WifiNetworkModel(distance_m=20.0)
+        near_mean = np.mean([near.sample_bandwidth_mbps(rng) for __ in range(300)])
+        far_mean = np.mean([far.sample_bandwidth_mbps(rng) for __ in range(300)])
+        assert near_mean > far_mean
+
+    def test_unlisted_distance_interpolates(self):
+        model = WifiNetworkModel(distance_m=11.0)
+        assert DISTANCE_GROUPS[14.0] < model.mean_bandwidth_mbps < DISTANCE_GROUPS[8.0]
+
+    def test_assign_distance_round_robin(self):
+        assert assign_distance(0) == assign_distance(4)
+        assert len({assign_distance(i) for i in range(4)}) == 4
+
+
+class TestWorkerDevice:
+    def _device(self, seed=0):
+        return WorkerDevice(
+            worker_id=0,
+            profile=JETSON_NX,
+            network=WifiNetworkModel(distance_m=8.0),
+            rng=new_rng(seed),
+            mode_change_interval=5,
+        )
+
+    def test_compute_time_scales_with_flops(self):
+        device = self._device()
+        assert device.compute_time_per_sample(2e6) == pytest.approx(
+            2 * device.compute_time_per_sample(1e6)
+        )
+
+    def test_comm_time_scales_with_bytes(self):
+        device = self._device()
+        assert device.comm_time_per_sample(2000) == pytest.approx(
+            2 * device.comm_time_per_sample(1000)
+        )
+
+    def test_bandwidth_redrawn_every_round(self):
+        device = self._device()
+        values = set()
+        for round_index in range(5):
+            device.advance_round(round_index)
+            values.add(round(device.bandwidth_mbps, 6))
+        assert len(values) > 1
+
+    def test_mode_changes_only_at_interval(self):
+        device = self._device(seed=3)
+        initial_mode = device.mode
+        device.advance_round(1)
+        assert device.mode == initial_mode  # before the interval elapses
+        changed = False
+        for round_index in range(2, 40):
+            device.advance_round(round_index)
+            if device.mode != initial_mode:
+                changed = True
+                break
+        assert changed
+
+    def test_invalid_inputs(self):
+        device = self._device()
+        with pytest.raises(ValueError):
+            device.compute_time_per_sample(0)
+        with pytest.raises(ValueError):
+            device.comm_time_per_sample(-1)
+        with pytest.raises(ValueError):
+            device.model_transfer_time(-5)

