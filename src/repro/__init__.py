@@ -13,16 +13,58 @@ Regulation.  This package provides:
   regulation, GA-based worker selection, control and training modules.
 * ``repro.baselines`` -- FedAvg, SplitFed, LocFedMix-SL, AdaSFL, PyramidFL
   and the motivation/ablation variants.
-* ``repro.experiments`` -- experiment runner and per-figure reproduction
-  entry points.
+* ``repro.api`` -- the extension and execution API: plugin registries
+  (``@register_algorithm`` / ``@register_dataset`` / ``@register_model`` /
+  ``@register_policy``), the unified :class:`~repro.api.algorithm.Algorithm`
+  interface, and the steppable, checkpointable
+  :class:`~repro.api.session.Session`.
+* ``repro.experiments`` -- per-figure reproduction entry points and the
+  classic :func:`~repro.experiments.runner.run_experiment` wrapper.
+
+Quickstart::
+
+    from repro import ExperimentConfig, Session
+
+    session = Session.from_config(ExperimentConfig(num_rounds=5))
+    history = session.run()
+
+Extending::
+
+    from repro import register_algorithm
+
+    @register_algorithm("my_sfl")
+    def build_my_sfl(components):
+        ...
 """
 
 from repro.version import __version__
 from repro.config import ExperimentConfig
+from repro.api.algorithm import Algorithm
+from repro.api.registry import (
+    ALGORITHMS,
+    DATASETS,
+    MODELS,
+    POLICIES,
+    register_algorithm,
+    register_dataset,
+    register_model,
+    register_policy,
+)
+from repro.api.session import Session
 from repro.experiments.runner import run_experiment
 
 __all__ = [
     "__version__",
     "ExperimentConfig",
     "run_experiment",
+    "Algorithm",
+    "Session",
+    "ALGORITHMS",
+    "DATASETS",
+    "MODELS",
+    "POLICIES",
+    "register_algorithm",
+    "register_dataset",
+    "register_model",
+    "register_policy",
 ]

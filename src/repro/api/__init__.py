@@ -1,0 +1,70 @@
+"""Public extension and execution API.
+
+* :mod:`repro.api.registry` -- pluggable registries for algorithms,
+  datasets, models and policies, with ``@register_*`` decorators.
+* :mod:`repro.api.algorithm` -- the unified :class:`Algorithm` interface
+  every engine and facade implements.
+* :mod:`repro.api.components` -- configuration-to-components assembly
+  (datasets, partitions, models, clusters) and registry-driven algorithm
+  construction.
+* :mod:`repro.api.session` -- :class:`Session`, the steppable,
+  checkpointable driver around one experiment.
+
+Only the light submodules are imported eagerly; :class:`Session` and the
+component builders load on first attribute access so that low-level modules
+(which register themselves here) can import :mod:`repro.api.registry`
+without dragging in the whole package.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from repro.api.algorithm import Algorithm, EngineBackedAlgorithm
+from repro.api.registry import (
+    ALGORITHMS,
+    DATASETS,
+    MODELS,
+    POLICIES,
+    Registry,
+    register_algorithm,
+    register_dataset,
+    register_model,
+    register_policy,
+)
+
+#: Attributes resolved lazily to avoid import cycles with the modules that
+#: register built-in components.
+_LAZY_ATTRIBUTES = {
+    "Session": "repro.api.session",
+    "ExperimentComponents": "repro.api.components",
+    "build_algorithm": "repro.api.components",
+    "build_components": "repro.api.components",
+    "build_model_for": "repro.api.components",
+}
+
+__all__ = [
+    "Algorithm",
+    "EngineBackedAlgorithm",
+    "Registry",
+    "ALGORITHMS",
+    "DATASETS",
+    "MODELS",
+    "POLICIES",
+    "register_algorithm",
+    "register_dataset",
+    "register_model",
+    "register_policy",
+    "Session",
+    "ExperimentComponents",
+    "build_algorithm",
+    "build_components",
+    "build_model_for",
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_ATTRIBUTES.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module_name), name)

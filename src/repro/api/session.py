@@ -1,0 +1,220 @@
+"""Steppable, checkpointable experiment sessions.
+
+A :class:`Session` wraps the assembled components and the configured
+algorithm behind an incremental execution surface::
+
+    session = Session.from_config(config)
+    record = session.step()          # one communication round
+    session.run(5)                   # five more rounds
+    session.run()                    # the rest of config.num_rounds
+
+Round-end hooks stream metrics and implement early stopping::
+
+    @session.on_round_end
+    def watch(session, record):
+        print(record.round_index, record.test_accuracy)
+        return record.test_accuracy >= 0.9   # truthy return stops run()
+
+Checkpoints are plain JSON files carrying the configuration plus the full
+mutable algorithm state (weights, optimizer buffers, RNG streams, clock,
+traffic and history), so a restored session continues bit-exactly where the
+saved one stopped::
+
+    session.save_checkpoint("run.ckpt.json")
+    resumed = Session.load_checkpoint("run.ckpt.json")
+    resumed.run()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.api.algorithm import Algorithm
+from repro.api.checkpoint import dump_checkpoint, encode_state, load_checkpoint_payload
+from repro.api.components import ExperimentComponents, build_algorithm, build_components
+from repro.config import ExperimentConfig
+from repro.exceptions import ConfigurationError
+from repro.metrics.history import History, RoundRecord
+from repro.utils.logging import get_logger
+
+logger = get_logger("api.session")
+
+#: Format version stamped into checkpoints.
+CHECKPOINT_VERSION = 1
+
+#: Signature of round-end hooks; a truthy return value requests early stop.
+RoundCallback = Callable[["Session", RoundRecord], object]
+
+
+class Session:
+    """Drives one experiment incrementally, with hooks and checkpointing.
+
+    Args:
+        config: The experiment configuration.
+        components: Pre-assembled components; built from ``config`` when
+            omitted and needed to construct the algorithm.
+        algorithm: A pre-built algorithm; resolved from the
+            :data:`~repro.api.registry.ALGORITHMS` registry when omitted.
+            When an algorithm is supplied without components,
+            ``session.components`` is ``None`` -- the caller wired the
+            algorithm itself, so no (possibly unrelated) component set is
+            materialised.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        components: ExperimentComponents | None = None,
+        algorithm: Algorithm | None = None,
+    ) -> None:
+        self.config = config
+        #: Whether the caller supplied the components or the algorithm
+        #: instead of the registry; such wiring cannot be reproduced from
+        #: the config alone, so checkpoints record it and refuse a
+        #: registry-based rebuild.
+        self._custom_wiring = algorithm is not None or components is not None
+        if algorithm is None:
+            components = components if components is not None else build_components(config)
+            algorithm = build_algorithm(components)
+        self.components = components
+        self.algorithm = algorithm
+        self._callbacks: list[RoundCallback] = []
+        self._stop_requested = False
+
+    @classmethod
+    def from_config(cls, config: ExperimentConfig) -> "Session":
+        """Assemble components and algorithm for ``config``."""
+        return cls(config)
+
+    # -- observation ---------------------------------------------------------
+    @property
+    def history(self) -> History:
+        """Per-round records accumulated so far."""
+        return self.algorithm.history
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of communication rounds executed so far."""
+        return self.algorithm.rounds_completed
+
+    def global_model(self):
+        """A copy of the current global model, in evaluation mode."""
+        return self.algorithm.global_model()
+
+    # -- hooks ---------------------------------------------------------------
+    def on_round_end(self, callback: RoundCallback) -> RoundCallback:
+        """Register a round-end hook; usable as a decorator.
+
+        Hooks are invoked after every executed round with ``(session,
+        record)``.  A truthy return value requests early stop: the current
+        :meth:`run` loop finishes the round and returns.
+        """
+        self._callbacks.append(callback)
+        return callback
+
+    # -- execution -----------------------------------------------------------
+    def step(self) -> RoundRecord:
+        """Execute exactly one communication round and fire the hooks."""
+        record = self.algorithm.step_round()
+        for callback in list(self._callbacks):
+            if callback(self, record):
+                self._stop_requested = True
+        return record
+
+    def run(self, num_rounds: int | None = None) -> History:
+        """Execute ``num_rounds`` additional rounds and return the history.
+
+        When ``num_rounds`` is omitted the session runs up to
+        ``config.num_rounds`` total rounds -- i.e. the remainder, which
+        makes ``Session.from_config(c).run()`` equivalent to the classic
+        ``run_experiment(c)`` and makes ``run()`` after a checkpoint resume
+        finish the originally configured schedule.
+        """
+        if num_rounds is None:
+            num_rounds = max(0, self.config.num_rounds - self.rounds_completed)
+        elif num_rounds < 0:
+            raise ValueError(f"num_rounds must be non-negative, got {num_rounds}")
+        self._stop_requested = False
+        for _ in range(num_rounds):
+            self.step()
+            if self._stop_requested:
+                logger.info(
+                    "early stop requested after round %d", self.rounds_completed - 1
+                )
+                break
+        return self.history
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Configuration plus full mutable algorithm state."""
+        return {
+            "version": CHECKPOINT_VERSION,
+            "config": self.config.to_dict(),
+            "custom_wiring": self._custom_wiring,
+            "rounds_completed": self.rounds_completed,
+            "algorithm": self.algorithm.state_dict(),
+        }
+
+    @staticmethod
+    def _checkpoint_config(state: dict) -> ExperimentConfig:
+        """Validate the checkpoint version and parse its configuration."""
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"unsupported checkpoint version {version!r}; "
+                f"expected {CHECKPOINT_VERSION}"
+            )
+        return ExperimentConfig.from_dict(state["config"])
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a state dict captured from a session with the same config."""
+        saved_config = self._checkpoint_config(state)
+        # Compare through the checkpoint encoding so JSON-lossy values
+        # (tuples decode as lists) do not fail the equality check.
+        if encode_state(saved_config.to_dict()) != encode_state(self.config.to_dict()):
+            raise ConfigurationError(
+                "checkpoint was saved from a different configuration; "
+                "rebuild the session with Session.load_checkpoint instead"
+            )
+        self._restore(state)
+
+    def _restore(self, state: dict) -> None:
+        """Load the algorithm state and cross-check the round counter."""
+        self.algorithm.load_state_dict(state["algorithm"])
+        expected_rounds = state.get("rounds_completed")
+        if expected_rounds is not None and expected_rounds != self.rounds_completed:
+            raise ConfigurationError(
+                f"inconsistent checkpoint: rounds_completed says "
+                f"{expected_rounds} but the restored algorithm reports "
+                f"{self.rounds_completed}"
+            )
+
+    def save_checkpoint(self, path: str | Path) -> None:
+        """Write a JSON checkpoint that :meth:`load_checkpoint` can resume."""
+        dump_checkpoint(self.state_dict(), path)
+        logger.info(
+            "checkpointed %s after %d rounds to %s",
+            self.config.algorithm, self.rounds_completed, path,
+        )
+
+    @classmethod
+    def load_checkpoint(cls, path: str | Path) -> "Session":
+        """Rebuild a session from a checkpoint and restore its state.
+
+        Components are reconstructed deterministically from the saved
+        configuration (everything construction-time is seeded), then the
+        saved mutable state overwrites weights, RNG streams and accounting,
+        so the resumed run continues bit-exactly.
+        """
+        payload = load_checkpoint_payload(path)
+        if payload.get("custom_wiring"):
+            raise ConfigurationError(
+                "checkpoint was saved from a session with hand-wired "
+                "components or algorithm, which the registry cannot "
+                "rebuild; reconstruct the wiring yourself and restore it "
+                "with Session(config, ...).load_state_dict(...)"
+            )
+        session = cls.from_config(cls._checkpoint_config(payload))
+        session._restore(payload)
+        return session

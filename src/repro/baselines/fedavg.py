@@ -8,11 +8,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.algorithm import EngineBackedAlgorithm
+from repro.api.registry import register_algorithm, register_policy
 from repro.baselines.fl_engine import FLTrainingEngine
 from repro.config import ExperimentConfig
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
-from repro.metrics.history import History
 from repro.nn.module import Sequential
 from repro.simulation.cluster import Cluster
 
@@ -31,7 +32,7 @@ class SelectAll:
         return list(range(durations.shape[0]))
 
 
-class FedAvg:
+class FedAvg(EngineBackedAlgorithm):
     """FedAvg facade: full-model local training + uniform participation."""
 
     def __init__(
@@ -51,6 +52,25 @@ class FedAvg:
             selection=SelectAll(),
         )
 
-    def run(self, num_rounds: int | None = None) -> History:
-        """Train and return the per-round history."""
-        return self.engine.run(num_rounds)
+    @classmethod
+    def from_components(cls, components) -> "FedAvg":
+        """Build from :class:`~repro.api.components.ExperimentComponents`."""
+        return cls(
+            config=components.config,
+            model=components.model,
+            workers=components.workers,
+            cluster=components.cluster,
+            data=components.data,
+        )
+
+
+register_algorithm(
+    "fedavg", FedAvg.from_components,
+    description="FedAvg: full-model local training, uniform participation",
+)
+
+
+@register_policy("select_all", kind="fl_selection",
+                 description="Every worker participates every round")
+def _build_select_all(config: ExperimentConfig, **overrides) -> SelectAll:
+    return SelectAll(**overrides)

@@ -3,6 +3,11 @@
 Unlike the split engine, workers train the *entire* model locally and only
 exchange model parameters with the PS, so communication consists of model
 uploads/downloads and compute time is charged for the full network.
+
+Like :class:`~repro.core.engine.SplitTrainingEngine`, this engine
+implements the :class:`~repro.api.algorithm.Algorithm` interface:
+steppable rounds with a monotonic index, and full ``state_dict()`` /
+``load_state_dict()`` support for checkpoint/resume.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.api.algorithm import Algorithm
 from repro.config import ExperimentConfig
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
@@ -18,13 +24,17 @@ from repro.metrics.history import History, RoundRecord
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import estimate_forward_flops
 from repro.nn.module import Sequential
-from repro.nn.optim import SGD
-from repro.nn.serialization import average_state_dicts, model_size_bytes
+from repro.nn.serialization import (
+    average_state_dicts,
+    load_module_extra_state,
+    model_size_bytes,
+    module_extra_state,
+)
 from repro.simulation.cluster import Cluster
 from repro.simulation.timing import average_waiting_time, round_duration
 from repro.simulation.traffic import TrafficMeter
 from repro.utils.logging import get_logger
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import spawned_rng
 
 logger = get_logger("baselines.fl_engine")
 
@@ -44,7 +54,7 @@ class FLSelectionStrategy(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
-class FLTrainingEngine:
+class FLTrainingEngine(Algorithm):
     """FedAvg-style training with a pluggable worker-selection strategy."""
 
     def __init__(
@@ -57,7 +67,7 @@ class FLTrainingEngine:
         selection: FLSelectionStrategy,
     ) -> None:
         self.config = config
-        self.global_model = model.clone()
+        self.model = model.clone()
         self.workers = workers
         self.cluster = cluster
         self.data = data
@@ -66,21 +76,69 @@ class FLTrainingEngine:
         self.loss_fn = CrossEntropyLoss()
         self.traffic = TrafficMeter()
         self.history = History(algorithm=config.algorithm)
-        self.model_bytes = model_size_bytes(self.global_model)
-        self.full_flops = estimate_forward_flops(self.global_model, data.feature_shape)
+        self.model_bytes = model_size_bytes(self.model)
+        self.full_flops = estimate_forward_flops(self.model, data.feature_shape)
         self._label_distributions = np.stack(
             [worker.local_label_distribution() for worker in workers]
         )
-        self._rngs = spawn_rngs(config.seed + 40617, config.num_rounds + 1)
+        #: Root seed of the per-round RNG streams; generators are derived
+        #: lazily per round index so the round count is unbounded.
+        self._round_seed = config.seed + 40617
+        self._round_index = 0
         self._clock = 0.0
         self._current_lr = config.learning_rate
 
-    def run(self, num_rounds: int | None = None) -> History:
-        """Execute the configured number of communication rounds."""
-        rounds = num_rounds if num_rounds is not None else self.config.num_rounds
-        for round_index in range(rounds):
-            self._run_round(round_index)
-        return self.history
+    # -- public API -----------------------------------------------------------
+    def step_round(self) -> RoundRecord:
+        """Execute one communication round and return its record."""
+        self._run_round(self._round_index)
+        self._round_index += 1
+        return self.history.records[-1]
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of communication rounds executed so far."""
+        return self._round_index
+
+    def global_model(self) -> Sequential:
+        """A copy of the current global model, in evaluation mode."""
+        model = self.model.clone()
+        model.eval()
+        return model
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Every mutable piece of training state, for checkpoint/resume."""
+        return {
+            "round_index": self._round_index,
+            "clock": self._clock,
+            "current_lr": self._current_lr,
+            "history": self.history.to_dict(),
+            "model": self.model.state_dict(),
+            "model_extra": module_extra_state(self.model),
+            "traffic": self.traffic.state_dict(),
+            "cluster": self.cluster.state_dict(),
+            "workers": [worker.state_dict() for worker in self.workers],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore training state captured by :meth:`state_dict`."""
+        workers_state = state["workers"]
+        if len(workers_state) != len(self.workers):
+            raise ValueError(
+                f"checkpoint has {len(workers_state)} workers, engine has "
+                f"{len(self.workers)}"
+            )
+        self._round_index = int(state["round_index"])
+        self._clock = float(state["clock"])
+        self._current_lr = float(state["current_lr"])
+        self.history = History.from_dict(state["history"])
+        self.model.load_state_dict(state["model"])
+        load_module_extra_state(self.model, state["model_extra"])
+        self.traffic.load_state_dict(state["traffic"])
+        self.cluster.load_state_dict(state["cluster"])
+        for worker, worker_state in zip(self.workers, workers_state):
+            worker.load_state_dict(worker_state)
 
     # -- internals -------------------------------------------------------------
     def _run_round(self, round_index: int) -> None:
@@ -95,7 +153,7 @@ class FLTrainingEngine:
             durations,
             self._label_distributions,
             participation,
-            self._rngs[round_index],
+            spawned_rng(self._round_seed, round_index),
         )
         if not selected:
             raise RuntimeError("FL selection strategy selected no workers")
@@ -107,7 +165,7 @@ class FLTrainingEngine:
         for worker_id in selected:
             worker = self.workers[worker_id]
             state = worker.train_full_model(
-                self.global_model,
+                self.model,
                 self.loss_fn,
                 iterations=config.local_iterations,
                 batch_size=config.base_batch_size,
@@ -119,7 +177,7 @@ class FLTrainingEngine:
             losses.append(self._local_loss(state))
 
         aggregated = average_state_dicts(states, weights)
-        self.global_model.load_state_dict(aggregated)
+        self.model.load_state_dict(aggregated)
 
         duration, waiting = self._account_time_and_traffic(selected)
         self._clock += duration
@@ -143,7 +201,7 @@ class FLTrainingEngine:
 
     def _local_loss(self, state: dict[str, np.ndarray]) -> float:
         """Training loss of a locally updated model on a small probe batch."""
-        probe = self.global_model.clone()
+        probe = self.model.clone()
         probe.load_state_dict(state)
         probe.eval()
         size = min(64, len(self.data.train))
@@ -171,7 +229,7 @@ class FLTrainingEngine:
 
     def _evaluate(self) -> tuple[float, float]:
         """Accuracy and loss of the global model on the test split."""
-        self.global_model.eval()
+        self.model.eval()
         data = self.data.test.data
         targets = self.data.test.targets
         correct = 0
@@ -179,10 +237,13 @@ class FLTrainingEngine:
         batch = self.config.eval_batch_size
         for start in range(0, data.shape[0], batch):
             stop = start + batch
-            logits = self.global_model.forward(data[start:stop])
-            losses.append(self.loss_fn.forward(logits, targets[start:stop]) * (stop - start))
+            batch_data = data[start:stop]
+            logits = self.model.forward(batch_data)
+            losses.append(
+                self.loss_fn.forward(logits, targets[start:stop]) * batch_data.shape[0]
+            )
             correct += int((logits.argmax(axis=1) == targets[start:stop]).sum())
-        self.global_model.train()
+        self.model.train()
         total = data.shape[0]
         if total == 0:
             return 0.0, 0.0

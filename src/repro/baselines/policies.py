@@ -9,13 +9,22 @@ These policies plug into :class:`repro.core.engine.SplitTrainingEngine`:
 * :class:`RegulatedBatchPolicy` -- batch sizes follow Eq. 9 but there is no
   selection and no merging: the SFL-BR motivation variant and the AdaSFL
   baseline.
+
+This module also registers the ``split_custom`` and ``fl_custom``
+algorithms, which drive the respective engine with any policy from the
+:data:`~repro.api.registry.POLICIES` registry, selected through
+``extras['policy']`` (plus optional ``extras['policy_kwargs']``) -- the
+config-driven way to run a registered custom policy without writing an
+algorithm factory.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.api.registry import POLICIES, register_algorithm, register_policy
 from repro.core.batching import regulate_batch_sizes
+from repro.exceptions import ConfigurationError
 from repro.core.controller import ControlContext, RoundPlan
 from repro.core.divergence import iid_distribution, kl_divergence, mixed_label_distribution
 
@@ -78,3 +87,81 @@ class RegulatedBatchPolicy:
             context.per_sample_durations, context.max_batch_size
         )
         return _plan_from_batches(context, batch_sizes)
+
+
+@register_policy("fixed_batch", kind="split_control",
+                 description="All workers, identical fixed batch size")
+def _build_fixed_batch(config, **overrides) -> FixedBatchPolicy:
+    return FixedBatchPolicy(**overrides)
+
+
+@register_policy("regulated_batch", kind="split_control",
+                 description="All workers, Eq. 9 regulated batch sizes")
+def _build_regulated_batch(config, **overrides) -> RegulatedBatchPolicy:
+    return RegulatedBatchPolicy(**overrides)
+
+
+def _configured_policy(config, expected_kind: str):
+    """Build the policy named by ``extras['policy']`` via the registry.
+
+    Entries registered with a ``kind`` are checked against the engine's
+    expected kind upfront, so a split/FL mismatch fails with a clear
+    configuration error instead of an attribute error mid-round; entries
+    without a ``kind`` (duck-typed plugins) are accepted as-is.
+    """
+    name = config.extras.get("policy")
+    if not name:
+        raise ConfigurationError(
+            f"algorithm {config.algorithm!r} requires extras['policy'] "
+            f"naming a registered policy; known: {POLICIES.names()}"
+        )
+    factory = POLICIES.get(name)
+    kind = POLICIES.metadata(name).get("kind")
+    if kind is not None and kind != expected_kind:
+        compatible = sorted(
+            entry for entry in POLICIES.names()
+            if POLICIES.metadata(entry).get("kind") in (None, expected_kind)
+        )
+        raise ConfigurationError(
+            f"policy {name!r} is a {kind} policy, but algorithm "
+            f"{config.algorithm!r} needs a {expected_kind} policy; "
+            f"compatible: {compatible}"
+        )
+    return factory(config, **config.extras.get("policy_kwargs", {}))
+
+
+@register_algorithm(
+    "split_custom",
+    description="Split engine driven by a POLICIES-registry control policy "
+                "(extras['policy'])",
+)
+def _build_split_custom(components):
+    from repro.core.engine import SplitTrainingEngine
+
+    return SplitTrainingEngine(
+        config=components.config,
+        split=components.split,
+        workers=components.workers,
+        cluster=components.cluster,
+        data=components.data,
+        policy=_configured_policy(components.config, "split_control"),
+        bandwidth_budget_override=components.bandwidth_budget,
+    )
+
+
+@register_algorithm(
+    "fl_custom",
+    description="FL engine driven by a POLICIES-registry selection strategy "
+                "(extras['policy'])",
+)
+def _build_fl_custom(components):
+    from repro.baselines.fl_engine import FLTrainingEngine
+
+    return FLTrainingEngine(
+        config=components.config,
+        model=components.model,
+        workers=components.workers,
+        cluster=components.cluster,
+        data=components.data,
+        selection=_configured_policy(components.config, "fl_selection"),
+    )

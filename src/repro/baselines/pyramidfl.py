@@ -19,12 +19,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.algorithm import EngineBackedAlgorithm
+from repro.api.registry import register_algorithm, register_policy
 from repro.baselines.fl_engine import FLTrainingEngine
 from repro.config import ExperimentConfig
 from repro.core.divergence import iid_distribution, kl_divergence, mixed_label_distribution
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
-from repro.metrics.history import History
 from repro.nn.module import Sequential
 from repro.simulation.cluster import Cluster
 
@@ -76,7 +77,7 @@ class PyramidSelection:
         return sorted(selected)
 
 
-class PyramidFL:
+class PyramidFL(EngineBackedAlgorithm):
     """PyramidFL facade: full-model training + utility-driven selection."""
 
     def __init__(
@@ -97,6 +98,25 @@ class PyramidFL:
             selection=PyramidSelection(participation_fraction=participation_fraction),
         )
 
-    def run(self, num_rounds: int | None = None) -> History:
-        """Train and return the per-round history."""
-        return self.engine.run(num_rounds)
+    @classmethod
+    def from_components(cls, components) -> "PyramidFL":
+        """Build from :class:`~repro.api.components.ExperimentComponents`."""
+        return cls(
+            config=components.config,
+            model=components.model,
+            workers=components.workers,
+            cluster=components.cluster,
+            data=components.data,
+        )
+
+
+register_algorithm(
+    "pyramidfl", PyramidFL.from_components,
+    description="PyramidFL: utility-driven selection with straggler avoidance",
+)
+
+
+@register_policy("pyramid", kind="fl_selection",
+                 description="Utility-driven FL worker selection")
+def _build_pyramid_selection(config: ExperimentConfig, **overrides) -> PyramidSelection:
+    return PyramidSelection(**overrides)

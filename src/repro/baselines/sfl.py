@@ -12,18 +12,19 @@
 
 from __future__ import annotations
 
+from repro.api.algorithm import EngineBackedAlgorithm
+from repro.api.registry import register_algorithm
 from repro.baselines.policies import FixedBatchPolicy, RegulatedBatchPolicy
 from repro.config import ExperimentConfig
 from repro.core.engine import SplitTrainingEngine
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
 from repro.exceptions import ConfigurationError
-from repro.metrics.history import History
 from repro.nn.split import SplitModel
 from repro.simulation.cluster import Cluster
 
 
-class _SplitBaseline:
+class _SplitBaseline(EngineBackedAlgorithm):
     """Common plumbing for split-learning baselines."""
 
     def __init__(
@@ -47,9 +48,18 @@ class _SplitBaseline:
             bandwidth_budget_override=bandwidth_budget_override,
         )
 
-    def run(self, num_rounds: int | None = None) -> History:
-        """Train and return the per-round history."""
-        return self.engine.run(num_rounds)
+    @classmethod
+    def from_components(cls, components, **kwargs) -> "_SplitBaseline":
+        """Build from :class:`~repro.api.components.ExperimentComponents`."""
+        return cls(
+            components.config,
+            components.split,
+            components.workers,
+            components.cluster,
+            components.data,
+            bandwidth_budget_override=components.bandwidth_budget,
+            **kwargs,
+        )
 
 
 class SplitFed(_SplitBaseline):
@@ -100,3 +110,36 @@ class SFLVariant(_SplitBaseline):
             policy = RegulatedBatchPolicy(merge_features=False)
         self.variant = variant
         super().__init__(config, split, workers, cluster, data, policy, **kwargs)
+
+    @classmethod
+    def from_components(cls, components, **kwargs) -> "SFLVariant":
+        """Build from components, reading the variant from the configuration."""
+        return cls(
+            components.config.algorithm,
+            components.config,
+            components.split,
+            components.workers,
+            components.cluster,
+            components.data,
+            bandwidth_budget_override=components.bandwidth_budget,
+            **kwargs,
+        )
+
+
+register_algorithm(
+    "splitfed", SplitFed.from_components,
+    description="SplitFed: typical SFL, aggregation after every local update",
+)
+register_algorithm(
+    "locfedmix_sl", LocFedMixSL.from_components,
+    description="LocFedMix-SL: typical SFL with tau local updates per round",
+)
+register_algorithm(
+    "adasfl", AdaSFL.from_components,
+    description="AdaSFL: adaptive per-worker batch sizes, no merging",
+)
+for _variant in SFLVariant.VARIANTS:
+    register_algorithm(
+        _variant, SFLVariant.from_components,
+        description=f"Section II motivation variant {_variant}",
+    )

@@ -11,7 +11,9 @@ from dataclasses import dataclass, field, asdict
 
 from repro.exceptions import ConfigurationError
 
-#: Algorithms accepted by the experiment runner.
+#: Built-in algorithm names.  Kept for backwards compatibility; validation
+#: consults :data:`repro.api.registry.ALGORITHMS`, which additionally
+#: contains any third-party registrations.
 KNOWN_ALGORITHMS = (
     "mergesfl",
     "mergesfl_no_fm",
@@ -26,10 +28,10 @@ KNOWN_ALGORITHMS = (
     "sfl_br",
 )
 
-#: Datasets provided by :mod:`repro.data`.
+#: Built-in dataset names (see ``KNOWN_ALGORITHMS`` on registry validation).
 KNOWN_DATASETS = ("har", "speech", "cifar10", "image100", "blobs")
 
-#: Models provided by :mod:`repro.nn.models`.
+#: Built-in model names (see ``KNOWN_ALGORITHMS`` on registry validation).
 KNOWN_MODELS = ("mlp", "cnn_h", "cnn_s", "alexnet_s", "vgg_s")
 
 
@@ -88,19 +90,21 @@ class ExperimentConfig:
         self.validate()
 
     def validate(self) -> None:
-        """Raise :class:`ConfigurationError` when any field is out of range."""
-        if self.algorithm not in KNOWN_ALGORITHMS:
-            raise ConfigurationError(
-                f"unknown algorithm {self.algorithm!r}; known: {KNOWN_ALGORITHMS}"
-            )
-        if self.dataset not in KNOWN_DATASETS:
-            raise ConfigurationError(
-                f"unknown dataset {self.dataset!r}; known: {KNOWN_DATASETS}"
-            )
-        if self.model not in KNOWN_MODELS:
-            raise ConfigurationError(
-                f"unknown model {self.model!r}; known: {KNOWN_MODELS}"
-            )
+        """Raise :class:`ConfigurationError` when any field is out of range.
+
+        Component names are checked against the :mod:`repro.api.registry`
+        registries (imported lazily to avoid a circular import), so
+        third-party algorithms, datasets and models registered with the
+        ``@register_*`` decorators validate exactly like built-ins.
+        """
+        from repro.api.registry import ALGORITHMS, DATASETS, MODELS
+
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(ALGORITHMS.unknown_message(self.algorithm))
+        if self.dataset not in DATASETS:
+            raise ConfigurationError(DATASETS.unknown_message(self.dataset))
+        if self.model not in MODELS:
+            raise ConfigurationError(MODELS.unknown_message(self.model))
         positive_fields = {
             "num_workers": self.num_workers,
             "num_rounds": self.num_rounds,

@@ -7,6 +7,13 @@ all variants share: bottom-model distribution, ``tau`` local iterations of
 split forward/backward propagation (with or without feature merging),
 weighted bottom-model aggregation, simulated-clock accounting, traffic
 accounting and evaluation.
+
+The engine implements the :class:`~repro.api.algorithm.Algorithm`
+interface: rounds execute one at a time through ``step_round()`` with a
+monotonic round index (repeated ``run()`` calls extend the same run), and
+``state_dict()`` / ``load_state_dict()`` capture every mutable piece of
+training state so a :class:`~repro.api.session.Session` can checkpoint and
+resume bit-exactly.
 """
 
 from __future__ import annotations
@@ -15,11 +22,13 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.api.algorithm import Algorithm
 from repro.config import ExperimentConfig
 from repro.core.controller import ControlContext, RoundPlan
 from repro.core.server import SplitServer
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
+from repro.exceptions import ConfigurationError
 from repro.metrics.history import History, RoundRecord
 from repro.nn.models import estimate_forward_flops
 from repro.nn.module import Sequential
@@ -30,7 +39,7 @@ from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
 from repro.simulation.timing import average_waiting_time, round_duration
 from repro.simulation.traffic import TrafficMeter, feature_bytes
 from repro.utils.logging import get_logger
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import spawned_rng
 
 logger = get_logger("core.engine")
 
@@ -49,7 +58,7 @@ class ControlPolicy(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
-class SplitTrainingEngine:
+class SplitTrainingEngine(Algorithm):
     """Runs split federated training under a pluggable control policy."""
 
     def __init__(
@@ -62,6 +71,12 @@ class SplitTrainingEngine:
         policy: ControlPolicy,
         bandwidth_budget_override: float | None = None,
     ) -> None:
+        if split is None:
+            raise ConfigurationError(
+                f"algorithm {config.algorithm!r} trains a split model, but "
+                f"model {config.model!r} declares no split point; register "
+                f"it with split_after_weighted metadata"
+            )
         self.config = config
         self.split = split
         self.workers = workers
@@ -107,17 +122,24 @@ class SplitTrainingEngine:
         self._label_distributions = np.stack(
             [worker.local_label_distribution() for worker in workers]
         )
-        self._rngs = spawn_rngs(config.seed + 9173, config.num_rounds + 1)
+        #: Root seed of the per-round RNG streams; generators are derived
+        #: lazily per round index so the round count is unbounded.
+        self._round_seed = config.seed + 9173
+        self._round_index = 0
         self._clock = 0.0
         self._current_lr = config.learning_rate
 
     # -- public API -----------------------------------------------------------
-    def run(self, num_rounds: int | None = None) -> History:
-        """Execute the configured number of communication rounds."""
-        rounds = num_rounds if num_rounds is not None else self.config.num_rounds
-        for round_index in range(rounds):
-            self._run_round(round_index)
-        return self.history
+    def step_round(self) -> RoundRecord:
+        """Execute one communication round and return its record."""
+        self._run_round(self._round_index)
+        self._round_index += 1
+        return self.history.records[-1]
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of communication rounds executed so far."""
+        return self._round_index
 
     def global_model(self) -> Sequential:
         """The current global model (bottom + top), as a single Sequential."""
@@ -127,6 +149,42 @@ class SplitTrainingEngine:
         )
         combined.eval()
         return combined
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Every mutable piece of training state, for checkpoint/resume."""
+        return {
+            "round_index": self._round_index,
+            "clock": self._clock,
+            "current_lr": self._current_lr,
+            "history": self.history.to_dict(),
+            "server": self.server.state_dict(),
+            "estimator": self.estimator.state_dict(),
+            "bandwidth_estimator": self.bandwidth_estimator.state_dict(),
+            "traffic": self.traffic.state_dict(),
+            "cluster": self.cluster.state_dict(),
+            "workers": [worker.state_dict() for worker in self.workers],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore training state captured by :meth:`state_dict`."""
+        workers_state = state["workers"]
+        if len(workers_state) != len(self.workers):
+            raise ValueError(
+                f"checkpoint has {len(workers_state)} workers, engine has "
+                f"{len(self.workers)}"
+            )
+        self._round_index = int(state["round_index"])
+        self._clock = float(state["clock"])
+        self._current_lr = float(state["current_lr"])
+        self.history = History.from_dict(state["history"])
+        self.server.load_state_dict(state["server"])
+        self.estimator.load_state_dict(state["estimator"])
+        self.bandwidth_estimator.load_state_dict(state["bandwidth_estimator"])
+        self.traffic.load_state_dict(state["traffic"])
+        self.cluster.load_state_dict(state["cluster"])
+        for worker, worker_state in zip(self.workers, workers_state):
+            worker.load_state_dict(worker_state)
 
     # -- round mechanics ---------------------------------------------------------
     def _observe_states(self) -> None:
@@ -149,7 +207,7 @@ class SplitTrainingEngine:
             bandwidth_per_sample=self.bandwidth_per_sample,
             max_batch_size=self.config.max_batch_size,
             base_batch_size=self.config.base_batch_size,
-            rng=self._rngs[round_index],
+            rng=spawned_rng(self._round_seed, round_index),
         )
 
     def _run_round(self, round_index: int) -> None:

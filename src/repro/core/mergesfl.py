@@ -10,13 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.api.algorithm import EngineBackedAlgorithm
+from repro.api.registry import register_algorithm, register_policy
 from repro.config import ExperimentConfig
 from repro.core.batching import regulate_batch_sizes
 from repro.core.controller import ControlContext, ControlModule, RoundPlan
 from repro.core.engine import SplitTrainingEngine
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
-from repro.metrics.history import History
 from repro.nn.split import SplitModel
 from repro.simulation.cluster import Cluster
 
@@ -73,7 +74,7 @@ class MergeSFLPolicy:
         return plan
 
 
-class MergeSFL:
+class MergeSFL(EngineBackedAlgorithm):
     """End-to-end MergeSFL system: control module + training module."""
 
     def __init__(
@@ -102,6 +103,36 @@ class MergeSFL:
             bandwidth_budget_override=bandwidth_budget_override,
         )
 
-    def run(self, num_rounds: int | None = None) -> History:
-        """Train for the configured number of rounds and return the history."""
-        return self.engine.run(num_rounds)
+    @classmethod
+    def from_components(cls, components, **flags) -> "MergeSFL":
+        """Build from :class:`~repro.api.components.ExperimentComponents`."""
+        return cls(
+            config=components.config,
+            split=components.split,
+            workers=components.workers,
+            cluster=components.cluster,
+            data=components.data,
+            bandwidth_budget_override=components.bandwidth_budget,
+            **flags,
+        )
+
+
+@register_algorithm("mergesfl", description="MergeSFL: feature merging + batch-size regulation (Alg. 1)")
+def _build_mergesfl(components) -> MergeSFL:
+    return MergeSFL.from_components(components)
+
+
+@register_algorithm("mergesfl_no_fm", description="MergeSFL ablation without feature merging (Fig. 11)")
+def _build_mergesfl_no_fm(components) -> MergeSFL:
+    return MergeSFL.from_components(components, enable_merging=False)
+
+
+@register_algorithm("mergesfl_no_br", description="MergeSFL ablation without batch-size regulation (Fig. 11)")
+def _build_mergesfl_no_br(components) -> MergeSFL:
+    return MergeSFL.from_components(components, enable_regulation=False)
+
+
+@register_policy("mergesfl", kind="split_control",
+                 description="Alg. 1 control policy with ablation switches")
+def _build_mergesfl_policy(config: ExperimentConfig, **overrides) -> MergeSFLPolicy:
+    return MergeSFLPolicy(config, **overrides)

@@ -8,7 +8,11 @@ from repro.core.merging import FeatureMerger, MergedBatch
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.module import Sequential
 from repro.nn.optim import SGD
-from repro.nn.serialization import average_state_dicts
+from repro.nn.serialization import (
+    average_state_dicts,
+    load_module_extra_state,
+    module_extra_state,
+)
 
 
 class SplitServer:
@@ -104,6 +108,25 @@ class SplitServer:
         """Aggregate worker bottom models into the global bottom (Eq. 4 / Eq. 17)."""
         aggregated = average_state_dicts(states, weights)
         self.global_bottom.load_state_dict(aggregated)
+
+    # -- checkpointing -----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Model weights, optimizer state and layer RNGs for checkpointing."""
+        return {
+            "bottom": self.global_bottom.state_dict(),
+            "top": self.top.state_dict(),
+            "optimizer": self.top_optimizer.state_dict(),
+            "bottom_extra": module_extra_state(self.global_bottom),
+            "top_extra": module_extra_state(self.top),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.global_bottom.load_state_dict(state["bottom"])
+        self.top.load_state_dict(state["top"])
+        self.top_optimizer.load_state_dict(state["optimizer"])
+        load_module_extra_state(self.global_bottom, state["bottom_extra"])
+        load_module_extra_state(self.top, state["top_extra"])
 
     # -- evaluation -------------------------------------------------------------
     def evaluate(

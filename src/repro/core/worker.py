@@ -73,6 +73,23 @@ class SplitWorker:
             raise RuntimeError("worker has no bottom model installed")
         self.optimizer.lr = learning_rate
 
+    def state_dict(self) -> dict:
+        """Round-persistent state for checkpointing.
+
+        The bottom model and its optimizer are re-installed from the global
+        model at the start of every round, so only the sampling state and
+        the participation counter survive across rounds.
+        """
+        return {
+            "participation_count": self.participation_count,
+            "loader": self.loader.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.participation_count = int(state["participation_count"])
+        self.loader.load_state_dict(state["loader"])
+
     def bottom_state(self) -> dict[str, np.ndarray]:
         """State dict of the locally updated bottom model."""
         if self.bottom is None:

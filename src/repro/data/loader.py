@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.utils.rng import new_rng
+from repro.utils.rng import get_rng_state, new_rng, set_rng_state
 
 
 class BatchLoader:
@@ -42,6 +42,26 @@ class BatchLoader:
             self._cursor += take
         indices = np.asarray(picked, dtype=np.int64)
         return self.dataset.data[indices], self.dataset.targets[indices]
+
+    def state_dict(self) -> dict:
+        """Sampling state (RNG, shuffle order, cursor) for checkpointing."""
+        return {
+            "rng": get_rng_state(self._rng),
+            "order": self._order.copy(),
+            "cursor": self._cursor,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore sampling state captured by :meth:`state_dict`."""
+        order = np.asarray(state["order"], dtype=np.int64)
+        if order.shape != self._order.shape:
+            raise ValueError(
+                f"loader order length {order.shape[0]} does not match the "
+                f"dataset size {self._order.shape[0]}"
+            )
+        set_rng_state(self._rng, state["rng"])
+        self._order = order.copy()
+        self._cursor = int(state["cursor"])
 
     def iter_eval_batches(self, batch_size: int):
         """Iterate once over the dataset in order (for evaluation)."""

@@ -16,8 +16,8 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.api.registry import DATASETS, register_dataset
 from repro.data.dataset import Dataset, TrainTestSplit
-from repro.exceptions import ConfigurationError
 from repro.utils.rng import new_rng
 
 
@@ -125,6 +125,7 @@ def _class_conditional(
     )
 
 
+@register_dataset("har", paper_name="Human Activity Recognition")
 def make_har(
     train_samples: int = 2000,
     test_samples: int = 400,
@@ -139,6 +140,7 @@ def make_har(
     )
 
 
+@register_dataset("speech", paper_name="Google Speech")
 def make_speech(
     train_samples: int = 2000,
     test_samples: int = 400,
@@ -153,6 +155,7 @@ def make_speech(
     )
 
 
+@register_dataset("cifar10", paper_name="CIFAR-10")
 def make_cifar10(
     train_samples: int = 2000,
     test_samples: int = 400,
@@ -167,6 +170,7 @@ def make_cifar10(
     )
 
 
+@register_dataset("image100", paper_name="IMAGE-100")
 def make_image100(
     train_samples: int = 2000,
     test_samples: int = 400,
@@ -186,6 +190,7 @@ def make_image100(
     )
 
 
+@register_dataset("blobs", paper_name="synthetic blobs")
 def make_blobs(
     train_samples: int = 1000,
     test_samples: int = 200,
@@ -200,6 +205,8 @@ def make_blobs(
     )
 
 
+#: Built-in makers (kept for backwards compatibility; the authoritative,
+#: extensible mapping is :data:`repro.api.registry.DATASETS`).
 DATASET_REGISTRY: dict[str, Callable[..., TrainTestSplit]] = {
     "har": make_har,
     "speech": make_speech,
@@ -208,6 +215,11 @@ DATASET_REGISTRY: dict[str, Callable[..., TrainTestSplit]] = {
     "blobs": make_blobs,
 }
 
+#: Snapshot of the original dict entries, so mutations of
+#: ``DATASET_REGISTRY`` by legacy code remain detectable and keep their
+#: pre-registry behaviour.
+_DATASET_REGISTRY_BUILTINS = dict(DATASET_REGISTRY)
+
 
 def make_dataset(
     name: str,
@@ -215,11 +227,17 @@ def make_dataset(
     test_samples: int = 400,
     seed: int = 0,
 ) -> TrainTestSplit:
-    """Build a dataset analogue by registry name."""
-    if name not in DATASET_REGISTRY:
-        raise ConfigurationError(
-            f"unknown dataset {name!r}; available: {sorted(DATASET_REGISTRY)}"
-        )
-    return DATASET_REGISTRY[name](
-        train_samples=train_samples, test_samples=test_samples, seed=seed
-    )
+    """Build a dataset analogue by registry name.
+
+    Resolves through :data:`repro.api.registry.DATASETS`, so datasets
+    registered by third-party code (``@register_dataset``) work here too.
+    Entries added to -- or replaced in -- the legacy ``DATASET_REGISTRY``
+    dict also keep working: a mutated dict entry takes precedence, as it
+    did before the registries existed.
+    """
+    legacy = DATASET_REGISTRY.get(name)
+    if legacy is not None and legacy is not _DATASET_REGISTRY_BUILTINS.get(name):
+        maker = legacy
+    else:
+        maker = DATASETS.get(name)
+    return maker(train_samples=train_samples, test_samples=test_samples, seed=seed)

@@ -1,197 +1,46 @@
-"""Experiment assembly and the single entry point :func:`run_experiment`.
+"""Backwards-compatible experiment entry point.
 
-The runner turns an :class:`~repro.config.ExperimentConfig` into concrete
-components (dataset, partition, model, split, cluster, workers), constructs
-the requested algorithm and runs it, returning the per-round
-:class:`~repro.metrics.history.History`.
+Historically this module owned the whole pipeline: component assembly, an
+``if/elif`` chain over algorithm names and a one-shot ``run()``.  That
+machinery now lives in the :mod:`repro.api` layer -- components are
+assembled by :func:`repro.api.components.build_components`, algorithms are
+constructed through the :data:`repro.api.registry.ALGORITHMS` registry, and
+execution is driven by the steppable, checkpointable
+:class:`repro.api.session.Session`.
+
+:func:`run_experiment` remains as a thin compatibility wrapper, and the
+assembly helpers are re-exported here so existing imports keep working::
+
+    from repro.experiments.runner import build_components, build_algorithm
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.baselines.fedavg import FedAvg
-from repro.baselines.pyramidfl import PyramidFL
-from repro.baselines.sfl import AdaSFL, LocFedMixSL, SFLVariant, SplitFed
+from repro.api.components import (  # noqa: F401  (re-exported for compatibility)
+    DEFAULT_BUDGET_UTILISATION,
+    ExperimentComponents,
+    build_algorithm,
+    build_components,
+    build_model_for,
+)
+from repro.api.session import Session
 from repro.config import ExperimentConfig
-from repro.core.mergesfl import MergeSFL
-from repro.core.worker import SplitWorker
-from repro.data.dataset import TrainTestSplit
-from repro.data.partition import partition_dataset
-from repro.data.synthetic import make_dataset
-from repro.exceptions import ConfigurationError
 from repro.metrics.history import History
-from repro.nn.models import build_model, default_split_layer
-from repro.nn.module import Sequential
-from repro.nn.split import SplitModel, split_model
-from repro.simulation.cluster import Cluster, build_cluster
-from repro.simulation.traffic import feature_bytes
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.runner")
 
-#: Fraction of the "everyone at full batch" ingress load used as the default
-#: bandwidth budget, so worker selection is a real constraint (see DESIGN.md).
-DEFAULT_BUDGET_UTILISATION = 0.6
-
-
-@dataclass
-class ExperimentComponents:
-    """Everything needed to instantiate an algorithm."""
-
-    config: ExperimentConfig
-    data: TrainTestSplit
-    model: Sequential
-    split: SplitModel
-    workers: list[SplitWorker]
-    cluster: Cluster
-    bandwidth_budget: float
-
-
-def build_model_for(config: ExperimentConfig, data: TrainTestSplit) -> Sequential:
-    """Build the configured model with dimensions matching the dataset."""
-    shape = data.feature_shape
-    num_classes = data.num_classes
-    kwargs: dict = {"num_classes": num_classes, "seed": config.seed}
-    if config.model == "mlp":
-        kwargs["input_dim"] = int(np.prod(shape))
-    elif config.model in ("cnn_h", "cnn_s"):
-        if len(shape) != 2:
-            raise ConfigurationError(
-                f"model {config.model!r} expects (channels, length) data, got {shape}"
-            )
-        kwargs["in_channels"] = shape[0]
-        kwargs["sequence_length"] = shape[1]
-        kwargs["width"] = config.model_width
-    elif config.model in ("alexnet_s", "vgg_s"):
-        if len(shape) != 3 or shape[1] != shape[2]:
-            raise ConfigurationError(
-                f"model {config.model!r} expects square image data, got {shape}"
-            )
-        kwargs["in_channels"] = shape[0]
-        kwargs["image_size"] = shape[1]
-        kwargs["width"] = config.model_width
-    else:  # pragma: no cover - guarded by config validation
-        raise ConfigurationError(f"unknown model {config.model!r}")
-    return build_model(config.model, **kwargs)
-
-
-def _default_bandwidth_budget(
-    config: ExperimentConfig, split: SplitModel, data: TrainTestSplit
-) -> float:
-    """Ingress budget B^h that makes the selection constraint bite.
-
-    When ``extras['auto_budget']`` is true (the default), the budget is set
-    to ``DEFAULT_BUDGET_UTILISATION`` of the load generated by every worker
-    sending a full-size batch, so roughly that fraction of the fleet can be
-    selected at full batch.  Setting ``auto_budget`` to ``False`` uses the
-    configured ``bandwidth_budget_mbps`` verbatim.
-    """
-    if not config.extras.get("auto_budget", True):
-        return config.bandwidth_budget_mbps
-    probe = split.bottom.clone()
-    sample = probe.forward(np.zeros((1, *data.feature_shape), dtype=np.float64))
-    per_sample_mbits = 2 * feature_bytes(tuple(sample.shape[1:]), 1) * 8.0 / 1e6
-    return (
-        DEFAULT_BUDGET_UTILISATION
-        * config.num_workers
-        * config.max_batch_size
-        * per_sample_mbits
-    )
-
-
-def build_components(config: ExperimentConfig) -> ExperimentComponents:
-    """Materialise dataset, partition, model, split, cluster and workers."""
-    data = make_dataset(
-        config.dataset,
-        train_samples=config.train_samples,
-        test_samples=config.test_samples,
-        seed=config.seed,
-    )
-    shards = partition_dataset(
-        data.train, config.num_workers, config.non_iid_level, seed=config.seed
-    )
-    workers = [
-        SplitWorker(
-            worker_id=worker_id,
-            dataset=data.train.subset(shard),
-            num_classes=data.num_classes,
-            seed=config.seed + 1000 + worker_id,
-            momentum=config.momentum,
-            weight_decay=config.weight_decay,
-            max_grad_norm=config.max_grad_norm,
-        )
-        for worker_id, shard in enumerate(shards)
-    ]
-    model = build_model_for(config, data)
-    split = split_model(model, default_split_layer(config.model, model))
-    cluster = build_cluster(
-        num_workers=config.num_workers,
-        bandwidth_budget_mbps=config.bandwidth_budget_mbps,
-        seed=config.seed,
-        mode_change_interval=config.mode_change_interval,
-    )
-    budget = _default_bandwidth_budget(config, split, data)
-    return ExperimentComponents(
-        config=config,
-        data=data,
-        model=model,
-        split=split,
-        workers=workers,
-        cluster=cluster,
-        bandwidth_budget=budget,
-    )
-
-
-def build_algorithm(components: ExperimentComponents):
-    """Instantiate the algorithm named in the configuration."""
-    config = components.config
-    split_kwargs = {
-        "config": config,
-        "split": components.split,
-        "workers": components.workers,
-        "cluster": components.cluster,
-        "data": components.data,
-        "bandwidth_budget_override": components.bandwidth_budget,
-    }
-    fl_kwargs = {
-        "config": config,
-        "model": components.model,
-        "workers": components.workers,
-        "cluster": components.cluster,
-        "data": components.data,
-    }
-    algorithm = config.algorithm
-    if algorithm == "mergesfl":
-        return MergeSFL(**split_kwargs)
-    if algorithm == "mergesfl_no_fm":
-        return MergeSFL(enable_merging=False, **split_kwargs)
-    if algorithm == "mergesfl_no_br":
-        return MergeSFL(enable_regulation=False, **split_kwargs)
-    if algorithm == "splitfed":
-        return SplitFed(**split_kwargs)
-    if algorithm == "locfedmix_sl":
-        return LocFedMixSL(**split_kwargs)
-    if algorithm == "adasfl":
-        return AdaSFL(**split_kwargs)
-    if algorithm in ("sfl_t", "sfl_fm", "sfl_br"):
-        return SFLVariant(algorithm, **split_kwargs)
-    if algorithm == "fedavg":
-        return FedAvg(**fl_kwargs)
-    if algorithm == "pyramidfl":
-        return PyramidFL(**fl_kwargs)
-    raise ConfigurationError(f"unknown algorithm {algorithm!r}")
-
 
 def run_experiment(config: ExperimentConfig) -> History:
-    """Run one experiment end to end and return its history."""
+    """Run one experiment end to end and return its history.
+
+    Equivalent to ``Session.from_config(config).run()``; use a
+    :class:`~repro.api.session.Session` directly for incremental execution,
+    round callbacks or checkpointing.
+    """
     logger.info(
         "running %s on %s/%s (%d workers, %d rounds, non-IID p=%s)",
         config.algorithm, config.dataset, config.model,
         config.num_workers, config.num_rounds, config.non_iid_level,
     )
-    components = build_components(config)
-    algorithm = build_algorithm(components)
-    return algorithm.run()
+    return Session.from_config(config).run()

@@ -34,6 +34,12 @@ class Dropout(Module):
             return grad_output
         return grad_output * self._mask
 
+    def extra_state(self) -> dict:
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_extra_state(self, state: dict) -> None:
+        self._rng.bit_generator.state = state["rng"]
+
 
 class _BatchNormBase(Module):
     """Shared machinery for 1-D and 2-D batch normalisation."""
@@ -53,6 +59,16 @@ class _BatchNormBase(Module):
 
     def parameters(self) -> list[Parameter]:
         return [self.gamma, self.beta]
+
+    def extra_state(self) -> dict:
+        return {
+            "running_mean": self.running_mean.copy(),
+            "running_var": self.running_var.copy(),
+        }
+
+    def load_extra_state(self, state: dict) -> None:
+        self.running_mean = np.asarray(state["running_mean"], dtype=np.float64).copy()
+        self.running_var = np.asarray(state["running_var"], dtype=np.float64).copy()
 
     def _normalize(self, flat: np.ndarray) -> np.ndarray:
         """Normalise a (samples, features) view and cache backward state."""

@@ -18,6 +18,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.api.registry import MODELS, register_model
 from repro.exceptions import ConfigurationError
 from repro.nn.layers import (
     Conv1d,
@@ -38,6 +39,7 @@ def _scaled(base: int, width: float) -> int:
     return max(1, int(round(base * width)))
 
 
+@register_model("mlp", input_kind="vector", split_after_weighted=1, paper_name="MLP")
 def build_mlp(
     input_dim: int,
     num_classes: int,
@@ -56,6 +58,7 @@ def build_mlp(
     return Sequential(layers)
 
 
+@register_model("cnn_h", input_kind="sequence", split_after_weighted=3, paper_name="CNN-H")
 def build_cnn_h(
     num_classes: int = 6,
     in_channels: int = 9,
@@ -89,6 +92,7 @@ def build_cnn_h(
     ])
 
 
+@register_model("cnn_s", input_kind="sequence", split_after_weighted=4, paper_name="CNN-S")
 def build_cnn_s(
     num_classes: int = 10,
     in_channels: int = 1,
@@ -125,6 +129,7 @@ def build_cnn_s(
     ])
 
 
+@register_model("alexnet_s", input_kind="image", split_after_weighted=5, paper_name="AlexNet")
 def build_alexnet_s(
     num_classes: int = 10,
     in_channels: int = 3,
@@ -172,6 +177,7 @@ def build_alexnet_s(
     ])
 
 
+@register_model("vgg_s", input_kind="image", split_after_weighted=13, paper_name="VGG16")
 def build_vgg_s(
     num_classes: int = 100,
     in_channels: int = 3,
@@ -222,7 +228,8 @@ def build_vgg_s(
     return Sequential(layers)
 
 
-#: Builders keyed by the model name used in experiment configurations.
+#: Built-in builders (kept for backwards compatibility; the authoritative,
+#: extensible mapping is :data:`repro.api.registry.MODELS`).
 MODEL_REGISTRY: dict[str, Callable[..., Sequential]] = {
     "mlp": build_mlp,
     "cnn_h": build_cnn_h,
@@ -231,36 +238,47 @@ MODEL_REGISTRY: dict[str, Callable[..., Sequential]] = {
     "vgg_s": build_vgg_s,
 }
 
-#: Number of weighted layers kept on the worker side (paper, Section V-A).
-_SPLIT_AFTER_WEIGHTED = {
-    "cnn_h": 3,
-    "cnn_s": 4,
-    "alexnet_s": 5,
-    "vgg_s": 13,
-    "mlp": 1,
-}
+#: Snapshot of the original dict entries, so mutations of ``MODEL_REGISTRY``
+#: by legacy code remain detectable and keep their pre-registry behaviour.
+_MODEL_REGISTRY_BUILTINS = dict(MODEL_REGISTRY)
 
 
 def build_model(name: str, **kwargs) -> Sequential:
-    """Build a model from the registry by name."""
-    if name not in MODEL_REGISTRY:
-        raise ConfigurationError(
-            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
-        )
-    return MODEL_REGISTRY[name](**kwargs)
+    """Build a model by registry name.
+
+    Resolves through :data:`repro.api.registry.MODELS`, so models registered
+    by third-party code (``@register_model``) work here too.  Entries added
+    to -- or replaced in -- the legacy ``MODEL_REGISTRY`` dict also keep
+    working: a mutated dict entry takes precedence, as it did before the
+    registries existed.
+    """
+    legacy = MODEL_REGISTRY.get(name)
+    if legacy is not None and legacy is not _MODEL_REGISTRY_BUILTINS.get(name):
+        return legacy(**kwargs)
+    return MODELS.get(name)(**kwargs)
+
+
+def has_default_split(name: str) -> bool:
+    """Whether the model declares a split point (``split_after_weighted``).
+
+    Models without one can still run full-model (FL) algorithms; split
+    algorithms require the metadata.
+    """
+    return name in MODELS and "split_after_weighted" in MODELS.metadata(name)
 
 
 def default_split_layer(name: str, model: Sequential) -> int:
     """Return the Sequential index at which ``model`` should be split.
 
-    The cut is placed after the k-th weighted layer (per the paper's split
-    choices) and additionally swallows any parameter-free layers (ReLU,
-    pooling) that immediately follow it, so the activation of the split
-    layer is computed on the worker.
+    The cut is placed after the k-th weighted layer (the model's
+    ``split_after_weighted`` registry metadata; the paper's split choices
+    for the built-in zoo) and additionally swallows any parameter-free
+    layers (ReLU, pooling) that immediately follow it, so the activation of
+    the split layer is computed on the worker.
     """
-    if name not in _SPLIT_AFTER_WEIGHTED:
+    if not has_default_split(name):
         raise ConfigurationError(f"no default split registered for model {name!r}")
-    target = _SPLIT_AFTER_WEIGHTED[name]
+    target = int(MODELS.metadata(name)["split_after_weighted"])
     weighted_seen = 0
     split_index = None
     for index, layer in enumerate(model.layers):

@@ -68,6 +68,24 @@ class Module:
         return self
 
     # -- state -----------------------------------------------------------
+    def extra_state(self) -> dict:
+        """Non-parameter mutable state for bit-exact checkpointing.
+
+        Layers that carry state outside their parameters -- RNG streams,
+        running statistics -- override this (and :meth:`load_extra_state`)
+        so checkpoint/resume reproduces their behaviour exactly.  The
+        default is stateless.
+        """
+        return {}
+
+    def load_extra_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`extra_state`."""
+        if state:
+            raise ValueError(
+                f"{type(self).__name__} does not accept extra state, "
+                f"got keys {sorted(state)}"
+            )
+
     def state_dict(self) -> dict[str, np.ndarray]:
         """Return a deep copy of all parameter arrays keyed by name."""
         return {name: param.data.copy() for name, param in self.named_parameters()}

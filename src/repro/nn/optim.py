@@ -62,6 +62,33 @@ class SGD:
             for param in self.parameters:
                 param.grad *= scale
 
+    def state_dict(self) -> dict:
+        """Learning rate and momentum buffers for checkpointing."""
+        return {
+            "lr": self.lr,
+            "velocity": [buffer.copy() for buffer in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        velocity = state["velocity"]
+        if len(velocity) != len(self._velocity):
+            raise ValueError(
+                f"checkpoint has {len(velocity)} momentum buffers, "
+                f"optimizer has {len(self._velocity)}"
+            )
+        restored = []
+        for buffer, current in zip(velocity, self._velocity):
+            buffer = np.asarray(buffer, dtype=np.float64)
+            if buffer.shape != current.shape:
+                raise ValueError(
+                    f"momentum buffer shape mismatch: expected "
+                    f"{current.shape}, got {buffer.shape}"
+                )
+            restored.append(buffer.copy())
+        self.lr = float(state["lr"])
+        self._velocity = restored
+
     def step(self) -> None:
         """Apply one update using the currently accumulated gradients."""
         self.clip_gradients()

@@ -95,3 +95,41 @@ def num_parameters(module: Module) -> int:
 def model_size_bytes(module: Module) -> int:
     """Size of the module on the wire, assuming float32 serialisation."""
     return module.num_parameters() * BYTES_PER_PARAMETER
+
+
+def _iter_leaf_layers(module: Module, prefix: str = ""):
+    """Yield ``(path, layer)`` for every non-container layer in ``module``."""
+    from repro.nn.module import Sequential
+
+    if isinstance(module, Sequential):
+        for index, layer in enumerate(module.layers):
+            child_prefix = f"{prefix}layer{index}" if not prefix else f"{prefix}.layer{index}"
+            yield from _iter_leaf_layers(layer, child_prefix)
+    else:
+        yield prefix, module
+
+
+def module_extra_state(module: Module) -> dict:
+    """Non-parameter mutable layer state, keyed by layer path.
+
+    ``Module.state_dict`` captures trainable parameters only; layers that
+    carry additional state (dropout RNG streams, batch-norm running
+    statistics, any plugin layer overriding ``Module.extra_state``) must
+    also survive a checkpoint round trip for a resumed run to continue
+    bit-exactly.
+    """
+    state: dict = {}
+    for path, layer in _iter_leaf_layers(module):
+        layer_state = layer.extra_state()
+        if layer_state:
+            state[path] = layer_state
+    return state
+
+
+def load_module_extra_state(module: Module, state: dict) -> None:
+    """Restore layer state captured by :func:`module_extra_state`."""
+    layers = dict(_iter_leaf_layers(module))
+    for path, payload in state.items():
+        if path not in layers:
+            raise KeyError(f"checkpoint references unknown layer {path!r}")
+        layers[path].load_extra_state(payload)

@@ -7,7 +7,7 @@ import numpy as np
 from repro.simulation.device import sample_device_profile
 from repro.simulation.network import WifiNetworkModel, assign_distance
 from repro.simulation.worker_device import WorkerDevice
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import get_rng_state, set_rng_state, spawn_rngs
 
 
 class Cluster:
@@ -44,6 +44,27 @@ class Cluster:
                     0.3 * self.nominal_budget_mbps,
                     2.0 * self.nominal_budget_mbps)
         )
+
+    def state_dict(self) -> dict:
+        """Time-varying cluster state (budget, RNGs, devices) for checkpointing."""
+        return {
+            "rng": get_rng_state(self._rng),
+            "current_budget_mbps": self.current_budget_mbps,
+            "devices": [device.state_dict() for device in self.devices],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        devices_state = state["devices"]
+        if len(devices_state) != len(self.devices):
+            raise ValueError(
+                f"checkpoint has {len(devices_state)} devices, cluster has "
+                f"{len(self.devices)}"
+            )
+        set_rng_state(self._rng, state["rng"])
+        self.current_budget_mbps = float(state["current_budget_mbps"])
+        for device, device_state in zip(self.devices, devices_state):
+            device.load_state_dict(device_state)
 
     def compute_times(self, forward_flops: float) -> np.ndarray:
         """Per-sample compute time mu_i for every worker (seconds)."""

@@ -56,6 +56,29 @@ class WorkerStateEstimator:
         """Whether every worker has been observed at least once."""
         return bool(self._seen.all())
 
+    def state_dict(self) -> dict:
+        """Moving-average state for checkpointing."""
+        return {
+            "mu": self._mu.copy(),
+            "beta": self._beta.copy(),
+            "seen": self._seen.copy(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        mu = np.asarray(state["mu"], dtype=np.float64)
+        beta = np.asarray(state["beta"], dtype=np.float64)
+        seen = np.asarray(state["seen"]).astype(bool)
+        for name, array in (("mu", mu), ("beta", beta), ("seen", seen)):
+            if array.shape != (self.num_workers,):
+                raise ValueError(
+                    f"checkpoint {name} has shape {array.shape}, estimator "
+                    f"has {self.num_workers} workers"
+                )
+        self._mu = mu.copy()
+        self._beta = beta.copy()
+        self._seen = seen.copy()
+
 
 class BandwidthEstimator:
     """Estimate the PS ingress bandwidth budget from past observations.
@@ -88,3 +111,14 @@ class BandwidthEstimator:
     def estimate(self) -> float:
         """Conservative estimate of the next round's ingress bandwidth (Mb/s)."""
         return float(np.quantile(np.asarray(self._history), self._quantile))
+
+    def state_dict(self) -> dict:
+        """Observation window for checkpointing."""
+        return {"history": list(self._history)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        history = [float(value) for value in state["history"]]
+        if not history:
+            raise ValueError("bandwidth estimator history must be non-empty")
+        self._history = history[-self._max_history:]

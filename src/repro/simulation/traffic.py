@@ -61,3 +61,17 @@ class TrafficMeter:
     def breakdown(self) -> dict[str, float]:
         """Per-category byte counts (copy)."""
         return dict(self._bytes)
+
+    def state_dict(self) -> dict:
+        """Accumulated per-category traffic for checkpointing."""
+        return {"bytes": dict(self._bytes)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore counters captured by :meth:`state_dict`."""
+        counters = state["bytes"]
+        unknown = set(counters) - set(self.CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown traffic categories in checkpoint: {sorted(unknown)}")
+        self._bytes = {category: 0.0 for category in self.CATEGORIES}
+        for category, value in counters.items():
+            self._bytes[category] = float(value)

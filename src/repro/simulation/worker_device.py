@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.simulation.device import DeviceProfile
 from repro.simulation.network import WifiNetworkModel
+from repro.utils.rng import get_rng_state, set_rng_state
 
 #: Backward pass costs roughly twice the forward pass, so training one
 #: sample costs about three forward passes worth of FLOPs.
@@ -51,6 +52,22 @@ class WorkerDevice:
         if round_index - self._last_mode_round >= self.mode_change_interval:
             self.mode = int(self._rng.integers(0, self.profile.num_modes))
             self._last_mode_round = round_index
+
+    def state_dict(self) -> dict:
+        """Time-varying device state (mode, bandwidth, RNG) for checkpointing."""
+        return {
+            "rng": get_rng_state(self._rng),
+            "mode": self.mode,
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "last_mode_round": self._last_mode_round,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        set_rng_state(self._rng, state["rng"])
+        self.mode = int(state["mode"])
+        self.bandwidth_mbps = float(state["bandwidth_mbps"])
+        self._last_mode_round = int(state["last_mode_round"])
 
     # -- per-sample costs ----------------------------------------------------
     def compute_time_per_sample(self, forward_flops: float) -> float:

@@ -41,3 +41,26 @@ def spawn_rngs(seed: int, count: int) -> list[np.random.Generator]:
         raise ValueError(f"count must be non-negative, got {count}")
     root = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def spawned_rng(seed: int, index: int) -> np.random.Generator:
+    """Lazily create the ``index``-th child generator of ``seed``.
+
+    Bit-for-bit identical to ``spawn_rngs(seed, count)[index]`` for any
+    ``count > index``, but without materialising the whole family -- the
+    training engines use this to derive per-round generators for an
+    unbounded, monotonically growing round index.
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    return np.random.default_rng(np.random.SeedSequence(seed, spawn_key=(index,)))
+
+
+def get_rng_state(rng: np.random.Generator) -> dict:
+    """JSON-serialisable snapshot of a generator's bit-generator state."""
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> None:
+    """Restore a generator to a state captured by :func:`get_rng_state`."""
+    rng.bit_generator.state = state

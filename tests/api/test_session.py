@@ -1,0 +1,294 @@
+"""Tests for the steppable Session, the Algorithm interface and checkpointing."""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.api.checkpoint import decode_state, encode_state
+from repro.api.components import build_algorithm, build_components
+from repro.api.session import Session
+from repro.exceptions import ConfigurationError
+from repro.experiments.runner import run_experiment
+from repro.metrics.history import RoundRecord
+
+import numpy as np
+
+
+def _records(history):
+    return [asdict(record) for record in history.records]
+
+
+class TestCheckpointCodec:
+    def test_array_roundtrip_is_bit_exact(self):
+        arrays = [
+            np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0,
+            np.array([True, False]),
+            np.arange(5, dtype=np.int64),
+        ]
+        for array in arrays:
+            decoded = decode_state(encode_state(array))
+            assert decoded.dtype == array.dtype
+            assert np.array_equal(decoded, array)
+
+    def test_nested_structures(self):
+        payload = {"a": [1, 2.5, "x", None], "b": {"c": np.zeros(2)}}
+        decoded = decode_state(encode_state(payload))
+        assert decoded["a"] == [1, 2.5, "x", None]
+        assert np.array_equal(decoded["b"]["c"], np.zeros(2))
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            encode_state({1: "x"})
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_state(object())
+
+    def test_reserved_marker_key_rejected_at_save_time(self):
+        with pytest.raises(TypeError, match="reserved key"):
+            encode_state({"outer": {"__ndarray__": "collision"}})
+
+    def test_object_dtype_array_rejected_at_save_time(self):
+        with pytest.raises(TypeError, match="object-dtype"):
+            encode_state(np.array([object(), object()]))
+
+
+class TestAlgorithmInterface:
+    def test_engine_run_is_monotonic_across_calls(self, fast_config):
+        """A second run() call continues instead of restarting at round 0."""
+        chunked = build_algorithm(build_components(fast_config))
+        chunked.run(2)
+        chunked.run(1)
+        single = build_algorithm(build_components(fast_config))
+        single.run(3)
+        assert [r.round_index for r in chunked.history] == [0, 1, 2]
+        assert _records(chunked.history) == _records(single.history)
+
+    def test_run_beyond_config_num_rounds(self, fast_config):
+        """num_rounds > config.num_rounds no longer exhausts pre-spawned RNGs."""
+        algorithm = build_algorithm(build_components(fast_config))
+        history = algorithm.run(fast_config.num_rounds + 2)
+        assert len(history) == fast_config.num_rounds + 2
+
+    def test_fl_engine_monotonic_and_extendable(self, fast_config):
+        config = fast_config.replace(algorithm="fedavg")
+        chunked = build_algorithm(build_components(config))
+        chunked.run(2)
+        chunked.run(config.num_rounds)  # beyond the configured horizon
+        assert [r.round_index for r in chunked.history] == list(
+            range(2 + config.num_rounds)
+        )
+
+    def test_step_round_returns_latest_record(self, fast_config):
+        algorithm = build_algorithm(build_components(fast_config))
+        record = algorithm.step_round()
+        assert isinstance(record, RoundRecord)
+        assert record.round_index == 0
+        assert algorithm.rounds_completed == 1
+
+    def test_negative_rounds_rejected(self, fast_config):
+        algorithm = build_algorithm(build_components(fast_config))
+        with pytest.raises(ValueError):
+            algorithm.run(-1)
+
+    def test_fl_facade_global_model(self, fast_config):
+        config = fast_config.replace(algorithm="fedavg")
+        algorithm = build_algorithm(build_components(config))
+        algorithm.run(1)
+        components = build_components(config)
+        out = algorithm.global_model().forward(components.data.test.data[:3])
+        assert out.shape == (3, components.data.num_classes)
+
+
+class TestSession:
+    def test_step_matches_run_experiment(self, fast_config):
+        reference = run_experiment(fast_config)
+        session = Session.from_config(fast_config)
+        for _ in range(fast_config.num_rounds):
+            session.step()
+        assert _records(session.history) == _records(reference)
+
+    def test_run_defaults_to_remaining_rounds(self, fast_config):
+        session = Session.from_config(fast_config)
+        session.step()
+        session.run()
+        assert session.rounds_completed == fast_config.num_rounds
+        # A further default run() is a no-op: the schedule is complete.
+        session.run()
+        assert session.rounds_completed == fast_config.num_rounds
+
+    def test_callbacks_stream_records(self, fast_config):
+        session = Session.from_config(fast_config)
+        seen = []
+
+        @session.on_round_end
+        def collect(sess, record):
+            seen.append(record.round_index)
+
+        session.run(2)
+        assert seen == [0, 1]
+
+    def test_callback_truthy_return_stops_run(self, fast_config):
+        session = Session.from_config(fast_config)
+        session.on_round_end(lambda sess, record: record.round_index >= 0)
+        session.run(3)
+        assert session.rounds_completed == 1
+
+    def test_pre_built_algorithm_skips_component_assembly(self, fast_config):
+        components = build_components(fast_config)
+        algorithm = build_algorithm(components)
+        session = Session(fast_config, algorithm=algorithm)
+        assert session.components is None
+        assert session.algorithm is algorithm
+        session.run(1)
+        assert session.rounds_completed == 1
+
+    def test_global_model_forward(self, fast_config):
+        session = Session.from_config(fast_config)
+        session.step()
+        out = session.global_model().forward(session.components.data.test.data[:2])
+        assert out.shape == (2, session.components.data.num_classes)
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("algorithm", ["mergesfl", "fedavg", "splitfed"])
+    def test_chunked_run_with_checkpoint_matches_single_run(
+        self, fast_config, tmp_path, algorithm
+    ):
+        """Acceptance: step() in two chunks with a JSON checkpoint round trip
+        in between yields a History identical to one uninterrupted run."""
+        config = fast_config.replace(algorithm=algorithm)
+        reference = run_experiment(config)
+
+        session = Session.from_config(config)
+        session.step()
+        session.step()
+        path = tmp_path / "checkpoint.json"
+        session.save_checkpoint(path)
+
+        restored = Session.load_checkpoint(path)
+        assert restored.rounds_completed == 2
+        restored.run()
+
+        assert _records(restored.history) == _records(reference)
+
+    def test_in_memory_state_dict_roundtrip(self, fast_config):
+        reference = run_experiment(fast_config)
+        session = Session.from_config(fast_config)
+        session.step()
+        state = session.state_dict()
+        fresh = Session.from_config(fast_config)
+        fresh.load_state_dict(state)
+        fresh.run()
+        assert _records(fresh.history) == _records(reference)
+
+    def test_load_state_dict_rejects_other_config(self, fast_config):
+        session = Session.from_config(fast_config)
+        session.step()
+        state = session.state_dict()
+        other = Session.from_config(fast_config.replace(seed=99))
+        with pytest.raises(ConfigurationError, match="different configuration"):
+            other.load_state_dict(state)
+
+    def test_unsupported_version_rejected(self, fast_config, tmp_path):
+        session = Session.from_config(fast_config)
+        state = session.state_dict()
+        state["version"] = 999
+        with pytest.raises(ConfigurationError, match="version"):
+            session.load_state_dict(state)
+
+    def test_tuple_extras_survive_checkpoint_config_comparison(self, fast_config, tmp_path):
+        """Tuples in extras decode from JSON as lists; the config equality
+        check must not reject the checkpoint over that."""
+        config = fast_config.replace(extras={"tags": ("a", "b")})
+        session = Session.from_config(config)
+        session.step()
+        path = tmp_path / "tuple.json"
+        session.save_checkpoint(path)
+        fresh = Session.from_config(config)
+        from repro.api.checkpoint import load_checkpoint_payload
+        fresh.load_state_dict(load_checkpoint_payload(path))
+        assert fresh.rounds_completed == 1
+
+    def test_custom_wired_checkpoint_refuses_registry_rebuild(self, fast_config, tmp_path):
+        """A checkpoint from a hand-wired algorithm must not silently resume
+        as the registry-built default."""
+        components = build_components(fast_config)
+        session = Session(fast_config, algorithm=build_algorithm(components))
+        session.step()
+        path = tmp_path / "custom.json"
+        session.save_checkpoint(path)
+        with pytest.raises(ConfigurationError, match="hand-wired"):
+            Session.load_checkpoint(path)
+        # The documented escape hatch: rebuild the algorithm yourself.
+        rebuilt = Session(fast_config, algorithm=build_algorithm(build_components(fast_config)))
+        from repro.api.checkpoint import load_checkpoint_payload
+        rebuilt.load_state_dict(load_checkpoint_payload(path))
+        assert rebuilt.rounds_completed == 1
+
+    def test_custom_components_checkpoint_also_refuses_rebuild(self, fast_config, tmp_path):
+        """Hand-wired components (not just a hand-wired algorithm) cannot be
+        reproduced from the config, so the guard covers them too."""
+        session = Session(fast_config, components=build_components(fast_config))
+        session.step()
+        path = tmp_path / "custom_components.json"
+        session.save_checkpoint(path)
+        with pytest.raises(ConfigurationError, match="hand-wired"):
+            Session.load_checkpoint(path)
+
+    def test_checkpoint_restores_rng_dependent_streams(self, fast_config, tmp_path):
+        """The restored run must consume worker batches exactly where the
+        saved one stopped (loader RNG/cursor state, not just weights)."""
+        session = Session.from_config(fast_config)
+        session.step()
+        path = tmp_path / "ck.json"
+        session.save_checkpoint(path)
+        restored = Session.load_checkpoint(path)
+        for saved, fresh in zip(session.components.workers, restored.components.workers):
+            batch_a = saved.loader.next_batch(4)[0]
+            batch_b = fresh.loader.next_batch(4)[0]
+            assert np.array_equal(batch_a, batch_b)
+
+
+class TestModuleExtraState:
+    def test_dropout_rng_roundtrip(self):
+        from repro.nn.layers.regularization import Dropout
+        from repro.nn.module import Sequential
+        from repro.nn.serialization import load_module_extra_state, module_extra_state
+        from repro.utils.rng import new_rng
+
+        model = Sequential([Dropout(0.5, rng=new_rng(3))])
+        model.forward(np.ones((4, 8)))          # advance the RNG
+        state = module_extra_state(model)
+        expected = model.forward(np.ones((4, 8)))
+
+        fresh = Sequential([Dropout(0.5, rng=new_rng(0))])
+        load_module_extra_state(fresh, state)
+        assert np.array_equal(fresh.forward(np.ones((4, 8))), expected)
+
+    def test_stateless_layer_rejects_extra_state(self):
+        from repro.nn.layers.activations import ReLU
+
+        with pytest.raises(ValueError, match="does not accept extra state"):
+            ReLU().load_extra_state({"rng": {}})
+
+    def test_unknown_layer_path_rejected(self):
+        from repro.nn.module import Sequential
+        from repro.nn.serialization import load_module_extra_state
+
+        with pytest.raises(KeyError, match="unknown layer"):
+            load_module_extra_state(Sequential([]), {"layer7": {}})
+
+
+class TestConfigRoundTrips:
+    def test_from_dict_replace_preserves_extras(self, fast_config):
+        config = fast_config.replace(extras={"auto_budget": False, "note": "x"})
+        clone = type(config).from_dict(config.to_dict())
+        assert clone == config
+        changed = config.replace(num_rounds=7)
+        assert changed.extras == {"auto_budget": False, "note": "x"}
+        assert changed.num_rounds == 7
+
+    def test_replace_merges_new_unknown_keys_into_extras(self, fast_config):
+        changed = fast_config.replace(mystery=3)
+        assert changed.extras["mystery"] == 3

@@ -7,7 +7,13 @@ import pytest
 
 from repro.utils.logging import configure_logging, get_logger
 from repro.utils.numeric import moving_average, normalize_distribution, safe_divide
-from repro.utils.rng import new_rng, spawn_rngs
+from repro.utils.rng import (
+    get_rng_state,
+    new_rng,
+    set_rng_state,
+    spawn_rngs,
+    spawned_rng,
+)
 
 
 class TestRng:
@@ -23,6 +29,25 @@ class TestRng:
         with pytest.raises(ValueError):
             spawn_rngs(0, -1)
         assert spawn_rngs(0, 0) == []
+
+    def test_spawned_rng_matches_eager_spawn(self):
+        """Lazy per-index spawning is bit-identical to spawn_rngs."""
+        eager = spawn_rngs(17, 5)
+        for index in range(5):
+            assert spawned_rng(17, index).random() == eager[index].random()
+
+    def test_spawned_rng_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            spawned_rng(0, -1)
+
+    def test_rng_state_roundtrip(self):
+        rng = new_rng(3)
+        rng.random(10)
+        state = get_rng_state(rng)
+        expected = rng.random(4)
+        other = new_rng(0)
+        set_rng_state(other, state)
+        assert np.array_equal(other.random(4), expected)
 
 
 class TestNumeric:
