@@ -8,7 +8,7 @@ from repro.experiments import figures
 from repro.experiments.reporting import format_comparison
 from repro.metrics.summary import time_to_accuracy
 
-from benchmarks.common import BENCH_OVERRIDES, run_once
+from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
 
 
 def test_fig06_iid_har(benchmark):
@@ -32,5 +32,7 @@ def test_fig06_iid_cifar10(benchmark):
     merge_time = time_to_accuracy(histories["mergesfl"], target)
     locfedmix_time = time_to_accuracy(histories["locfedmix_sl"], target)
     # Shape check: MergeSFL reaches the common target no slower than LocFedMix-SL.
-    assert merge_time is not None and locfedmix_time is not None
-    assert merge_time <= locfedmix_time * 1.05
+    # Meaningless at smoke scale, where runs are cut to a couple of rounds.
+    if not SMOKE_MODE:
+        assert merge_time is not None and locfedmix_time is not None
+        assert merge_time <= locfedmix_time * 1.05

@@ -7,7 +7,7 @@ the baselines lose 5.8%-26.2% accuracy.
 from repro.experiments import figures
 from repro.experiments.reporting import format_comparison
 
-from benchmarks.common import BENCH_OVERRIDES, run_once
+from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
 
 
 def test_fig07_noniid_har(benchmark):
@@ -27,4 +27,6 @@ def test_fig07_noniid_cifar10(benchmark):
     print()
     print(format_comparison(comparison, title="Fig. 7(c): CIFAR-10 analogue, non-IID p=10"))
     # Every approach must still train (well above the 10% chance level).
-    assert all(m["best_accuracy"] > 0.2 for m in comparison.values())
+    # Meaningless at smoke scale, where runs are cut to a couple of rounds.
+    if not SMOKE_MODE:
+        assert all(m["best_accuracy"] > 0.2 for m in comparison.values())

@@ -7,7 +7,7 @@ top across all levels.
 from repro.experiments import figures
 from repro.experiments.reporting import format_table
 
-from benchmarks.common import BENCH_OVERRIDES, run_once
+from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
 
 
 def test_fig10_noniid_levels_cifar10(benchmark):
@@ -27,4 +27,6 @@ def test_fig10_noniid_levels_cifar10(benchmark):
         title="Fig. 10: accuracy vs non-IID level (CIFAR-10 analogue)",
     ))
     # Every approach trains above chance at every level.
-    assert all(row["best_accuracy"] > 0.2 for row in result["rows"])
+    # Meaningless at smoke scale, where runs are cut to a couple of rounds.
+    if not SMOKE_MODE:
+        assert all(row["best_accuracy"] > 0.2 for row in result["rows"])

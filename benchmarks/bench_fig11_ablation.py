@@ -7,7 +7,7 @@ w/o BR matches on non-IID accuracy but is ~2.2x slower.
 from repro.experiments import figures
 from repro.experiments.reporting import format_comparison
 
-from benchmarks.common import BENCH_OVERRIDES, run_once
+from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
 
 
 def test_fig11_ablation_cifar10(benchmark):
@@ -24,4 +24,6 @@ def test_fig11_ablation_cifar10(benchmark):
     # (w/o BR uses one identical batch size, so fast workers idle).
     with_br = iid["mergesfl"].records[-1].sim_time
     without_br = iid["mergesfl_no_br"].records[-1].sim_time
-    assert with_br <= without_br * 1.05
+    # Meaningless at smoke scale, where runs are cut to a couple of rounds.
+    if not SMOKE_MODE:
+        assert with_br <= without_br * 1.05

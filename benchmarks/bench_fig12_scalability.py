@@ -8,7 +8,7 @@ data per round.
 from repro.experiments import figures
 from repro.experiments.reporting import format_table
 
-from benchmarks.common import BENCH_OVERRIDES, run_once
+from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
 
 
 def test_fig12_scalability(benchmark):
@@ -28,4 +28,6 @@ def test_fig12_scalability(benchmark):
         title="Fig. 12: MergeSFL at different system scales (CIFAR-10 analogue)",
     ))
     # Every scale reaches the common target.
-    assert all(row["time_to_target_s"] is not None for row in result["rows"])
+    # Meaningless at smoke scale, where runs are cut to a couple of rounds.
+    if not SMOKE_MODE:
+        assert all(row["time_to_target_s"] is not None for row in result["rows"])

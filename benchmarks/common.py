@@ -8,9 +8,20 @@ measured numbers next to the paper's and discusses where the shape holds.
 Each benchmark runs its experiment exactly once (``benchmark.pedantic`` with
 one round/iteration): the interesting output is the reproduced table, not
 the harness's own wall-clock variance.
+
+Two environment variables tune the suite without editing code:
+
+* ``BENCH_SMOKE=1`` -- shrink every experiment to a near-trivial size, so CI
+  can assert that all benchmark entry points still *run* in a couple of
+  minutes (the numbers are meaningless at that scale).
+* ``BENCH_EXECUTOR=serial|batched|process`` -- select the execution backend
+  (see :mod:`repro.parallel`) for every benchmark.  All backends are
+  bit-exact, so this only changes wall-clock time.
 """
 
 from __future__ import annotations
+
+import os
 
 #: Overrides applied to every figure entry point to keep the suite fast.
 BENCH_OVERRIDES = {
@@ -25,6 +36,27 @@ BENCH_OVERRIDES = {
     "learning_rate": 0.08,
     "seed": 7,
 }
+
+#: Further reductions applied when ``BENCH_SMOKE`` is set: just enough
+#: signal to prove the entry point still assembles and runs.
+SMOKE_OVERRIDES = {
+    "num_workers": 4,
+    "num_rounds": 2,
+    "local_iterations": 2,
+    "train_samples": 160,
+    "test_samples": 64,
+    "model_width": 0.25,
+    "ga_population": 8,
+    "ga_generations": 4,
+}
+
+SMOKE_MODE = bool(os.environ.get("BENCH_SMOKE"))
+if SMOKE_MODE:
+    BENCH_OVERRIDES.update(SMOKE_OVERRIDES)
+
+_executor = os.environ.get("BENCH_EXECUTOR")
+if _executor:
+    BENCH_OVERRIDES["executor"] = _executor
 
 
 def run_once(benchmark, func, *args, **kwargs):

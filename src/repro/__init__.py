@@ -15,9 +15,12 @@ Regulation.  This package provides:
   and the motivation/ablation variants.
 * ``repro.api`` -- the extension and execution API: plugin registries
   (``@register_algorithm`` / ``@register_dataset`` / ``@register_model`` /
-  ``@register_policy``), the unified :class:`~repro.api.algorithm.Algorithm`
-  interface, and the steppable, checkpointable
-  :class:`~repro.api.session.Session`.
+  ``@register_policy`` / ``@register_executor``), the unified
+  :class:`~repro.api.algorithm.Algorithm` interface, and the steppable,
+  checkpointable :class:`~repro.api.session.Session`.
+* ``repro.parallel`` -- interchangeable, bit-exact execution backends for
+  the per-worker compute: serial, vectorized (worker-stacked kernels) and
+  multiprocess.
 * ``repro.experiments`` -- per-figure reproduction entry points and the
   classic :func:`~repro.experiments.runner.run_experiment` wrapper.
 
@@ -43,10 +46,12 @@ from repro.api.algorithm import Algorithm
 from repro.api.registry import (
     ALGORITHMS,
     DATASETS,
+    EXECUTORS,
     MODELS,
     POLICIES,
     register_algorithm,
     register_dataset,
+    register_executor,
     register_model,
     register_policy,
 )
@@ -61,10 +66,12 @@ __all__ = [
     "Session",
     "ALGORITHMS",
     "DATASETS",
+    "EXECUTORS",
     "MODELS",
     "POLICIES",
     "register_algorithm",
     "register_dataset",
+    "register_executor",
     "register_model",
     "register_policy",
 ]

@@ -24,11 +24,13 @@ from repro.api.algorithm import Algorithm, EngineBackedAlgorithm
 from repro.api.registry import (
     ALGORITHMS,
     DATASETS,
+    EXECUTORS,
     MODELS,
     POLICIES,
     Registry,
     register_algorithm,
     register_dataset,
+    register_executor,
     register_model,
     register_policy,
 )
@@ -49,10 +51,12 @@ __all__ = [
     "Registry",
     "ALGORITHMS",
     "DATASETS",
+    "EXECUTORS",
     "MODELS",
     "POLICIES",
     "register_algorithm",
     "register_dataset",
+    "register_executor",
     "register_model",
     "register_policy",
     "Session",

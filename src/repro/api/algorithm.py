@@ -73,6 +73,13 @@ class Algorithm(abc.ABC):
         """Number of communication rounds executed so far."""
         return len(self.history)
 
+    def close(self) -> None:
+        """Release execution resources (process pools, ...); idempotent.
+
+        The default is a no-op; engines that own an
+        :class:`~repro.parallel.base.Executor` forward the call to it.
+        """
+
     def run(self, num_rounds: int | None = None) -> History:
         """Execute ``num_rounds`` additional rounds (default: ``config.num_rounds``).
 
@@ -115,3 +122,6 @@ class EngineBackedAlgorithm(Algorithm):
 
     def load_state_dict(self, state: dict) -> None:
         self.engine.load_state_dict(state)
+
+    def close(self) -> None:
+        self.engine.close()

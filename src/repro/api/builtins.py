@@ -13,3 +13,4 @@ import repro.baselines.sfl  # noqa: F401
 import repro.core.mergesfl  # noqa: F401
 import repro.data.synthetic  # noqa: F401
 import repro.nn.models  # noqa: F401
+import repro.parallel  # noqa: F401

@@ -12,8 +12,12 @@ it (see :mod:`repro.api.registry`), not editing this module.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.base import Executor
 
 from repro.api.registry import ALGORITHMS, MODELS
 from repro.config import ExperimentConfig
@@ -25,6 +29,7 @@ from repro.exceptions import ConfigurationError
 from repro.nn.models import build_model, default_split_layer, has_default_split
 from repro.nn.module import Sequential
 from repro.nn.split import SplitModel, split_model
+from repro.parallel import build_executor
 from repro.simulation.cluster import Cluster, build_cluster
 from repro.simulation.traffic import feature_bytes
 
@@ -39,7 +44,10 @@ class ExperimentComponents:
 
     ``split`` is ``None`` for models that declare no split point
     (no ``split_after_weighted`` registry metadata); such models can only
-    run full-model (FL) algorithms.
+    run full-model (FL) algorithms.  ``executor`` is the execution backend
+    (built from ``config.executor`` through the
+    :data:`~repro.api.registry.EXECUTORS` registry) that the engines use
+    for per-worker compute.
     """
 
     config: ExperimentConfig
@@ -49,6 +57,9 @@ class ExperimentComponents:
     workers: list[SplitWorker]
     cluster: Cluster
     bandwidth_budget: float
+    #: ``None`` (e.g. hand-wired component sets) means the engines fall
+    #: back to their default serial executor.
+    executor: "Executor | None" = None
 
 
 def build_model_for(config: ExperimentConfig, data: TrainTestSplit) -> Sequential:
@@ -176,6 +187,7 @@ def build_components(config: ExperimentConfig) -> ExperimentComponents:
         workers=workers,
         cluster=cluster,
         bandwidth_budget=budget,
+        executor=build_executor(config),
     )
 
 

@@ -238,8 +238,11 @@ DATASETS = Registry("dataset", populate=_load_builtins)
 MODELS = Registry("model", populate=_load_builtins)
 #: Control policies / selection strategies: factories ``(config, **kw) -> policy``.
 POLICIES = Registry("policy", populate=_load_builtins)
+#: Execution backends: factories ``(config) -> Executor`` (see ``repro.parallel``).
+EXECUTORS = Registry("executor", populate=_load_builtins)
 
 register_algorithm = ALGORITHMS.register
 register_dataset = DATASETS.register
 register_model = MODELS.register
 register_policy = POLICIES.register
+register_executor = EXECUTORS.register

@@ -145,6 +145,24 @@ class Session:
                 break
         return self.history
 
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Release execution resources (e.g. executor process pools).
+
+        The session stays usable for observation afterwards; idempotent.
+        Sessions also work as context managers::
+
+            with Session.from_config(config) as session:
+                session.run()
+        """
+        self.algorithm.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     # -- checkpointing -------------------------------------------------------
     def state_dict(self) -> dict:
         """Configuration plus full mutable algorithm state."""

@@ -42,6 +42,7 @@ class FedAvg(EngineBackedAlgorithm):
         workers: list[SplitWorker],
         cluster: Cluster,
         data: TrainTestSplit,
+        executor=None,
     ) -> None:
         self.engine = FLTrainingEngine(
             config=config,
@@ -50,6 +51,7 @@ class FedAvg(EngineBackedAlgorithm):
             cluster=cluster,
             data=data,
             selection=SelectAll(),
+            executor=executor,
         )
 
     @classmethod
@@ -61,6 +63,7 @@ class FedAvg(EngineBackedAlgorithm):
             workers=components.workers,
             cluster=components.cluster,
             data=components.data,
+            executor=components.executor,
         )
 
 

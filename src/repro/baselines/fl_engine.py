@@ -30,6 +30,8 @@ from repro.nn.serialization import (
     model_size_bytes,
     module_extra_state,
 )
+from repro.parallel.base import Executor
+from repro.parallel.serial import SerialExecutor
 from repro.simulation.cluster import Cluster
 from repro.simulation.timing import average_waiting_time, round_duration
 from repro.simulation.traffic import TrafficMeter
@@ -65,6 +67,7 @@ class FLTrainingEngine(Algorithm):
         cluster: Cluster,
         data: TrainTestSplit,
         selection: FLSelectionStrategy,
+        executor: Executor | None = None,
     ) -> None:
         self.config = config
         self.model = model.clone()
@@ -72,6 +75,7 @@ class FLTrainingEngine(Algorithm):
         self.cluster = cluster
         self.data = data
         self.selection = selection
+        self.executor = executor if executor is not None else SerialExecutor()
 
         self.loss_fn = CrossEntropyLoss()
         self.traffic = TrafficMeter()
@@ -105,6 +109,10 @@ class FLTrainingEngine(Algorithm):
         model = self.model.clone()
         model.eval()
         return model
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, pools)."""
+        self.executor.close()
 
     # -- checkpointing -----------------------------------------------------------
     def state_dict(self) -> dict:
@@ -159,19 +167,18 @@ class FLTrainingEngine(Algorithm):
             raise RuntimeError("FL selection strategy selected no workers")
 
         # Local training on every selected worker.
-        states = []
+        selected_workers = [self.workers[worker_id] for worker_id in selected]
+        states = self.executor.train_full(
+            selected_workers,
+            self.model,
+            self.loss_fn,
+            iterations=config.local_iterations,
+            batch_size=config.base_batch_size,
+            learning_rate=self._current_lr,
+        )
         weights = []
         losses = []
-        for worker_id in selected:
-            worker = self.workers[worker_id]
-            state = worker.train_full_model(
-                self.model,
-                self.loss_fn,
-                iterations=config.local_iterations,
-                batch_size=config.base_batch_size,
-                learning_rate=self._current_lr,
-            )
-            states.append(state)
+        for worker, state in zip(selected_workers, states):
             weights.append(float(worker.num_samples))
             worker.participation_count += 1
             losses.append(self._local_loss(state))

@@ -146,6 +146,7 @@ def _build_split_custom(components):
         data=components.data,
         policy=_configured_policy(components.config, "split_control"),
         bandwidth_budget_override=components.bandwidth_budget,
+        executor=components.executor,
     )
 
 
@@ -164,4 +165,5 @@ def _build_fl_custom(components):
         cluster=components.cluster,
         data=components.data,
         selection=_configured_policy(components.config, "fl_selection"),
+        executor=components.executor,
     )

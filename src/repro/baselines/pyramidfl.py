@@ -88,6 +88,7 @@ class PyramidFL(EngineBackedAlgorithm):
         cluster: Cluster,
         data: TrainTestSplit,
         participation_fraction: float = 0.6,
+        executor=None,
     ) -> None:
         self.engine = FLTrainingEngine(
             config=config,
@@ -96,6 +97,7 @@ class PyramidFL(EngineBackedAlgorithm):
             cluster=cluster,
             data=data,
             selection=PyramidSelection(participation_fraction=participation_fraction),
+            executor=executor,
         )
 
     @classmethod
@@ -107,6 +109,7 @@ class PyramidFL(EngineBackedAlgorithm):
             workers=components.workers,
             cluster=components.cluster,
             data=components.data,
+            executor=components.executor,
         )
 
 

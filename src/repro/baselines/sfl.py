@@ -36,6 +36,7 @@ class _SplitBaseline(EngineBackedAlgorithm):
         data: TrainTestSplit,
         policy,
         bandwidth_budget_override: float | None = None,
+        executor=None,
     ) -> None:
         self.policy = policy
         self.engine = SplitTrainingEngine(
@@ -46,6 +47,7 @@ class _SplitBaseline(EngineBackedAlgorithm):
             data=data,
             policy=policy,
             bandwidth_budget_override=bandwidth_budget_override,
+            executor=executor,
         )
 
     @classmethod
@@ -58,6 +60,7 @@ class _SplitBaseline(EngineBackedAlgorithm):
             components.cluster,
             components.data,
             bandwidth_budget_override=components.bandwidth_budget,
+            executor=components.executor,
             **kwargs,
         )
 
@@ -122,6 +125,7 @@ class SFLVariant(_SplitBaseline):
             components.cluster,
             components.data,
             bandwidth_budget_override=components.bandwidth_budget,
+            executor=components.executor,
             **kwargs,
         )
 

@@ -80,6 +80,13 @@ class ExperimentConfig:
     ga_generations: int = 15
     selection_fraction: float = 0.5        # m = N/2 initial population seed
 
+    # Execution --------------------------------------------------------------
+    #: How the per-worker compute of each round is executed: ``"serial"``,
+    #: ``"batched"`` (vectorized over the worker axis) or ``"process"``
+    #: (multiprocessing pool); see :mod:`repro.parallel`.  All backends are
+    #: bit-exact with each other, so this is purely a speed knob.
+    executor: str = "serial"
+
     # Reproducibility --------------------------------------------------------
     seed: int = 0
 
@@ -97,7 +104,7 @@ class ExperimentConfig:
         third-party algorithms, datasets and models registered with the
         ``@register_*`` decorators validate exactly like built-ins.
         """
-        from repro.api.registry import ALGORITHMS, DATASETS, MODELS
+        from repro.api.registry import ALGORITHMS, DATASETS, EXECUTORS, MODELS
 
         if self.algorithm not in ALGORITHMS:
             raise ConfigurationError(ALGORITHMS.unknown_message(self.algorithm))
@@ -105,6 +112,8 @@ class ExperimentConfig:
             raise ConfigurationError(DATASETS.unknown_message(self.dataset))
         if self.model not in MODELS:
             raise ConfigurationError(MODELS.unknown_message(self.model))
+        if self.executor not in EXECUTORS:
+            raise ConfigurationError(EXECUTORS.unknown_message(self.executor))
         positive_fields = {
             "num_workers": self.num_workers,
             "num_rounds": self.num_rounds,

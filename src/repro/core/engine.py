@@ -34,6 +34,8 @@ from repro.nn.models import estimate_forward_flops
 from repro.nn.module import Sequential
 from repro.nn.serialization import model_size_bytes
 from repro.nn.split import SplitModel
+from repro.parallel.base import Executor
+from repro.parallel.serial import SerialExecutor
 from repro.simulation.cluster import Cluster
 from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
 from repro.simulation.timing import average_waiting_time, round_duration
@@ -42,6 +44,19 @@ from repro.utils.logging import get_logger
 from repro.utils.rng import spawned_rng
 
 logger = get_logger("core.engine")
+
+#: Clip bounds for the batch-size-proportional worker learning-rate scale
+#: (Section IV-B): a worker whose regulated batch is much smaller/larger
+#: than ``base_batch_size`` still steps within [0.25x, 4x] of the round's
+#: learning rate, keeping stragglers and sprinters inside the stable
+#: step-size region.
+WORKER_LR_SCALE_BOUNDS = (0.25, 4.0)
+
+#: Clip bounds for the optional merged-top learning-rate boost
+#: (``extras['top_lr_scale']``).  The merged batch grows with the fleet, so
+#: linear scaling may warrant a larger boost than any single worker's
+#: batch-proportional scale -- hence the wider upper bound.
+TOP_LR_SCALE_BOUNDS = (0.25, 16.0)
 
 
 class ControlPolicy(Protocol):
@@ -70,6 +85,7 @@ class SplitTrainingEngine(Algorithm):
         data: TrainTestSplit,
         policy: ControlPolicy,
         bandwidth_budget_override: float | None = None,
+        executor: Executor | None = None,
     ) -> None:
         if split is None:
             raise ConfigurationError(
@@ -83,6 +99,7 @@ class SplitTrainingEngine(Algorithm):
         self.cluster = cluster
         self.data = data
         self.policy = policy
+        self.executor = executor if executor is not None else SerialExecutor()
 
         self.server = SplitServer(
             bottom_template=split.bottom,
@@ -149,6 +166,10 @@ class SplitTrainingEngine(Algorithm):
         )
         combined.eval()
         return combined
+
+    def close(self) -> None:
+        """Release executor resources (worker processes, pools)."""
+        self.executor.close()
 
     # -- checkpointing -----------------------------------------------------------
     def state_dict(self) -> dict:
@@ -221,10 +242,7 @@ class SplitTrainingEngine(Algorithm):
 
         # Distribute the bottom model and configure the selected workers.
         selected_workers = [self.workers[w] for w in plan.selected]
-        for worker in selected_workers:
-            batch = plan.batch_sizes[worker.worker_id]
-            local_lr = self._scaled_lr(batch)
-            worker.receive_bottom_model(self.server.global_bottom, local_lr)
+        self._install_bottoms(plan, selected_workers)
         self.server.set_learning_rate(self._top_lr(plan))
 
         # tau local iterations of split training.
@@ -234,11 +252,7 @@ class SplitTrainingEngine(Algorithm):
             losses.append(loss)
             if self.policy.aggregate_every_iteration:
                 self._aggregate(plan, selected_workers)
-                for worker in selected_workers:
-                    batch = plan.batch_sizes[worker.worker_id]
-                    worker.receive_bottom_model(
-                        self.server.global_bottom, self._scaled_lr(batch)
-                    )
+                self._install_bottoms(plan, selected_workers)
 
         # End-of-round aggregation (Eq. 17).
         if not self.policy.aggregate_every_iteration:
@@ -276,37 +290,49 @@ class SplitTrainingEngine(Algorithm):
             self._clock, self.traffic.total_megabytes,
         )
 
+    def _install_bottoms(
+        self, plan: RoundPlan, selected_workers: list[SplitWorker]
+    ) -> None:
+        """Distribute the global bottom model with batch-size-scaled rates."""
+        learning_rates = [
+            self._scaled_lr(plan.batch_sizes[worker.worker_id])
+            for worker in selected_workers
+        ]
+        self.executor.install(
+            selected_workers, self.server.global_bottom, learning_rates
+        )
+
     def _run_iteration(
         self, plan: RoundPlan, selected_workers: list[SplitWorker]
     ) -> float:
         """One local iteration: forward on workers, top update, dispatch, backward."""
         worker_ids = [worker.worker_id for worker in selected_workers]
-        features = []
-        labels = []
-        for worker in selected_workers:
-            feats, labs = worker.forward_batch(plan.batch_sizes[worker.worker_id])
-            features.append(feats)
-            labels.append(labs)
+        batch_sizes = [
+            plan.batch_sizes[worker.worker_id] for worker in selected_workers
+        ]
+        features, labels = self.executor.forward(selected_workers, batch_sizes)
         if self.policy.merge_features:
             loss, gradients = self.server.update_top_merged(worker_ids, features, labels)
         else:
             loss, gradients = self.server.update_top_per_worker(
                 worker_ids, features, labels
             )
-        for worker in selected_workers:
-            worker.backward_and_step(gradients[worker.worker_id])
+        self.executor.backward_step(
+            selected_workers,
+            [gradients[worker.worker_id] for worker in selected_workers],
+        )
         return loss
 
     def _aggregate(self, plan: RoundPlan, selected_workers: list[SplitWorker]) -> None:
         """Aggregate bottom models with batch-size-proportional weights (Eq. 17)."""
-        states = [worker.bottom_state() for worker in selected_workers]
+        states = self.executor.bottom_states(selected_workers)
         weights = [float(plan.batch_sizes[w.worker_id]) for w in selected_workers]
         self.server.aggregate_bottoms(states, weights)
 
     def _scaled_lr(self, batch_size: int) -> float:
         """Worker learning rate proportional to its batch size (Section IV-B)."""
         scale = batch_size / self.config.base_batch_size
-        scale = float(np.clip(scale, 0.25, 4.0))
+        scale = float(np.clip(scale, *WORKER_LR_SCALE_BOUNDS))
         return self._current_lr * scale
 
     def _top_lr(self, plan: RoundPlan) -> float:
@@ -322,7 +348,7 @@ class SplitTrainingEngine(Algorithm):
         if not self.policy.merge_features:
             return self._current_lr
         scale = float(self.config.extras.get("top_lr_scale", 1.0))
-        scale = float(np.clip(scale, 0.25, 16.0))
+        scale = float(np.clip(scale, *TOP_LR_SCALE_BOUNDS))
         return self._current_lr * scale
 
     def _account_time_and_traffic(self, plan: RoundPlan) -> tuple[float, float]:

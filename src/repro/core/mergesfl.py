@@ -87,6 +87,7 @@ class MergeSFL(EngineBackedAlgorithm):
         enable_merging: bool = True,
         enable_regulation: bool = True,
         bandwidth_budget_override: float | None = None,
+        executor=None,
     ) -> None:
         self.policy = MergeSFLPolicy(
             config,
@@ -101,6 +102,7 @@ class MergeSFL(EngineBackedAlgorithm):
             data=data,
             policy=self.policy,
             bandwidth_budget_override=bandwidth_budget_override,
+            executor=executor,
         )
 
     @classmethod
@@ -113,6 +115,7 @@ class MergeSFL(EngineBackedAlgorithm):
             cluster=components.cluster,
             data=components.data,
             bandwidth_budget_override=components.bandwidth_budget,
+            executor=components.executor,
             **flags,
         )
 

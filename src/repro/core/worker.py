@@ -97,6 +97,18 @@ class SplitWorker:
         return self.bottom.state_dict()
 
     # -- split training ------------------------------------------------------
+    def draw_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw the next local mini-batch without running the bottom model.
+
+        Used by executors that carry out the bottom-model compute elsewhere
+        (stacked kernels, worker processes): the sampling state stays on the
+        worker, where it is checkpointed, regardless of where the arithmetic
+        happens.
+        """
+        data, labels = self.loader.next_batch(batch_size)
+        self._pending_batch_size = data.shape[0]
+        return data, labels
+
     def forward_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
         """Run the bottom model on the next local mini-batch.
 
@@ -106,8 +118,7 @@ class SplitWorker:
         """
         if self.bottom is None:
             raise RuntimeError("worker has no bottom model installed")
-        data, labels = self.loader.next_batch(batch_size)
-        self._pending_batch_size = data.shape[0]
+        data, labels = self.draw_batch(batch_size)
         features = self.bottom.forward(data)
         return features, labels
 

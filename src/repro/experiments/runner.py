@@ -43,4 +43,5 @@ def run_experiment(config: ExperimentConfig) -> History:
         config.algorithm, config.dataset, config.model,
         config.num_workers, config.num_rounds, config.non_iid_level,
     )
-    return Session.from_config(config).run()
+    with Session.from_config(config) as session:
+        return session.run()

@@ -1,0 +1,56 @@
+"""Parallel execution backends for the training engines.
+
+Every engine describes *what* each selected worker computes per round; an
+:class:`~repro.parallel.base.Executor` decides *how*:
+
+* ``serial`` -- one worker after another (the reference semantics).
+* ``batched`` -- all workers vectorized into stacked numpy kernels.
+* ``process`` -- workers fanned out to a pool of OS processes.
+
+All three produce bit-identical training trajectories for a fixed seed;
+pick one with ``ExperimentConfig(executor="batched")`` or register your own
+with :func:`~repro.api.registry.register_executor`.  Executor factories
+receive the full :class:`~repro.config.ExperimentConfig` so backends can
+read tuning knobs from ``config.extras`` (the process pool size, for
+example, comes from ``extras["executor_processes"]``).
+"""
+
+from repro.api.registry import register_executor
+from repro.parallel.base import Executor
+from repro.parallel.batched import BatchedExecutor
+from repro.parallel.process import ProcessExecutor
+from repro.parallel.serial import SerialExecutor
+
+__all__ = [
+    "BatchedExecutor",
+    "Executor",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "build_executor",
+]
+
+
+@register_executor("serial", description="one worker after another, in-thread")
+def _build_serial(config) -> SerialExecutor:
+    return SerialExecutor()
+
+
+@register_executor("batched", description="workers stacked into vectorized numpy kernels")
+def _build_batched(config) -> BatchedExecutor:
+    return BatchedExecutor()
+
+
+@register_executor("process", description="workers fanned out to a process pool")
+def _build_process(config) -> ProcessExecutor:
+    processes = config.extras.get("executor_processes")
+    return ProcessExecutor(
+        processes=int(processes) if processes is not None else None,
+        start_method=config.extras.get("executor_start_method"),
+    )
+
+
+def build_executor(config) -> Executor:
+    """Instantiate the executor named in ``config.executor`` via the registry."""
+    from repro.api.registry import EXECUTORS
+
+    return EXECUTORS.get(config.executor)(config)

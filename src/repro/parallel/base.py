@@ -1,0 +1,119 @@
+"""The executor interface: how engines run per-worker computation.
+
+MergeSFL models workers as physically distinct devices whose bottom-model
+computation happens concurrently; the training engines, however, only
+describe *what* every selected worker must compute each iteration.  An
+:class:`Executor` decides *how* that per-worker computation is carried
+out -- one worker after another in the calling thread
+(:class:`~repro.parallel.serial.SerialExecutor`), vectorized across the
+worker axis in single numpy kernels
+(:class:`~repro.parallel.batched.BatchedExecutor`), or fanned out to a pool
+of OS processes (:class:`~repro.parallel.process.ProcessExecutor`).
+
+All executors are *semantically interchangeable*: for a fixed seed they
+must produce bit-identical training trajectories.  The contract keeps every
+piece of checkpointed state (data loaders, participation counters, RNG
+streams) inside the engine/worker objects; executors only hold per-round
+scratch state that is rebuilt by :meth:`Executor.install`, which is why
+switching executors never invalidates a checkpoint.
+
+Split-training call sequence, per round (mirrors ``SplitTrainingEngine``)::
+
+    install(workers, bottom, lrs)          # distribute the global bottom
+    repeat tau times:
+        forward(workers, batch_sizes)      # features for the PS
+        ... top-model update on the PS ...
+        backward_step(workers, gradients)  # dispatched gradients + SGD step
+    bottom_states(workers)                 # collect for aggregation
+
+Full-model (FL) call sequence, per round::
+
+    train_full(workers, model, loss_fn, iterations, batch_size, lr)
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.worker import SplitWorker
+    from repro.nn.module import Sequential
+
+
+class Executor(abc.ABC):
+    """Execution backend for the per-worker compute of one training round."""
+
+    #: Registry name of the backend (also used in logs and error messages).
+    name: str = "abstract"
+
+    # -- split training -------------------------------------------------------
+    @abc.abstractmethod
+    def install(
+        self,
+        workers: "list[SplitWorker]",
+        bottom: "Sequential",
+        learning_rates: list[float],
+    ) -> None:
+        """Distribute a fresh copy of the global bottom model to ``workers``.
+
+        Equivalent to ``worker.receive_bottom_model(bottom, lr)`` for every
+        worker: each worker starts the round from identical parameters and a
+        freshly zeroed optimizer, with its own (batch-size-scaled) learning
+        rate.
+        """
+
+    @abc.abstractmethod
+    def forward(
+        self, workers: "list[SplitWorker]", batch_sizes: list[int]
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Run every worker's bottom model on its next local mini-batch.
+
+        Returns:
+            ``(features, labels)`` lists aligned with ``workers``; the
+            features are the split-layer activations sent to the PS.
+        """
+
+    @abc.abstractmethod
+    def backward_step(
+        self, workers: "list[SplitWorker]", gradients: list[np.ndarray]
+    ) -> None:
+        """Back-propagate dispatched gradients and take the local SGD steps."""
+
+    @abc.abstractmethod
+    def bottom_states(
+        self, workers: "list[SplitWorker]"
+    ) -> list[dict[str, np.ndarray]]:
+        """State dicts of the locally updated bottom models, for aggregation."""
+
+    # -- full-model (FL) training ---------------------------------------------
+    @abc.abstractmethod
+    def train_full(
+        self,
+        workers: "list[SplitWorker]",
+        model: "Sequential",
+        loss_fn,
+        iterations: int,
+        batch_size: int,
+        learning_rate: float,
+    ) -> list[dict[str, np.ndarray]]:
+        """Train the full ``model`` locally on every worker (FedAvg-style).
+
+        Returns the locally updated state dicts, aligned with ``workers``;
+        the caller owns aggregation.
+        """
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker processes, pools); idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

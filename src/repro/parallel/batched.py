@@ -1,0 +1,261 @@
+"""Vectorized executor: all selected workers in one stacked numpy kernel.
+
+The batched executor removes the per-worker Python loop from the hot path:
+the selected workers' bottom models are stacked along a leading worker axis
+and each local iteration runs one vectorized forward/backward (see
+:mod:`repro.parallel.kernels`) instead of one per worker.  Because batch
+size regulation assigns *different* batch sizes per worker, workers are
+grouped by their drawn mini-batch shape and each shape group is stacked
+into its own rectangular tensor.
+
+Sampling state never leaves the workers: mini-batches are drawn from every
+worker's own :class:`~repro.data.loader.BatchLoader` in the main process,
+so checkpoints are identical to serial execution.
+
+Models containing layers without a batched kernel (BatchNorm, third-party
+plugins) transparently fall back to serial execution, with a one-time
+warning per layer-type set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.losses import CrossEntropyLoss
+from repro.parallel.base import Executor
+from repro.parallel.kernels import (
+    BatchedModel,
+    BatchedSGD,
+    batched_cross_entropy_gradient,
+    unsupported_layers,
+)
+from repro.parallel.serial import SerialExecutor
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.batched")
+
+
+class _Group:
+    """One shape group: a stacked model + optimizer for a subset of workers."""
+
+    def __init__(self, slots: list[int], model: BatchedModel, sgd: BatchedSGD) -> None:
+        self.slots = slots
+        self.model = model
+        self.sgd = sgd
+        self.pending_batches: list[int] = [0] * len(slots)
+
+
+class _RoundState:
+    """Everything installed for the current round's selected workers."""
+
+    def __init__(self, snapshot, worker_ids, learning_rates, momentum,
+                 weight_decay, max_grad_norm) -> None:
+        self.snapshot = snapshot
+        self.worker_ids = list(worker_ids)
+        self.learning_rates = np.asarray(learning_rates, dtype=np.float64)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.max_grad_norm = max_grad_norm
+        self.groups: list[_Group] | None = None
+        self.group_of: dict[int, tuple[_Group, int]] = {}
+
+    def build_groups(self, shapes: list[tuple[int, ...]]) -> None:
+        """Partition worker slots by mini-batch shape and stack each group."""
+        by_shape: dict[tuple[int, ...], list[int]] = {}
+        for slot, shape in enumerate(shapes):
+            by_shape.setdefault(shape, []).append(slot)
+        self.groups = []
+        for slots in by_shape.values():
+            model = BatchedModel(self.snapshot, len(slots))
+            sgd = BatchedSGD(
+                model.parameters(),
+                self.learning_rates[slots],
+                momentum=self.momentum,
+                weight_decay=self.weight_decay,
+                max_grad_norm=self.max_grad_norm,
+            )
+            group = _Group(slots, model, sgd)
+            self.groups.append(group)
+            for position, slot in enumerate(slots):
+                self.group_of[slot] = (group, position)
+
+
+def _uniform_worker_hyperparams(workers) -> tuple | None:
+    """The shared ``(momentum, weight_decay, max_grad_norm)``, or ``None``.
+
+    The stacked optimizer shares scalar hyper-parameters across the group;
+    heterogeneous settings (possible for hand-wired workers) use the serial
+    fallback instead.
+    """
+    settings = {
+        (worker.momentum, worker.weight_decay, worker.max_grad_norm)
+        for worker in workers
+    }
+    if len(settings) != 1:
+        return None
+    return next(iter(settings))
+
+
+class BatchedExecutor(Executor):
+    """Vectorize the per-worker compute across the worker axis."""
+
+    name = "batched"
+
+    def __init__(self) -> None:
+        self._serial = SerialExecutor()
+        self._round: _RoundState | None = None
+        self._fallback_active = False
+        self._warned: set[tuple[str, ...]] = set()
+
+    # -- fallback -------------------------------------------------------------
+    def _fallback_reason(self, workers, model) -> str | None:
+        unsupported = unsupported_layers(model)
+        if unsupported:
+            return f"no batched kernels for layer types: {unsupported}"
+        if _uniform_worker_hyperparams(workers) is None:
+            return "workers have heterogeneous optimizer hyper-parameters"
+        return None
+
+    def _warn_fallback(self, reason: str) -> None:
+        key = (reason,)
+        if key not in self._warned:
+            self._warned.add(key)
+            logger.warning("batched executor falling back to serial: %s", reason)
+
+    # -- split training -------------------------------------------------------
+    def install(self, workers, bottom, learning_rates) -> None:
+        reason = self._fallback_reason(workers, bottom)
+        if reason is not None:
+            self._warn_fallback(reason)
+            self._round = None
+            self._fallback_active = True
+            self._serial.install(workers, bottom, learning_rates)
+            return
+        self._fallback_active = False
+        momentum, weight_decay, max_grad_norm = _uniform_worker_hyperparams(workers)
+        # Snapshot the global bottom now (one clone instead of one per
+        # worker), so later mutation of the server's model cannot leak into
+        # this round's stacked parameters.
+        self._round = _RoundState(
+            snapshot=bottom.clone().train(),
+            worker_ids=[worker.worker_id for worker in workers],
+            learning_rates=learning_rates,
+            momentum=momentum,
+            weight_decay=weight_decay,
+            max_grad_norm=max_grad_norm,
+        )
+
+    def _require_round(self, workers) -> _RoundState:
+        state = self._round
+        if state is None:
+            raise RuntimeError("no bottom model installed on the batched executor")
+        if [worker.worker_id for worker in workers] != state.worker_ids:
+            raise RuntimeError(
+                "worker set changed since install(); re-install the bottom model"
+            )
+        return state
+
+    def forward(self, workers, batch_sizes):
+        if self._fallback_active:
+            return self._serial.forward(workers, batch_sizes)
+        state = self._require_round(workers)
+        drawn = [
+            worker.draw_batch(batch_size)
+            for worker, batch_size in zip(workers, batch_sizes)
+        ]
+        if state.groups is None:
+            state.build_groups([data.shape for data, __ in drawn])
+        features: list[np.ndarray | None] = [None] * len(workers)
+        for group in state.groups:
+            stacked = np.stack([drawn[slot][0] for slot in group.slots])
+            out = group.model.forward(stacked)
+            for position, slot in enumerate(group.slots):
+                features[slot] = out[position]
+                group.pending_batches[position] = stacked.shape[1]
+        labels = [labs for __, labs in drawn]
+        return features, labels
+
+    def backward_step(self, workers, gradients) -> None:
+        if self._fallback_active:
+            self._serial.backward_step(workers, gradients)
+            return
+        state = self._require_round(workers)
+        if state.groups is None:
+            raise RuntimeError("backward_step called before forward")
+        for group in state.groups:
+            for position, slot in enumerate(group.slots):
+                got = gradients[slot].shape[0]
+                expected = group.pending_batches[position]
+                if got != expected:
+                    raise ValueError(
+                        f"gradient batch {got} does not match the pending "
+                        f"forward batch {expected}"
+                    )
+            stacked = np.stack([gradients[slot] for slot in group.slots])
+            group.sgd.zero_grad()
+            group.model.backward(stacked)
+            group.sgd.step()
+
+    def bottom_states(self, workers):
+        if self._fallback_active:
+            return self._serial.bottom_states(workers)
+        state = self._require_round(workers)
+        if state.groups is None:
+            raise RuntimeError("bottom_states called before any forward pass")
+        states = []
+        for slot, __ in enumerate(workers):
+            group, position = state.group_of[slot]
+            states.append(group.model.state_dict_for(position))
+        return states
+
+    # -- full-model (FL) training ---------------------------------------------
+    def train_full(self, workers, model, loss_fn, iterations, batch_size, learning_rate):
+        reason = self._fallback_reason(workers, model)
+        if reason is None and type(loss_fn) is not CrossEntropyLoss:
+            reason = f"no batched gradient for loss {type(loss_fn).__name__}"
+        if reason is not None:
+            self._warn_fallback(reason)
+            return self._serial.train_full(
+                workers, model, loss_fn, iterations, batch_size, learning_rate
+            )
+        momentum, weight_decay, max_grad_norm = _uniform_worker_hyperparams(workers)
+        # Pre-draw every worker's mini-batch sequence (worker-major, exactly
+        # the per-loader draw order of the serial loop).
+        batches = [
+            [worker.loader.next_batch(batch_size) for __ in range(iterations)]
+            for worker in workers
+        ]
+        by_shape: dict[tuple[int, ...], list[int]] = {}
+        for slot, worker_batches in enumerate(batches):
+            shapes = {data.shape for data, __ in worker_batches}
+            if len(shapes) != 1:
+                raise RuntimeError(
+                    f"worker {workers[slot].worker_id} drew mini-batches of "
+                    f"varying shapes: {sorted(map(str, shapes))}"
+                )
+            by_shape.setdefault(next(iter(shapes)), []).append(slot)
+
+        states: list[dict[str, np.ndarray] | None] = [None] * len(workers)
+        for slots in by_shape.values():
+            stacked_model = BatchedModel(model, len(slots))
+            sgd = BatchedSGD(
+                stacked_model.parameters(),
+                np.full(len(slots), learning_rate, dtype=np.float64),
+                momentum=momentum,
+                weight_decay=weight_decay,
+                max_grad_norm=max_grad_norm,
+            )
+            for iteration in range(iterations):
+                data = np.stack([batches[slot][iteration][0] for slot in slots])
+                labels = np.stack(
+                    [np.asarray(batches[slot][iteration][1], dtype=np.int64)
+                     for slot in slots]
+                )
+                sgd.zero_grad()
+                logits = stacked_model.forward(data)
+                grad = batched_cross_entropy_gradient(logits, labels)
+                stacked_model.backward(grad)
+                sgd.step()
+            for position, slot in enumerate(slots):
+                states[slot] = stacked_model.state_dict_for(position)
+        return states

@@ -1,0 +1,324 @@
+"""Multiprocess executor: per-worker compute fanned out to OS processes.
+
+A small pool of persistent child processes each hosts the bottom models of
+a subset of the selected workers.  Weights, features and gradients travel
+over pipes using :mod:`pickle` (numpy float64 arrays round-trip exactly),
+and the children run the very same serial layer kernels -- so the training
+trajectory is bit-identical to the serial executor.
+
+All checkpointed state stays in the parent: mini-batches are drawn from the
+workers' loaders in the parent process and only the raw arrays are shipped,
+which keeps sampling RNG streams out of the children entirely.
+
+The per-round protocol mirrors :class:`~repro.parallel.base.Executor`:
+
+    install  -> ship the global bottom + per-worker learning rates
+    forward  -> ship mini-batches, receive split-layer features
+    backward -> ship dispatched gradients (children take the SGD step)
+    states   -> receive locally updated bottom state dicts
+    train_full -> ship a full model + pre-drawn batches, receive states
+
+This backend models the deployment topology of real split federated
+learning (compute happens where the data is, everything crosses a network)
+rather than chasing simulation speed: for the small models of the paper's
+scaled-down testbed, pickling can dominate the savings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+
+import numpy as np
+
+from repro.parallel.base import Executor
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.process")
+
+#: Upper bound on the default pool size; beyond this, process and pickling
+#: overhead outweighs any parallelism at simulation scale.
+DEFAULT_MAX_PROCESSES = 8
+
+
+def _child_main(conn) -> None:
+    """Child process loop: host bottom models / run local training on demand."""
+    from repro.nn.optim import SGD
+
+    bottoms: dict[int, dict] = {}
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            command, payload = message
+            try:
+                if command == "close":
+                    break
+                elif command == "install":
+                    bottom, specs = payload
+                    bottoms = {}
+                    for worker_id, (lr, momentum, weight_decay, max_grad_norm) in specs.items():
+                        model = bottom.clone()
+                        model.train()
+                        bottoms[worker_id] = {
+                            "model": model,
+                            "optimizer": SGD(
+                                model.parameters(),
+                                lr=lr,
+                                momentum=momentum,
+                                weight_decay=weight_decay,
+                                max_grad_norm=max_grad_norm,
+                            ),
+                            "pending": 0,
+                        }
+                    conn.send(("ok", None))
+                elif command == "forward":
+                    features = {}
+                    for worker_id, data in payload.items():
+                        held = bottoms[worker_id]
+                        held["pending"] = data.shape[0]
+                        features[worker_id] = held["model"].forward(data)
+                    conn.send(("ok", features))
+                elif command == "backward":
+                    for worker_id, gradient in payload.items():
+                        held = bottoms[worker_id]
+                        if gradient.shape[0] != held["pending"]:
+                            raise ValueError(
+                                f"gradient batch {gradient.shape[0]} does not "
+                                f"match the pending forward batch {held['pending']}"
+                            )
+                        held["optimizer"].zero_grad()
+                        held["model"].backward(gradient)
+                        held["optimizer"].step()
+                    conn.send(("ok", None))
+                elif command == "states":
+                    conn.send(
+                        ("ok", {
+                            worker_id: bottoms[worker_id]["model"].state_dict()
+                            for worker_id in payload
+                        })
+                    )
+                elif command == "train_full":
+                    model, loss_fn, iterations, tasks = payload
+                    states = {}
+                    for worker_id, task in tasks.items():
+                        batches, lr, momentum, weight_decay, max_grad_norm = task
+                        local = model.clone()
+                        local.train()
+                        optimizer = SGD(
+                            local.parameters(),
+                            lr=lr,
+                            momentum=momentum,
+                            weight_decay=weight_decay,
+                            max_grad_norm=max_grad_norm,
+                        )
+                        for data, labels in batches:
+                            optimizer.zero_grad()
+                            logits = local.forward(data)
+                            loss_fn.forward(logits, labels)
+                            local.backward(loss_fn.backward())
+                            optimizer.step()
+                        states[worker_id] = local.state_dict()
+                    conn.send(("ok", states))
+                else:
+                    raise RuntimeError(f"unknown executor command {command!r}")
+            except Exception:  # noqa: BLE001 - forwarded to the parent
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        conn.close()
+
+
+class ProcessExecutor(Executor):
+    """Run per-worker compute on a pool of persistent child processes."""
+
+    name = "process"
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if processes is not None and processes <= 0:
+            raise ValueError(f"processes must be positive, got {processes}")
+        self._requested = processes
+        self._start_method = start_method
+        self._children: list[tuple[multiprocessing.Process, object]] | None = None
+        self._assignment: dict[int, int] = {}
+
+    # -- pool lifecycle -------------------------------------------------------
+    def _pool_size(self) -> int:
+        if self._requested is not None:
+            return self._requested
+        return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_PROCESSES))
+
+    def _ensure_pool(self) -> list[tuple[multiprocessing.Process, object]]:
+        if self._children is None:
+            method = self._start_method
+            if method is None:
+                available = multiprocessing.get_all_start_methods()
+                method = "fork" if "fork" in available else available[0]
+            context = multiprocessing.get_context(method)
+            children = []
+            for __ in range(self._pool_size()):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_child_main, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()
+                children.append((process, parent_conn))
+            self._children = children
+            logger.debug(
+                "started %d executor processes (start method %s)",
+                len(children), method,
+            )
+        return self._children
+
+    def close(self) -> None:
+        if self._children is None:
+            return
+        for process, conn in self._children:
+            try:
+                conn.send(("close", None))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for process, __ in self._children:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive cleanup
+                process.terminate()
+                process.join(timeout=5.0)
+        self._children = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown order
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001
+            pass
+
+    # -- messaging ------------------------------------------------------------
+    def _assign(self, workers) -> dict[int, dict]:
+        """Round-robin the workers over the pool; returns per-child id sets."""
+        children = self._ensure_pool()
+        self._assignment = {}
+        shards: dict[int, dict] = {index: {} for index in range(len(children))}
+        for position, worker in enumerate(workers):
+            child = position % len(children)
+            self._assignment[worker.worker_id] = child
+            shards[child][worker.worker_id] = worker
+        return shards
+
+    def _broadcast(self, messages: dict[int, tuple]) -> dict[int, object]:
+        """Send one message per child, then collect every reply."""
+        children = self._ensure_pool()
+        for index, message in messages.items():
+            children[index][1].send(message)
+        replies: dict[int, object] = {}
+        for index in messages:
+            process, conn = children[index]
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"executor process {index} (pid {process.pid}) died"
+                ) from None
+            if status == "error":
+                raise RuntimeError(
+                    f"executor process {index} failed:\n{payload}"
+                )
+            replies[index] = payload
+        return replies
+
+    # -- split training -------------------------------------------------------
+    def install(self, workers, bottom, learning_rates) -> None:
+        shards = self._assign(workers)
+        lr_of = {
+            worker.worker_id: lr for worker, lr in zip(workers, learning_rates)
+        }
+        messages = {}
+        for index, shard in shards.items():
+            if not shard:
+                continue
+            specs = {
+                worker_id: (
+                    lr_of[worker_id],
+                    worker.momentum,
+                    worker.weight_decay,
+                    worker.max_grad_norm,
+                )
+                for worker_id, worker in shard.items()
+            }
+            messages[index] = ("install", (bottom, specs))
+        self._broadcast(messages)
+
+    def forward(self, workers, batch_sizes):
+        drawn = {
+            worker.worker_id: worker.draw_batch(batch_size)
+            for worker, batch_size in zip(workers, batch_sizes)
+        }
+        messages: dict[int, tuple] = {}
+        by_child: dict[int, dict[int, np.ndarray]] = {}
+        for worker_id, (data, __) in drawn.items():
+            by_child.setdefault(self._assignment[worker_id], {})[worker_id] = data
+        for index, shard in by_child.items():
+            messages[index] = ("forward", shard)
+        replies = self._broadcast(messages)
+        features_of: dict[int, np.ndarray] = {}
+        for payload in replies.values():
+            features_of.update(payload)
+        features = [features_of[worker.worker_id] for worker in workers]
+        labels = [drawn[worker.worker_id][1] for worker in workers]
+        return features, labels
+
+    def backward_step(self, workers, gradients) -> None:
+        by_child: dict[int, dict[int, np.ndarray]] = {}
+        for worker, gradient in zip(workers, gradients):
+            by_child.setdefault(
+                self._assignment[worker.worker_id], {}
+            )[worker.worker_id] = gradient
+        self._broadcast(
+            {index: ("backward", shard) for index, shard in by_child.items()}
+        )
+
+    def bottom_states(self, workers):
+        by_child: dict[int, list[int]] = {}
+        for worker in workers:
+            by_child.setdefault(self._assignment[worker.worker_id], []).append(
+                worker.worker_id
+            )
+        replies = self._broadcast(
+            {index: ("states", ids) for index, ids in by_child.items()}
+        )
+        states_of: dict[int, dict] = {}
+        for payload in replies.values():
+            states_of.update(payload)
+        return [states_of[worker.worker_id] for worker in workers]
+
+    # -- full-model (FL) training ---------------------------------------------
+    def train_full(self, workers, model, loss_fn, iterations, batch_size, learning_rate):
+        shards = self._assign(workers)
+        messages = {}
+        for index, shard in shards.items():
+            if not shard:
+                continue
+            tasks = {}
+            for worker_id, worker in shard.items():
+                batches = [
+                    worker.loader.next_batch(batch_size) for __ in range(iterations)
+                ]
+                tasks[worker_id] = (
+                    batches,
+                    learning_rate,
+                    worker.momentum,
+                    worker.weight_decay,
+                    worker.max_grad_norm,
+                )
+            messages[index] = ("train_full", (model, loss_fn, iterations, tasks))
+        replies = self._broadcast(messages)
+        states_of: dict[int, dict] = {}
+        for payload in replies.values():
+            states_of.update(payload)
+        return [states_of[worker.worker_id] for worker in workers]

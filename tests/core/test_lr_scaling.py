@@ -1,0 +1,48 @@
+"""Pin the learning-rate scale clip bounds and their use by the engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.session import Session
+from repro.core.engine import TOP_LR_SCALE_BOUNDS, WORKER_LR_SCALE_BOUNDS
+
+
+def test_lr_scale_bounds_values():
+    """The documented clip bounds of Section IV-B's lr scaling.
+
+    Changing either is a training-math change: regenerate the golden
+    history and record why.
+    """
+    assert WORKER_LR_SCALE_BOUNDS == (0.25, 4.0)
+    assert TOP_LR_SCALE_BOUNDS == (0.25, 16.0)
+
+
+@pytest.fixture
+def engine(fast_config):
+    session = Session.from_config(fast_config)
+    return session.algorithm.engine
+
+
+def test_worker_lr_clips_to_bounds(engine):
+    base = engine.config.base_batch_size
+    current = engine._current_lr
+    low, high = WORKER_LR_SCALE_BOUNDS
+    # Inside the bounds: plain proportional scaling.
+    assert engine._scaled_lr(base) == pytest.approx(current)
+    assert engine._scaled_lr(2 * base) == pytest.approx(2 * current)
+    # Outside: clipped to the bounds.
+    assert engine._scaled_lr(1000 * base) == pytest.approx(high * current)
+    assert engine._scaled_lr(max(1, base // 1000)) == pytest.approx(low * current)
+
+
+def test_top_lr_clips_to_bounds(fast_config):
+    low, high = TOP_LR_SCALE_BOUNDS
+    for requested, expected_scale in [(1.0, 1.0), (100.0, high), (0.001, low)]:
+        config = fast_config.replace(extras={"top_lr_scale": requested})
+        engine = Session.from_config(config).algorithm.engine
+        plan_like = type("Plan", (), {})()
+        assert engine.policy.merge_features
+        assert engine._top_lr(plan_like) == pytest.approx(
+            expected_scale * engine._current_lr
+        )

@@ -1,0 +1,91 @@
+"""Property-based tests: ``im2col`` and ``col2im`` are exact adjoints.
+
+``col2im`` is used as the backward pass of ``im2col`` in every convolution,
+so the pair must satisfy the adjoint identity
+
+    <im2col(x), c> == <x, col2im(c)>
+
+for all shapes, strides and paddings -- otherwise convolution gradients are
+silently wrong.  Hypothesis drives the geometry; array contents come from a
+seeded generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.layers.conv import col2im, im2col
+
+geometry = st.fixed_dictionaries({
+    "batch": st.integers(1, 3),
+    "channels": st.integers(1, 3),
+    "height": st.integers(1, 8),
+    "width": st.integers(1, 8),
+    "kh": st.integers(1, 3),
+    "kw": st.integers(1, 3),
+    "sh": st.integers(1, 2),
+    "sw": st.integers(1, 2),
+    "ph": st.integers(0, 2),
+    "pw": st.integers(0, 2),
+    "seed": st.integers(0, 2**31 - 1),
+    "dtype": st.sampled_from([np.float64, np.float32]),
+})
+
+
+def _valid(geo) -> bool:
+    out_h = (geo["height"] + 2 * geo["ph"] - geo["kh"]) // geo["sh"] + 1
+    out_w = (geo["width"] + 2 * geo["pw"] - geo["kw"]) // geo["sw"] + 1
+    return out_h > 0 and out_w > 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(geo=geometry)
+def test_im2col_col2im_adjoint(geo):
+    if not _valid(geo):
+        return
+    rng = np.random.default_rng(geo["seed"])
+    kernel = (geo["kh"], geo["kw"])
+    stride = (geo["sh"], geo["sw"])
+    padding = (geo["ph"], geo["pw"])
+    shape = (geo["batch"], geo["channels"], geo["height"], geo["width"])
+    x = rng.normal(size=shape).astype(geo["dtype"])
+
+    cols, out_size = im2col(x, kernel, stride, padding)
+    c = rng.normal(size=cols.shape).astype(geo["dtype"])
+    folded = col2im(c, shape, kernel, stride, padding, out_size)
+
+    lhs = float(np.sum(cols.astype(np.float64) * c.astype(np.float64)))
+    rhs = float(np.sum(x.astype(np.float64) * folded.astype(np.float64)))
+    tol = 1e-9 if geo["dtype"] is np.float64 else 1e-3
+    assert lhs == pytest.approx(rhs, rel=tol, abs=tol)
+
+
+@settings(max_examples=30, deadline=None)
+@given(geo=geometry)
+def test_col2im_of_im2col_counts_patch_coverage(geo):
+    """Folding the unfolded all-ones image counts, per pixel, how many
+    patches cover it -- an integer between 0 and kh*kw."""
+    if not _valid(geo):
+        return
+    kernel = (geo["kh"], geo["kw"])
+    stride = (geo["sh"], geo["sw"])
+    padding = (geo["ph"], geo["pw"])
+    shape = (geo["batch"], geo["channels"], geo["height"], geo["width"])
+    ones = np.ones(shape, dtype=np.float64)
+    cols, out_size = im2col(ones, kernel, stride, padding)
+    counts = col2im(cols, shape, kernel, stride, padding, out_size)
+    assert np.array_equal(counts, np.round(counts))
+    assert counts.min() >= 0
+    assert counts.max() <= geo["kh"] * geo["kw"]
+
+
+def test_non_overlapping_roundtrip_is_identity():
+    """With stride == kernel and no padding, every pixel lies in exactly one
+    patch, so col2im(im2col(x)) == x bitwise."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 8, 6))
+    cols, out_size = im2col(x, (2, 2), (2, 2), (0, 0))
+    back = col2im(cols, x.shape, (2, 2), (2, 2), (0, 0), out_size)
+    assert np.array_equal(back, x)

@@ -1,0 +1,206 @@
+"""Layer-level bit-exactness of the stacked kernels, and the serial fallback."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_blobs
+from repro.core.worker import SplitWorker
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    Conv1d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxPool1d,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.module import Sequential
+from repro.nn.optim import SGD
+from repro.parallel.batched import BatchedExecutor
+from repro.parallel.kernels import (
+    BATCHED_LAYER_TYPES,
+    BatchedModel,
+    BatchedSGD,
+    batched_cross_entropy_gradient,
+    unsupported_layers,
+)
+from repro.parallel.serial import SerialExecutor
+from repro.nn.losses import CrossEntropyLoss
+from repro.utils.rng import new_rng
+
+WORKERS = 4
+
+
+def _layer_cases():
+    rng = new_rng(77)
+    return [
+        ("linear", Linear(12, 7, rng=rng), (5, 12)),
+        ("linear_nobias", Linear(12, 7, bias=False, rng=rng), (5, 12)),
+        ("conv2d", Conv2d(3, 5, kernel_size=3, stride=2, padding=1, rng=rng), (4, 3, 9, 9)),
+        ("conv1d", Conv1d(2, 6, kernel_size=5, padding=2, rng=rng), (4, 2, 16)),
+        ("relu", ReLU(), (5, 11)),
+        ("tanh", Tanh(), (5, 11)),
+        ("sigmoid", Sigmoid(), (5, 11)),
+        ("flatten", Flatten(), (5, 3, 4, 4)),
+        ("maxpool2d", MaxPool2d(2), (4, 3, 6, 6)),
+        ("maxpool1d", MaxPool1d(2), (4, 3, 12)),
+        ("avgpool2d", AvgPool2d(3), (4, 2, 9, 9)),
+        ("dropout", Dropout(0.3, rng=new_rng(5)), (5, 11)),
+    ]
+
+
+@pytest.mark.parametrize(
+    "layer,input_shape",
+    [case[1:] for case in _layer_cases()],
+    ids=[case[0] for case in _layer_cases()],
+)
+def test_batched_layer_bit_exact(layer, input_shape):
+    """Forward, input gradient and parameter gradients match the serial layer
+    run once per worker, bit for bit."""
+    rng = new_rng(123)
+    inputs = rng.normal(size=(WORKERS, *input_shape))
+
+    # Serial references: one fresh clone per worker (same as a round install).
+    serial_layers = [layer.clone() for _ in range(WORKERS)]
+    serial_out, serial_gin = [], []
+    for w, serial in enumerate(serial_layers):
+        serial.zero_grad()
+        serial_out.append(serial.forward(inputs[w]))
+    out_shape = serial_out[0].shape
+    grad_out = rng.normal(size=(WORKERS, *out_shape))
+    for w, serial in enumerate(serial_layers):
+        serial_gin.append(serial.backward(grad_out[w]))
+
+    batched = BATCHED_LAYER_TYPES[type(layer)](layer, WORKERS)
+    out = batched.forward(inputs)
+    gin = batched.backward(grad_out)
+
+    for w in range(WORKERS):
+        assert np.array_equal(out[w], serial_out[w])
+        assert np.array_equal(gin[w], serial_gin[w])
+    for batched_param, *serial_params in zip(
+        batched.params, *(s.parameters() for s in serial_layers)
+    ):
+        for w, serial_param in enumerate(serial_params):
+            assert np.array_equal(batched_param.grad[w], serial_param.grad)
+
+
+@pytest.mark.parametrize("momentum,weight_decay,max_grad_norm", [
+    (0.0, 0.0, None),
+    (0.9, 1e-4, 5.0),
+    (0.5, 0.0, 1e-3),   # tiny clip threshold: every worker clips
+])
+def test_batched_sgd_bit_exact(momentum, weight_decay, max_grad_norm):
+    rng = new_rng(9)
+    template = Sequential([Linear(8, 6, rng=rng), ReLU(), Linear(6, 3, rng=rng)])
+    lrs = np.asarray([0.1, 0.05, 0.2, 0.15])
+
+    serial_models = [template.clone() for _ in range(WORKERS)]
+    serial_opts = [
+        SGD(model.parameters(), lr=lr, momentum=momentum,
+            weight_decay=weight_decay, max_grad_norm=max_grad_norm)
+        for model, lr in zip(serial_models, lrs)
+    ]
+    batched_model = BatchedModel(template, WORKERS)
+    batched_opt = BatchedSGD(
+        batched_model.parameters(), lrs, momentum=momentum,
+        weight_decay=weight_decay, max_grad_norm=max_grad_norm,
+    )
+
+    loss = CrossEntropyLoss()
+    for step in range(3):
+        data = rng.normal(size=(WORKERS, 5, 8))
+        labels = rng.integers(0, 3, size=(WORKERS, 5))
+        for w, (model, opt) in enumerate(zip(serial_models, serial_opts)):
+            opt.zero_grad()
+            logits = model.forward(data[w])
+            loss.forward(logits, labels[w])
+            model.backward(loss.backward())
+            opt.step()
+        batched_opt.zero_grad()
+        logits = batched_model.forward(data)
+        batched_model.backward(batched_cross_entropy_gradient(logits, labels))
+        batched_opt.step()
+
+    for w, model in enumerate(serial_models):
+        for name, value in model.state_dict().items():
+            assert np.array_equal(batched_model.state_dict_for(w)[name], value)
+
+
+def test_batched_cross_entropy_gradient_matches_serial():
+    rng = new_rng(4)
+    logits = rng.normal(size=(WORKERS, 6, 5))
+    labels = rng.integers(0, 5, size=(WORKERS, 6))
+    grad = batched_cross_entropy_gradient(logits, labels)
+    loss = CrossEntropyLoss()
+    for w in range(WORKERS):
+        loss.forward(logits[w], labels[w])
+        assert np.array_equal(grad[w], loss.backward())
+
+
+def test_unsupported_layers_reported():
+    model = Sequential([Linear(8, 8, rng=new_rng(0)), BatchNorm1d(8), ReLU()])
+    assert unsupported_layers(model) == ["BatchNorm1d"]
+    assert unsupported_layers(Sequential([Linear(8, 8, rng=new_rng(0))])) == []
+
+
+def _make_workers(seed_offset: int = 0) -> list[SplitWorker]:
+    data = make_blobs(train_samples=120, test_samples=30, seed=2)
+    shard = len(data.train) // 2
+    return [
+        SplitWorker(
+            worker_id=i,
+            dataset=data.train.subset(np.arange(i * shard, (i + 1) * shard)),
+            num_classes=data.num_classes,
+            seed=100 + i,
+        )
+        for i in range(2)
+    ]
+
+
+def test_batched_executor_falls_back_on_unsupported_layer():
+    """A bottom with BatchNorm has no stacked kernel; the batched executor
+    must transparently run it serially -- and still match SerialExecutor."""
+    bottom = Sequential([Linear(32, 16, rng=new_rng(3)), BatchNorm1d(16), ReLU()])
+
+    results = {}
+    for name, executor in (("serial", SerialExecutor()), ("batched", BatchedExecutor())):
+        workers = _make_workers()
+        executor.install(workers, bottom, [0.1, 0.1])
+        features, labels = executor.forward(workers, [8, 8])
+        grads = [0.1 * feats for feats in features]
+        executor.backward_step(workers, grads)
+        results[name] = (features, executor.bottom_states(workers))
+
+    for (f_serial, s_serial), (f_batched, s_batched) in [
+        (results["serial"], results["batched"])
+    ]:
+        for w in range(2):
+            assert np.array_equal(f_serial[w], f_batched[w])
+            for key in s_serial[w]:
+                assert np.array_equal(s_serial[w][key], s_batched[w][key])
+
+
+def test_batched_executor_requires_install():
+    workers = _make_workers()
+    executor = BatchedExecutor()
+    with pytest.raises(RuntimeError, match="no bottom model installed"):
+        executor.forward(workers, [4, 4])
+
+
+def test_batched_executor_rejects_mismatched_gradient_batch():
+    bottom = Sequential([Linear(32, 16, rng=new_rng(3)), ReLU()])
+    workers = _make_workers()
+    executor = BatchedExecutor()
+    executor.install(workers, bottom, [0.1, 0.1])
+    features, __ = executor.forward(workers, [8, 8])
+    bad = [np.zeros((3, 16)), np.zeros((8, 16))]
+    with pytest.raises(ValueError, match="does not match the pending"):
+        executor.backward_step(workers, bad)

@@ -1,0 +1,104 @@
+"""Golden regression: a fixed-seed MergeSFL run must match a checked-in history.
+
+The golden file pins the full numeric trajectory (losses, accuracies,
+simulated clock, traffic) of a small fixed-seed 3-round MergeSFL run, so a
+refactor that silently changes the training math -- a reordered reduction,
+a changed default, an off-by-one in batch regulation -- fails loudly even
+when every unit test still passes.
+
+Float fields are compared at 1e-9 relative tolerance (bit-exactness across
+BLAS builds and numpy versions is not guaranteed); integer fields exactly.
+
+To regenerate after an *intentional* change to the training math::
+
+    PYTHONPATH=src python tests/test_golden_regression.py --regenerate
+
+and explain in the commit message why the trajectory moved.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden" / "mergesfl_blobs_seed3.json"
+
+#: Fields of a RoundRecord compared exactly.
+INT_FIELDS = ("round_index", "num_selected", "total_batch")
+#: Fields compared at tolerance.
+FLOAT_FIELDS = (
+    "sim_time", "duration", "waiting_time", "traffic_mb",
+    "train_loss", "test_loss", "test_accuracy", "merged_kl",
+)
+
+
+def _golden_config():
+    from repro.config import ExperimentConfig
+
+    return ExperimentConfig(
+        algorithm="mergesfl",
+        dataset="blobs",
+        model="mlp",
+        num_workers=5,
+        num_rounds=3,
+        local_iterations=3,
+        non_iid_level=2.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=300,
+        test_samples=80,
+        learning_rate=0.1,
+        seed=3,
+    )
+
+
+def _run_history() -> list[dict]:
+    from repro.api.session import Session
+
+    with Session.from_config(_golden_config()) as session:
+        history = session.run()
+    return history.to_dict()["records"]
+
+
+def test_mergesfl_history_matches_golden():
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing: {GOLDEN_PATH}; regenerate with "
+        f"'PYTHONPATH=src python {pathlib.Path(__file__).name} --regenerate'"
+    )
+    golden = json.loads(GOLDEN_PATH.read_text())
+    records = _run_history()
+    assert len(records) == len(golden["records"])
+    for expected, actual in zip(golden["records"], records):
+        for field in INT_FIELDS:
+            assert actual[field] == expected[field], field
+        for field in FLOAT_FIELDS:
+            if expected[field] is None:
+                assert actual[field] is None, field
+            else:
+                assert actual[field] == pytest.approx(
+                    expected[field], rel=1e-9, abs=1e-12
+                ), field
+
+
+def _regenerate() -> None:
+    payload = {
+        "description": (
+            "Fixed-seed 3-round MergeSFL history on blobs/mlp; see "
+            "tests/test_golden_regression.py"
+        ),
+        "config": _golden_config().to_dict(),
+        "records": _run_history(),
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
