@@ -1,13 +1,18 @@
 """Executor backends: wall-clock comparison + bit-exactness at benchmark scale.
 
 Runs the same fixed-seed MergeSFL experiment (16 workers, 3 rounds at full
-benchmark scale) under the serial and batched executors, printing the
+benchmark scale) under the serial and batched executors and under the
+process executor with every transport/pipeline combination, printing the
 wall-clock of each and the speedup.  The histories must be bit-identical --
-the executors are pure execution backends (see ``repro.parallel``).
+executors, transports and round pipelines are pure execution backends (see
+``repro.parallel``).
 
-The process executor is exercised at a reduced scale: it exists to model
-the deployment topology (compute happens where the data is), and at the
-tiny simulation scale pickling dominates, so only correctness is asserted.
+The process executor exists to model the deployment topology of real split
+federated learning (compute happens where the data is, everything crosses
+a process boundary); the ``shm`` transport and the ``pipelined`` scheduler
+remove most of its transfer/synchronisation overhead, and on multi-core
+hosts its children additionally run in parallel.  EXPERIMENTS.md records
+measured numbers and discusses the single-core case.
 """
 
 from __future__ import annotations
@@ -21,22 +26,35 @@ from repro.experiments.reporting import format_table
 
 from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
 
+#: (executor, transport, pipeline) rows of the comparison table.
+MATRIX = (
+    ("serial", "pipe", "sync"),
+    ("batched", "pipe", "sync"),
+    ("process", "pipe", "sync"),
+    ("process", "shm", "sync"),
+    ("process", "shm", "pipelined"),
+)
 
-def _config(executor: str, **overrides) -> ExperimentConfig:
+
+def _config(executor: str, transport: str = "pipe", pipeline: str = "sync",
+            **overrides) -> ExperimentConfig:
     params = dict(BENCH_OVERRIDES)
-    params.pop("executor", None)  # this benchmark sweeps executors itself
+    # This benchmark sweeps the execution axes itself.
+    for key in ("executor", "transport", "pipeline"):
+        params.pop(key, None)
     if not SMOKE_MODE:
         params.update(num_workers=16, num_rounds=3, local_iterations=5,
                       train_samples=1280)
     params.update(overrides)
     return ExperimentConfig(
         algorithm="mergesfl", dataset="cifar10", non_iid_level=2.0,
-        executor=executor, **params,
+        executor=executor, transport=transport, pipeline=pipeline, **params,
     )
 
 
-def _timed_run(executor: str, **overrides):
-    config = _config(executor, **overrides)
+def _timed_run(executor: str, transport: str = "pipe", pipeline: str = "sync",
+               **overrides):
+    config = _config(executor, transport, pipeline, **overrides)
     start = time.perf_counter()
     with Session.from_config(config) as session:
         history = session.run()
@@ -47,30 +65,20 @@ def _records(history) -> list[dict]:
     return [dataclasses.asdict(record) for record in history.records]
 
 
-def test_batched_executor_speedup(benchmark):
-    serial_time, serial_history = run_once(benchmark, _timed_run, "serial")
-    batched_time, batched_history = _timed_run("batched")
-    rows = [
-        ["serial", f"{serial_time:.2f}", "1.00x"],
-        ["batched", f"{batched_time:.2f}", f"{serial_time / batched_time:.2f}x"],
-    ]
+def test_executor_matrix_speedup_and_bit_exactness(benchmark):
+    def sweep():
+        return {row: _timed_run(*row) for row in MATRIX}
+
+    results = run_once(benchmark, sweep)
+    serial_time, serial_history = results[MATRIX[0]]
+    rows = []
+    for key in MATRIX:
+        elapsed, history = results[key]
+        assert _records(history) == _records(serial_history), key
+        rows.append(["/".join(key), f"{elapsed:.2f}", f"{serial_time / elapsed:.2f}x"])
     print()
     print(format_table(
-        ["executor", "wall_clock_s", "speedup"], rows,
+        ["executor/transport/pipeline", "wall_clock_s", "speedup"], rows,
         title=f"MergeSFL, {_config('serial').num_workers} workers, "
-              f"{_config('serial').num_rounds} rounds",
+              f"{_config('serial').num_rounds} rounds (histories bit-identical)",
     ))
-    assert _records(serial_history) == _records(batched_history)
-
-
-def test_process_executor_bit_exact(benchmark):
-    overrides = dict(
-        num_workers=4, num_rounds=2, local_iterations=2, train_samples=240,
-        extras={"executor_processes": 2},
-    )
-    process_time, process_history = run_once(
-        benchmark, _timed_run, "process", **overrides
-    )
-    __, serial_history = _timed_run("serial", **overrides)
-    print(f"\nprocess executor (4 workers, 2 rounds): {process_time:.2f}s")
-    assert _records(serial_history) == _records(process_history)

@@ -1,0 +1,106 @@
+"""Feature-transport throughput: pickle-over-pipe vs shared-memory rings.
+
+Round-trips feature-sized float64 payloads through one persistent child
+process under both transports and reports the payload throughput.  This
+isolates the transfer cost that dominates the process executor at
+simulation scale: the ``shm`` transport ships the arrays through ring
+buffers with only headers crossing the pipe, so its advantage grows with
+payload size.
+
+EXPERIMENTS.md records measured numbers next to the executor wall-clock
+table.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.experiments.reporting import format_table
+
+from benchmarks.common import SMOKE_MODE, run_once
+
+import numpy as np
+
+from repro.parallel.transport import PipeTransport, SharedMemoryTransport
+
+
+def _echo_child(connector) -> None:
+    """Child loop: echo every payload back until the channel closes."""
+    endpoint = connector.connect()
+    try:
+        while True:
+            try:
+                message = endpoint.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            endpoint.send(message)
+    finally:
+        endpoint.close()
+
+
+def _throughput(transport, payload_shape, repeats: int) -> float:
+    """Round-trip payload megabytes per second through one echo child."""
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    )
+    endpoint, connector = transport.pair(context)
+    process = context.Process(target=_echo_child, args=(connector,), daemon=True)
+    process.start()
+    connector.conn.close()
+    payload = {worker: np.random.default_rng(worker).normal(size=payload_shape)
+               for worker in range(4)}
+    megabytes = sum(array.nbytes for array in payload.values()) / 1e6
+    try:
+        endpoint.send(payload)  # warm-up (page faults, pickling caches)
+        endpoint.recv()
+        start = time.perf_counter()
+        for __ in range(repeats):
+            endpoint.send(payload)
+            received = endpoint.recv()
+        elapsed = time.perf_counter() - start
+        assert np.array_equal(received[0], payload[0])
+        endpoint.send(None)
+    finally:
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - defensive cleanup
+            process.terminate()
+        endpoint.close(unlink=True)
+    # Payload crosses twice per round trip (up + echoed back down).
+    return 2.0 * megabytes * repeats / elapsed
+
+
+def test_transport_throughput(benchmark):
+    repeats = 5 if SMOKE_MODE else 50
+    # Feature-sized (16 samples x 13ch x 4x4) and batch-sized (16 x 3x32x32)
+    # payloads, four workers each -- the shapes the process executor ships.
+    shapes = [(16, 13, 4, 4), (16, 3, 32, 32)]
+
+    def run() -> dict:
+        results = {}
+        for shape in shapes:
+            for transport in (PipeTransport(), SharedMemoryTransport()):
+                results[(transport.name, shape)] = _throughput(
+                    transport, shape, repeats
+                )
+        return results
+
+    results = run_once(benchmark, run)
+    rows = []
+    for shape in shapes:
+        pipe_mbs = results[("pipe", shape)]
+        shm_mbs = results[("shm", shape)]
+        rows.append([
+            "x".join(map(str, shape)),
+            f"{pipe_mbs:.0f}",
+            f"{shm_mbs:.0f}",
+            f"{shm_mbs / pipe_mbs:.2f}x",
+        ])
+    print()
+    print(format_table(
+        ["payload (float64)", "pipe MB/s", "shm MB/s", "shm speedup"], rows,
+        title="transport round-trip throughput, 4 workers/message",
+    ))
+    assert all(value > 0 for value in results.values())

@@ -17,6 +17,11 @@ Two environment variables tune the suite without editing code:
 * ``BENCH_EXECUTOR=serial|batched|process`` -- select the execution backend
   (see :mod:`repro.parallel`) for every benchmark.  All backends are
   bit-exact, so this only changes wall-clock time.
+* ``BENCH_TRANSPORT=pipe|shm`` -- select the process executor's feature
+  transport (see :mod:`repro.parallel.transport`); ignored by in-process
+  executors.
+* ``BENCH_PIPELINE=sync|pipelined`` -- select the round scheduler (see
+  :mod:`repro.parallel.pipeline`).  Also bit-exact.
 """
 
 from __future__ import annotations
@@ -57,6 +62,14 @@ if SMOKE_MODE:
 _executor = os.environ.get("BENCH_EXECUTOR")
 if _executor:
     BENCH_OVERRIDES["executor"] = _executor
+
+_transport = os.environ.get("BENCH_TRANSPORT")
+if _transport:
+    BENCH_OVERRIDES["transport"] = _transport
+
+_pipeline = os.environ.get("BENCH_PIPELINE")
+if _pipeline:
+    BENCH_OVERRIDES["pipeline"] = _pipeline
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -48,12 +48,16 @@ from repro.api.registry import (
     DATASETS,
     EXECUTORS,
     MODELS,
+    PIPELINES,
     POLICIES,
+    TRANSPORTS,
     register_algorithm,
     register_dataset,
     register_executor,
     register_model,
+    register_pipeline,
     register_policy,
+    register_transport,
 )
 from repro.api.session import Session
 from repro.experiments.runner import run_experiment
@@ -68,10 +72,14 @@ __all__ = [
     "DATASETS",
     "EXECUTORS",
     "MODELS",
+    "PIPELINES",
     "POLICIES",
+    "TRANSPORTS",
     "register_algorithm",
     "register_dataset",
     "register_executor",
     "register_model",
+    "register_pipeline",
     "register_policy",
+    "register_transport",
 ]

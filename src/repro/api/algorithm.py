@@ -73,6 +73,15 @@ class Algorithm(abc.ABC):
         """Number of communication rounds executed so far."""
         return len(self.history)
 
+    def drain(self) -> None:
+        """Wait until no asynchronously dispatched round work is in flight.
+
+        Called by :class:`~repro.api.session.Session` before checkpointing
+        so a pipelined round (see :mod:`repro.parallel.pipeline`) can never
+        race the state capture.  The default is a no-op; engines that own
+        an :class:`~repro.parallel.base.Executor` forward the call to it.
+        """
+
     def close(self) -> None:
         """Release execution resources (process pools, ...); idempotent.
 
@@ -122,6 +131,9 @@ class EngineBackedAlgorithm(Algorithm):
 
     def load_state_dict(self, state: dict) -> None:
         self.engine.load_state_dict(state)
+
+    def drain(self) -> None:
+        self.engine.drain()
 
     def close(self) -> None:
         self.engine.close()

@@ -240,9 +240,17 @@ MODELS = Registry("model", populate=_load_builtins)
 POLICIES = Registry("policy", populate=_load_builtins)
 #: Execution backends: factories ``(config) -> Executor`` (see ``repro.parallel``).
 EXECUTORS = Registry("executor", populate=_load_builtins)
+#: Round schedulers: factories ``(config) -> PipelineScheduler``
+#: (see ``repro.parallel.pipeline``).
+PIPELINES = Registry("pipeline", populate=_load_builtins)
+#: Inter-process feature transports: factories ``(config) -> Transport``
+#: (see ``repro.parallel.transport``).
+TRANSPORTS = Registry("transport", populate=_load_builtins)
 
 register_algorithm = ALGORITHMS.register
 register_dataset = DATASETS.register
 register_model = MODELS.register
 register_policy = POLICIES.register
 register_executor = EXECUTORS.register
+register_pipeline = PIPELINES.register
+register_transport = TRANSPORTS.register

@@ -165,7 +165,14 @@ class Session:
 
     # -- checkpointing -------------------------------------------------------
     def state_dict(self) -> dict:
-        """Configuration plus full mutable algorithm state."""
+        """Configuration plus full mutable algorithm state.
+
+        Drains the algorithm first: a pipelined round (see
+        :mod:`repro.parallel.pipeline`) may have asynchronously dispatched
+        work still in flight on the executor, and the capture must not race
+        it.
+        """
+        self.algorithm.drain()
         return {
             "version": CHECKPOINT_VERSION,
             "config": self.config.to_dict(),

@@ -7,7 +7,10 @@ uploads/downloads and compute time is charged for the full network.
 Like :class:`~repro.core.engine.SplitTrainingEngine`, this engine
 implements the :class:`~repro.api.algorithm.Algorithm` interface:
 steppable rounds with a monotonic index, and full ``state_dict()`` /
-``load_state_dict()`` support for checkpoint/resume.
+``load_state_dict()`` support for checkpoint/resume.  Rounds follow the
+same staged structure (plan -> local-step -> aggregate), with the stage
+bodies bound into :class:`~repro.parallel.pipeline.FullRoundOps` and driven
+by the configured :class:`~repro.parallel.pipeline.PipelineScheduler`.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from repro.nn.serialization import (
     module_extra_state,
 )
 from repro.parallel.base import Executor
+from repro.parallel.pipeline import FullRoundOps, PipelineScheduler, build_pipeline
 from repro.parallel.serial import SerialExecutor
 from repro.simulation.cluster import Cluster
 from repro.simulation.timing import average_waiting_time, round_duration
@@ -68,6 +72,7 @@ class FLTrainingEngine(Algorithm):
         data: TrainTestSplit,
         selection: FLSelectionStrategy,
         executor: Executor | None = None,
+        pipeline: PipelineScheduler | None = None,
     ) -> None:
         self.config = config
         self.model = model.clone()
@@ -76,6 +81,7 @@ class FLTrainingEngine(Algorithm):
         self.data = data
         self.selection = selection
         self.executor = executor if executor is not None else SerialExecutor()
+        self.pipeline = pipeline if pipeline is not None else build_pipeline(config)
 
         self.loss_fn = CrossEntropyLoss()
         self.traffic = TrafficMeter()
@@ -110,6 +116,10 @@ class FLTrainingEngine(Algorithm):
         model.eval()
         return model
 
+    def drain(self) -> None:
+        """Wait for in-flight asynchronous dispatch (pipelined rounds)."""
+        self.executor.drain()
+
     def close(self) -> None:
         """Release executor resources (worker processes, pools)."""
         self.executor.close()
@@ -117,6 +127,7 @@ class FLTrainingEngine(Algorithm):
     # -- checkpointing -----------------------------------------------------------
     def state_dict(self) -> dict:
         """Every mutable piece of training state, for checkpoint/resume."""
+        self.drain()
         return {
             "round_index": self._round_index,
             "clock": self._clock,
@@ -151,40 +162,36 @@ class FLTrainingEngine(Algorithm):
     # -- internals -------------------------------------------------------------
     def _run_round(self, round_index: int) -> None:
         config = self.config
-        self.cluster.advance_round(round_index)
-        durations = self._per_worker_durations()
-        participation = np.asarray(
-            [worker.participation_count for worker in self.workers], dtype=np.float64
-        )
-        selected = self.selection.select(
-            round_index,
-            durations,
-            self._label_distributions,
-            participation,
-            spawned_rng(self._round_seed, round_index),
-        )
-        if not selected:
-            raise RuntimeError("FL selection strategy selected no workers")
+        selected, selected_workers = self._stage_plan(round_index)
+        losses: list[float] = []
 
-        # Local training on every selected worker.
-        selected_workers = [self.workers[worker_id] for worker_id in selected]
-        states = self.executor.train_full(
-            selected_workers,
-            self.model,
-            self.loss_fn,
-            iterations=config.local_iterations,
-            batch_size=config.base_batch_size,
-            learning_rate=self._current_lr,
-        )
-        weights = []
-        losses = []
-        for worker, state in zip(selected_workers, states):
-            weights.append(float(worker.num_samples))
-            worker.participation_count += 1
-            losses.append(self._local_loss(state))
+        def train() -> list[dict[str, np.ndarray]]:
+            # LOCAL_STEP: full-model training on every selected worker.
+            return self.executor.train_full(
+                selected_workers,
+                self.model,
+                self.loss_fn,
+                iterations=config.local_iterations,
+                batch_size=config.base_batch_size,
+                learning_rate=self._current_lr,
+            )
 
-        aggregated = average_state_dicts(states, weights)
-        self.model.load_state_dict(aggregated)
+        def aggregate(states: list[dict[str, np.ndarray]]) -> None:
+            weights = []
+            for worker, state in zip(selected_workers, states):
+                weights.append(float(worker.num_samples))
+                worker.participation_count += 1
+                losses.append(self._local_loss(state))
+            self.model.load_state_dict(average_state_dicts(states, weights))
+
+        self.pipeline.run_full_round(
+            FullRoundOps(
+                executor=self.executor,
+                workers=selected_workers,
+                train=train,
+                aggregate=aggregate,
+            )
+        )
 
         duration, waiting = self._account_time_and_traffic(selected)
         self._clock += duration
@@ -205,6 +212,26 @@ class FLTrainingEngine(Algorithm):
         )
         self._current_lr *= config.lr_decay
         logger.debug("FL round %d: acc=%.3f", round_index, accuracy)
+
+    def _stage_plan(
+        self, round_index: int
+    ) -> tuple[list[int], list[SplitWorker]]:
+        """PLAN: refresh durations and run the selection strategy."""
+        self.cluster.advance_round(round_index)
+        durations = self._per_worker_durations()
+        participation = np.asarray(
+            [worker.participation_count for worker in self.workers], dtype=np.float64
+        )
+        selected = self.selection.select(
+            round_index,
+            durations,
+            self._label_distributions,
+            participation,
+            spawned_rng(self._round_seed, round_index),
+        )
+        if not selected:
+            raise RuntimeError("FL selection strategy selected no workers")
+        return selected, [self.workers[worker_id] for worker_id in selected]
 
     def _local_loss(self, state: dict[str, np.ndarray]) -> float:
         """Training loss of a locally updated model on a small probe batch."""

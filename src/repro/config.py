@@ -86,6 +86,16 @@ class ExperimentConfig:
     #: (multiprocessing pool); see :mod:`repro.parallel`.  All backends are
     #: bit-exact with each other, so this is purely a speed knob.
     executor: str = "serial"
+    #: How the stages of each round are scheduled: ``"sync"`` (strict stage
+    #: order) or ``"pipelined"`` (double-buffered cross-iteration overlap on
+    #: executors that support asynchronous dispatch); see
+    #: :mod:`repro.parallel.pipeline`.  Both schedulers are bit-exact.
+    pipeline: str = "sync"
+    #: How feature/gradient/mini-batch arrays cross the process executor's
+    #: process boundary: ``"pipe"`` (pickle over a pipe) or ``"shm"``
+    #: (shared-memory ring buffers, headers only over the pipe); see
+    #: :mod:`repro.parallel.transport`.  Ignored by in-process executors.
+    transport: str = "pipe"
 
     # Reproducibility --------------------------------------------------------
     seed: int = 0
@@ -104,7 +114,14 @@ class ExperimentConfig:
         third-party algorithms, datasets and models registered with the
         ``@register_*`` decorators validate exactly like built-ins.
         """
-        from repro.api.registry import ALGORITHMS, DATASETS, EXECUTORS, MODELS
+        from repro.api.registry import (
+            ALGORITHMS,
+            DATASETS,
+            EXECUTORS,
+            MODELS,
+            PIPELINES,
+            TRANSPORTS,
+        )
 
         if self.algorithm not in ALGORITHMS:
             raise ConfigurationError(ALGORITHMS.unknown_message(self.algorithm))
@@ -114,6 +131,10 @@ class ExperimentConfig:
             raise ConfigurationError(MODELS.unknown_message(self.model))
         if self.executor not in EXECUTORS:
             raise ConfigurationError(EXECUTORS.unknown_message(self.executor))
+        if self.pipeline not in PIPELINES:
+            raise ConfigurationError(PIPELINES.unknown_message(self.pipeline))
+        if self.transport not in TRANSPORTS:
+            raise ConfigurationError(TRANSPORTS.unknown_message(self.transport))
         positive_fields = {
             "num_workers": self.num_workers,
             "num_rounds": self.num_rounds,

@@ -14,6 +14,13 @@ monotonic round index (repeated ``run()`` calls extend the same run), and
 ``state_dict()`` / ``load_state_dict()`` capture every mutable piece of
 training state so a :class:`~repro.api.session.Session` can checkpoint and
 resume bit-exactly.
+
+A round is an explicit stage sequence (plan -> install -> bottom-forward ->
+merge -> top-update -> backward-dispatch -> local-step -> aggregate): the
+engine supplies the stage bodies as :class:`~repro.parallel.pipeline.SplitRoundOps`
+and a :class:`~repro.parallel.pipeline.PipelineScheduler` (picked by
+``config.pipeline``) decides the execution order -- strictly sequential, or
+double-buffered across iterations on executors with asynchronous dispatch.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from repro.nn.module import Sequential
 from repro.nn.serialization import model_size_bytes
 from repro.nn.split import SplitModel
 from repro.parallel.base import Executor
+from repro.parallel.pipeline import PipelineScheduler, SplitRoundOps, build_pipeline
 from repro.parallel.serial import SerialExecutor
 from repro.simulation.cluster import Cluster
 from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
@@ -86,6 +94,7 @@ class SplitTrainingEngine(Algorithm):
         policy: ControlPolicy,
         bandwidth_budget_override: float | None = None,
         executor: Executor | None = None,
+        pipeline: PipelineScheduler | None = None,
     ) -> None:
         if split is None:
             raise ConfigurationError(
@@ -100,6 +109,7 @@ class SplitTrainingEngine(Algorithm):
         self.data = data
         self.policy = policy
         self.executor = executor if executor is not None else SerialExecutor()
+        self.pipeline = pipeline if pipeline is not None else build_pipeline(config)
 
         self.server = SplitServer(
             bottom_template=split.bottom,
@@ -167,6 +177,10 @@ class SplitTrainingEngine(Algorithm):
         combined.eval()
         return combined
 
+    def drain(self) -> None:
+        """Wait for in-flight asynchronous dispatch (pipelined rounds)."""
+        self.executor.drain()
+
     def close(self) -> None:
         """Release executor resources (worker processes, pools)."""
         self.executor.close()
@@ -174,6 +188,7 @@ class SplitTrainingEngine(Algorithm):
     # -- checkpointing -----------------------------------------------------------
     def state_dict(self) -> dict:
         """Every mutable piece of training state, for checkpoint/resume."""
+        self.drain()
         return {
             "round_index": self._round_index,
             "clock": self._clock,
@@ -233,30 +248,15 @@ class SplitTrainingEngine(Algorithm):
 
     def _run_round(self, round_index: int) -> None:
         config = self.config
-        self.cluster.advance_round(round_index)
-        self._observe_states()
-        context = self._make_context(round_index)
-        plan = self.policy.plan_round(context)
-        if not plan.selected:
-            raise RuntimeError("control policy selected no workers")
+        plan, selected_workers = self._stage_plan(round_index)
 
-        # Distribute the bottom model and configure the selected workers.
-        selected_workers = [self.workers[w] for w in plan.selected]
-        self._install_bottoms(plan, selected_workers)
-        self.server.set_learning_rate(self._top_lr(plan))
-
-        # tau local iterations of split training.
-        losses = []
-        for iteration in range(config.local_iterations):
-            loss = self._run_iteration(plan, selected_workers)
-            losses.append(loss)
-            if self.policy.aggregate_every_iteration:
-                self._aggregate(plan, selected_workers)
-                self._install_bottoms(plan, selected_workers)
-
-        # End-of-round aggregation (Eq. 17).
-        if not self.policy.aggregate_every_iteration:
-            self._aggregate(plan, selected_workers)
+        # INSTALL .. AGGREGATE run under the configured scheduler; tau local
+        # iterations of split training (end-of-round aggregation is Eq. 17).
+        losses = self.pipeline.run_split_round(
+            self._round_ops(plan, selected_workers),
+            config.local_iterations,
+            self.policy.aggregate_every_iteration,
+        )
 
         for worker in selected_workers:
             worker.participation_count += 1
@@ -290,6 +290,48 @@ class SplitTrainingEngine(Algorithm):
             self._clock, self.traffic.total_megabytes,
         )
 
+    def _stage_plan(
+        self, round_index: int
+    ) -> tuple[RoundPlan, list[SplitWorker]]:
+        """PLAN: refresh estimates, run the control policy, set the top LR."""
+        self.cluster.advance_round(round_index)
+        self._observe_states()
+        context = self._make_context(round_index)
+        plan = self.policy.plan_round(context)
+        if not plan.selected:
+            raise RuntimeError("control policy selected no workers")
+        self.server.set_learning_rate(self._top_lr(plan))
+        return plan, [self.workers[w] for w in plan.selected]
+
+    def _round_ops(
+        self, plan: RoundPlan, selected_workers: list[SplitWorker]
+    ) -> SplitRoundOps:
+        """Bind this round's stage bodies for the pipeline scheduler."""
+        worker_ids = [worker.worker_id for worker in selected_workers]
+
+        def update_top(features, labels):
+            # MERGE + TOP_UPDATE: one update over the merged sequence
+            # (Eq. 16), or one per worker for the no-merging variants; the
+            # dispatched gradient segments are re-aligned with the workers.
+            if self.policy.merge_features:
+                loss, gradients = self.server.update_top_merged(
+                    worker_ids, features, labels
+                )
+            else:
+                loss, gradients = self.server.update_top_per_worker(
+                    worker_ids, features, labels
+                )
+            return loss, [gradients[worker_id] for worker_id in worker_ids]
+
+        return SplitRoundOps(
+            executor=self.executor,
+            workers=selected_workers,
+            batch_sizes=[plan.batch_sizes[worker_id] for worker_id in worker_ids],
+            install=lambda: self._install_bottoms(plan, selected_workers),
+            update_top=update_top,
+            aggregate=lambda: self._aggregate(plan, selected_workers),
+        )
+
     def _install_bottoms(
         self, plan: RoundPlan, selected_workers: list[SplitWorker]
     ) -> None:
@@ -301,27 +343,6 @@ class SplitTrainingEngine(Algorithm):
         self.executor.install(
             selected_workers, self.server.global_bottom, learning_rates
         )
-
-    def _run_iteration(
-        self, plan: RoundPlan, selected_workers: list[SplitWorker]
-    ) -> float:
-        """One local iteration: forward on workers, top update, dispatch, backward."""
-        worker_ids = [worker.worker_id for worker in selected_workers]
-        batch_sizes = [
-            plan.batch_sizes[worker.worker_id] for worker in selected_workers
-        ]
-        features, labels = self.executor.forward(selected_workers, batch_sizes)
-        if self.policy.merge_features:
-            loss, gradients = self.server.update_top_merged(worker_ids, features, labels)
-        else:
-            loss, gradients = self.server.update_top_per_worker(
-                worker_ids, features, labels
-            )
-        self.executor.backward_step(
-            selected_workers,
-            [gradients[worker.worker_id] for worker in selected_workers],
-        )
-        return loss
 
     def _aggregate(self, plan: RoundPlan, selected_workers: list[SplitWorker]) -> None:
         """Aggregate bottom models with batch-size-proportional weights (Eq. 17)."""

@@ -13,8 +13,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.batching import occupied_bandwidth
-from repro.core.divergence import kl_divergence, mixed_label_distribution
+from repro.core.divergence import _EPS, kl_divergence, mixed_label_distribution
 from repro.exceptions import SelectionError
+from repro.utils.numeric import normalize_distribution
 from repro.utils.rng import new_rng
 
 
@@ -62,6 +63,99 @@ def _fitness(
     return kl + 10.0 * violation + 0.05 * (1.0 - utilisation)
 
 
+class PopulationFitness:
+    """Vectorized GA fitness: a whole population evaluated in one pass.
+
+    The per-worker KL contribution vectors ``d_i * V_i`` (the numerator
+    terms of Eq. 11) and the smoothed reference distribution of Eq. 12 are
+    precomputed once per round; evaluating a population of membership masks
+    is then one masked matrix reduction plus a row-wise KL instead of a
+    Python loop over individuals -- ``population x generations`` scalar
+    fitness calls collapse into ``generations`` matrix ops.
+
+    Every reduction is arranged to be bit-identical to :func:`_fitness`:
+    unselected workers contribute exact ``0.0`` rows to a sequential sum
+    over the worker axis (adding ``0.0`` is a bitwise no-op), batch-size
+    sums are integer-valued and therefore order-independent in float64, and
+    the per-class reductions run over the same contiguous axis length as
+    the scalar path.  The GA's comparisons -- and therefore its
+    :class:`SelectionResult` -- are unchanged for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        batch_sizes: np.ndarray,
+        label_distributions: np.ndarray,
+        target_distribution: np.ndarray,
+        bandwidth_per_sample: float,
+        bandwidth_budget: float,
+    ) -> None:
+        self._batches = np.asarray(batch_sizes, dtype=np.int64)
+        if np.any(self._batches < 0):
+            # Mirrors the check mixed_label_distribution applies per mask.
+            raise ValueError("batch sizes must be non-negative")
+        self._matrix = np.atleast_2d(np.asarray(label_distributions, dtype=np.float64))
+        #: Per-worker contributions ``d_i * V_i`` to the merged mixture.
+        self._contributions = self._batches.astype(np.float64)[:, None] * self._matrix
+        # The smoothed reference distribution: identical for every mask, so
+        # the normalisation inside ``kl_divergence`` is hoisted out.
+        self._target = np.asarray(target_distribution, dtype=np.float64)
+        phi0 = normalize_distribution(self._target)
+        phi0 = phi0 + _EPS
+        self._phi0 = phi0 / phi0.sum()
+        self._bandwidth_per_sample = bandwidth_per_sample
+        self._bandwidth_budget = bandwidth_budget
+
+    def evaluate(self, masks: np.ndarray) -> np.ndarray:
+        """Fitness of every row of ``masks`` (a ``(population, N)`` matrix).
+
+        Duplicate individuals -- common once the GA starts converging --
+        are evaluated once and their score broadcast back.
+        """
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        unique, inverse = np.unique(masks, axis=0, return_inverse=True)
+        if unique.shape[0] < masks.shape[0]:
+            return self.evaluate(unique)[inverse]
+        nonempty = masks.any(axis=1)
+        fitness = np.full(masks.shape[0], 1e6)
+        if not np.any(nonempty):
+            return fitness
+        # Masks whose selected workers all have zero batch size take the
+        # scalar path's uniform-mean fallback; evaluate them one by one (a
+        # degenerate case, unreachable from the engines where batches >= 1).
+        sizes_all = masks @ self._batches
+        degenerate = nonempty & (sizes_all == 0)
+        if np.any(degenerate):
+            for row in np.flatnonzero(degenerate):
+                fitness[row] = _fitness(
+                    masks[row], self._batches, self._matrix, self._target,
+                    self._bandwidth_per_sample, self._bandwidth_budget,
+                )
+            nonempty = nonempty & ~degenerate
+            if not np.any(nonempty):
+                return fitness
+        # Masked stack: unselected workers become exact-zero rows, so the
+        # sequential sum over the worker axis reproduces the scalar path's
+        # selected-rows sum bit for bit.
+        stacked = masks[:, :, None] * self._contributions[None, :, :]
+        mixture = stacked.sum(axis=1)[nonempty]
+        sizes = sizes_all[nonempty]
+        phi = mixture / sizes[:, None].astype(np.float64)
+        # mixed_label_distribution normalises the mixture, kl_divergence
+        # normalises again and applies epsilon smoothing; mirror all three.
+        phi = phi / phi.sum(axis=1, keepdims=True)
+        phi = phi / phi.sum(axis=1, keepdims=True)
+        phi = phi + _EPS
+        phi = phi / phi.sum(axis=1, keepdims=True)
+        kl = np.sum(phi * np.log(phi / self._phi0[None, :]), axis=1)
+        used = sizes.astype(np.float64) * self._bandwidth_per_sample
+        budget = self._bandwidth_budget
+        violation = np.maximum(0.0, used - budget) / budget
+        utilisation = np.minimum(1.0, used / budget)
+        fitness[nonempty] = kl + 10.0 * violation + 0.05 * (1.0 - utilisation)
+        return fitness
+
+
 def genetic_select(
     batch_sizes: np.ndarray,
     label_distributions: np.ndarray,
@@ -99,11 +193,10 @@ def genetic_select(
         priorities = np.ones(num_workers)
     priorities = np.asarray(priorities, dtype=np.float64)
 
-    def evaluate(mask: np.ndarray) -> float:
-        return _fitness(
-            mask, batch_sizes, label_distributions, target_distribution,
-            bandwidth_per_sample, bandwidth_budget,
-        )
+    fitness = PopulationFitness(
+        batch_sizes, label_distributions, target_distribution,
+        bandwidth_per_sample, bandwidth_budget,
+    )
 
     # Seed: the m highest-priority workers, plus random perturbations of it.
     seed_count = max(1, int(round(seed_fraction * num_workers)))
@@ -120,7 +213,7 @@ def genetic_select(
             individual[int(rng.integers(num_workers))] = True
         population.append(individual)
 
-    scores = np.asarray([evaluate(ind) for ind in population])
+    scores = fitness.evaluate(np.stack(population))
 
     for __ in range(generations):
         new_population = [population[int(np.argmin(scores))].copy()]  # elitism
@@ -139,7 +232,7 @@ def genetic_select(
                 child[int(rng.integers(num_workers))] = True
             new_population.append(child)
         population = new_population
-        scores = np.asarray([evaluate(ind) for ind in population])
+        scores = fitness.evaluate(np.stack(population))
 
     best = population[int(np.argmin(scores))]
     selected = np.flatnonzero(best)

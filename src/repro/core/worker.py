@@ -109,6 +109,17 @@ class SplitWorker:
         self._pending_batch_size = data.shape[0]
         return data, labels
 
+    def draw_batch_indices(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Draw the next mini-batch as ``(shard_indices, labels)``.
+
+        For executors that hold a copy of the (static) shard next to the
+        compute: only the drawn indices need to travel, the sampling RNG
+        advances exactly as in :meth:`draw_batch`.
+        """
+        indices = self.loader.next_indices(batch_size)
+        self._pending_batch_size = indices.shape[0]
+        return indices, self.dataset.targets[indices]
+
     def forward_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
         """Run the bottom model on the next local mini-batch.
 

@@ -27,8 +27,13 @@ class BatchLoader:
     def __len__(self) -> int:
         return len(self.dataset)
 
-    def next_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
-        """Return the next ``(data, targets)`` mini-batch of the given size."""
+    def next_indices(self, batch_size: int) -> np.ndarray:
+        """Draw the next mini-batch's shard indices without materialising it.
+
+        Used by executors that hold a copy of the shard elsewhere (worker
+        processes): the sampling state advances here, in the checkpointed
+        loader, and only the indices travel.
+        """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         size = min(batch_size, len(self.dataset))
@@ -40,7 +45,11 @@ class BatchLoader:
             take = min(size - len(picked), len(self._order) - self._cursor)
             picked.extend(self._order[self._cursor:self._cursor + take].tolist())
             self._cursor += take
-        indices = np.asarray(picked, dtype=np.int64)
+        return np.asarray(picked, dtype=np.int64)
+
+    def next_batch(self, batch_size: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return the next ``(data, targets)`` mini-batch of the given size."""
+        indices = self.next_indices(batch_size)
         return self.dataset.data[indices], self.dataset.targets[indices]
 
     def state_dict(self) -> dict:

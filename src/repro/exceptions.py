@@ -23,3 +23,7 @@ class SelectionError(ReproError):
 
 class DataError(ReproError):
     """A dataset or partition is malformed."""
+
+
+class TransportError(ReproError):
+    """An inter-process feature transport failed (corrupt frame, dead peer)."""

@@ -13,20 +13,59 @@ with :func:`~repro.api.registry.register_executor`.  Executor factories
 receive the full :class:`~repro.config.ExperimentConfig` so backends can
 read tuning knobs from ``config.extras`` (the process pool size, for
 example, comes from ``extras["executor_processes"]``).
+
+Two further axes compose with the executor choice:
+
+* the **round pipeline** (``config.pipeline``, :mod:`repro.parallel.pipeline`)
+  schedules the stages of each round -- ``sync`` runs them strictly in
+  order, ``pipelined`` double-buffers iteration ``k+1``'s bottom-forward
+  work against iteration ``k``'s top update on capable executors;
+* the **feature transport** (``config.transport``,
+  :mod:`repro.parallel.transport`) moves tensors across the process
+  executor's process boundary -- ``pipe`` pickles them, ``shm`` ships them
+  through shared-memory ring buffers (``extras["transport_capacity"]``
+  tunes the per-direction ring size).
+
+Every combination is bit-exact with every other; these are purely
+speed/topology knobs.
 """
 
-from repro.api.registry import register_executor
+from repro.api.registry import register_executor, register_pipeline, register_transport
 from repro.parallel.base import Executor
 from repro.parallel.batched import BatchedExecutor
+from repro.parallel.pipeline import (
+    FullRoundOps,
+    PipelinedScheduler,
+    PipelineScheduler,
+    RoundStage,
+    SplitRoundOps,
+    build_pipeline,
+)
 from repro.parallel.process import ProcessExecutor
 from repro.parallel.serial import SerialExecutor
+from repro.parallel.transport import (
+    DEFAULT_RING_CAPACITY,
+    PipeTransport,
+    SharedMemoryTransport,
+    Transport,
+)
 
 __all__ = [
     "BatchedExecutor",
     "Executor",
+    "FullRoundOps",
+    "PipeTransport",
+    "PipelineScheduler",
+    "PipelinedScheduler",
     "ProcessExecutor",
+    "RoundStage",
     "SerialExecutor",
+    "SharedMemoryTransport",
+    "SplitRoundOps",
+    "Transport",
     "build_executor",
+    "build_pipeline",
+    "build_transport",
 ]
 
 
@@ -46,7 +85,31 @@ def _build_process(config) -> ProcessExecutor:
     return ProcessExecutor(
         processes=int(processes) if processes is not None else None,
         start_method=config.extras.get("executor_start_method"),
+        transport=build_transport(config),
     )
+
+
+@register_transport("pipe", description="pickle whole messages over a pipe")
+def _build_pipe_transport(config) -> PipeTransport:
+    return PipeTransport()
+
+
+@register_transport("shm", description="arrays via shared-memory ring buffers")
+def _build_shm_transport(config) -> SharedMemoryTransport:
+    capacity = config.extras.get("transport_capacity")
+    return SharedMemoryTransport(
+        capacity=int(capacity) if capacity is not None else DEFAULT_RING_CAPACITY
+    )
+
+
+@register_pipeline("sync", description="stages run strictly in order")
+def _build_sync_pipeline(config) -> PipelineScheduler:
+    return PipelineScheduler()
+
+
+@register_pipeline("pipelined", description="double-buffered cross-iteration overlap")
+def _build_pipelined_pipeline(config) -> PipelinedScheduler:
+    return PipelinedScheduler()
 
 
 def build_executor(config) -> Executor:
@@ -54,3 +117,10 @@ def build_executor(config) -> Executor:
     from repro.api.registry import EXECUTORS
 
     return EXECUTORS.get(config.executor)(config)
+
+
+def build_transport(config) -> Transport:
+    """Instantiate the transport named in ``config.transport`` via the registry."""
+    from repro.api.registry import TRANSPORTS
+
+    return TRANSPORTS.get(config.transport)(config)

@@ -49,6 +49,14 @@ class Executor(abc.ABC):
     #: Registry name of the backend (also used in logs and error messages).
     name: str = "abstract"
 
+    #: Whether the backend implements the split-phase pipelining protocol
+    #: (``stage_forward`` / ``launch_forward`` / ``collect_forward`` /
+    #: ``fused_backward_forward`` / ``backward_step_nowait``) that the
+    #: pipelined scheduler (:mod:`repro.parallel.pipeline`) drives.  In-
+    #: process backends gain nothing from it and leave this ``False``; the
+    #: scheduler then falls back to the synchronous stage order.
+    supports_pipelining: bool = False
+
     # -- split training -------------------------------------------------------
     @abc.abstractmethod
     def install(
@@ -106,6 +114,14 @@ class Executor(abc.ABC):
         """
 
     # -- lifecycle ------------------------------------------------------------
+    def drain(self) -> None:
+        """Block until no asynchronously dispatched work is in flight.
+
+        Engines call this before capturing checkpoint state so a pipelined
+        round can never race the state capture.  Backends without
+        asynchronous dispatch have nothing to wait for.
+        """
+
     def close(self) -> None:
         """Release backend resources (worker processes, pools); idempotent."""
 

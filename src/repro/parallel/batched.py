@@ -12,9 +12,9 @@ Sampling state never leaves the workers: mini-batches are drawn from every
 worker's own :class:`~repro.data.loader.BatchLoader` in the main process,
 so checkpoints are identical to serial execution.
 
-Models containing layers without a batched kernel (BatchNorm, third-party
-plugins) transparently fall back to serial execution, with a one-time
-warning per layer-type set.
+Models containing layers without a batched kernel (third-party plugins;
+every built-in layer, including BatchNorm1d/2d, has one) transparently
+fall back to serial execution, with a one-time warning per layer-type set.
 """
 
 from __future__ import annotations

@@ -26,7 +26,7 @@ from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
 from repro.nn.layers.conv import Conv1d, Conv2d, col2im, im2col
 from repro.nn.layers.linear import Linear
 from repro.nn.layers.pooling import AvgPool2d, MaxPool1d, MaxPool2d
-from repro.nn.layers.regularization import Dropout
+from repro.nn.layers.regularization import BatchNorm1d, BatchNorm2d, Dropout
 from repro.nn.layers.shape import Flatten
 from repro.nn.module import Sequential
 
@@ -289,6 +289,112 @@ class BatchedAvgPool2d(BatchedLayer):
         return grad_input
 
 
+class _BatchedBatchNormBase(BatchedLayer):
+    """Shared machinery for stacked 1-D and 2-D batch normalisation.
+
+    Normalisation runs on a ``(w, samples, features)`` view; every
+    reduction is over the middle (samples) axis, which numpy evaluates as
+    the same sequential row accumulation the serial layer's ``axis=0``
+    reductions use -- so batch statistics, outputs and gradients are
+    bit-identical per worker slice.  Each worker carries its own running
+    statistics, exactly like the per-worker clones of serial execution.
+    """
+
+    def __init__(self, layer, count: int) -> None:
+        super().__init__(count)
+        self.num_features = layer.num_features
+        self.momentum = layer.momentum
+        self.eps = layer.eps
+        self.training = True
+        self.gamma = BatchedParameter(_stack(layer.gamma.data, count), "gamma")
+        self.beta = BatchedParameter(_stack(layer.beta.data, count), "beta")
+        self.params = [self.gamma, self.beta]
+        self.running_mean = _stack(layer.running_mean, count).copy()
+        self.running_var = _stack(layer.running_var, count).copy()
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def _normalize(self, flat: np.ndarray) -> np.ndarray:
+        """Normalise a ``(w, samples, features)`` view, as the serial layer."""
+        if self.training:
+            mean = flat.mean(axis=1)
+            var = flat.var(axis=1)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normalized = (flat - mean[:, None, :]) * inv_std[:, None, :]
+        self._cache = (normalized, inv_std, flat - mean[:, None, :])
+        return normalized * self.gamma.data[:, None, :] + self.beta.data[:, None, :]
+
+    def _denormalize_grad(self, grad_flat: np.ndarray) -> np.ndarray:
+        """Backward pass on the ``(w, samples, features)`` view."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std, centered = self._cache
+        samples = grad_flat.shape[1]
+        self.gamma.grad += (grad_flat * normalized).sum(axis=1)
+        self.beta.grad += grad_flat.sum(axis=1)
+        if not self.training:
+            return grad_flat * self.gamma.data[:, None, :] * inv_std[:, None, :]
+        grad_norm = grad_flat * self.gamma.data[:, None, :]
+        grad_var = (grad_norm * centered).sum(axis=1) * -0.5 * inv_std**3
+        grad_mean = (-grad_norm * inv_std[:, None, :]).sum(axis=1) + grad_var * (
+            -2.0 * centered.mean(axis=1)
+        )
+        return (
+            grad_norm * inv_std[:, None, :]
+            + grad_var[:, None, :] * 2.0 * centered / samples
+            + grad_mean[:, None, :] / samples
+        )
+
+
+class BatchedBatchNorm1d(_BatchedBatchNormBase):
+    """Stacked batch normalisation over ``(w, batch, features)`` inputs."""
+
+    def __init__(self, layer: BatchNorm1d, count: int) -> None:
+        super().__init__(layer, count)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return self._normalize(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self._denormalize_grad(grad_output)
+
+
+class BatchedBatchNorm2d(_BatchedBatchNormBase):
+    """Stacked batch normalisation over ``(w, batch, C, H, W)`` inputs.
+
+    The channels-last flattening mirrors the serial layer's
+    ``transpose(0, 2, 3, 1).reshape(-1, C)`` per worker slice, so the
+    per-channel sample order inside every reduction is identical.
+    """
+
+    def __init__(self, layer: BatchNorm2d, count: int) -> None:
+        super().__init__(layer, count)
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        w, batch, channels, height, width = inputs.shape
+        flat = inputs.transpose(0, 1, 3, 4, 2).reshape(w, -1, self.num_features)
+        out = self._normalize(flat)
+        return out.reshape(w, batch, height, width, channels).transpose(0, 1, 4, 2, 3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        w, batch, channels, height, width = self._input_shape
+        grad_flat = grad_output.transpose(0, 1, 3, 4, 2).reshape(
+            w, -1, self.num_features
+        )
+        grad = self._denormalize_grad(grad_flat)
+        return grad.reshape(w, batch, height, width, channels).transpose(0, 1, 4, 2, 3)
+
+
 class BatchedDropout(BatchedLayer):
     """Inverted dropout with one RNG clone per worker.
 
@@ -321,8 +427,8 @@ class BatchedDropout(BatchedLayer):
 
 
 #: Serial layer type -> batched counterpart.  Layers outside this table
-#: (BatchNorm, third-party plugins) make the batched executor fall back to
-#: serial execution for the whole model.
+#: (third-party plugins) make the batched executor fall back to serial
+#: execution for the whole model.
 BATCHED_LAYER_TYPES: dict[type, type] = {
     Linear: BatchedLinear,
     Conv2d: BatchedConv2d,
@@ -335,6 +441,8 @@ BATCHED_LAYER_TYPES: dict[type, type] = {
     MaxPool1d: BatchedMaxPool1d,
     AvgPool2d: BatchedAvgPool2d,
     Dropout: BatchedDropout,
+    BatchNorm1d: BatchedBatchNorm1d,
+    BatchNorm2d: BatchedBatchNorm2d,
 }
 
 

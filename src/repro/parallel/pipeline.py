@@ -1,0 +1,235 @@
+"""The staged round pipeline: how one communication round is scheduled.
+
+Both training engines describe a round as a fixed sequence of *stages*
+(:class:`RoundStage`): plan the worker set, install the bottom models, then
+for each of the ``tau`` local iterations run the bottom forward, merge the
+features, update the top model and dispatch the gradients for the local SGD
+steps, and finally aggregate the bottom models.  A
+:class:`PipelineScheduler` owns the execution order of those stages; the
+engines only provide the stage bodies through :class:`SplitRoundOps` /
+:class:`FullRoundOps`.
+
+Two schedulers are registered (``ExperimentConfig(pipeline=...)``):
+
+* ``sync`` -- :class:`PipelineScheduler`: every stage runs to completion
+  before the next starts.  This is the reference order; its behaviour
+  *defines* what the pipelined scheduler must reproduce bit-exactly.
+* ``pipelined`` -- :class:`PipelinedScheduler`: when the executor supports
+  asynchronous dispatch (``Executor.supports_pipelining``), iteration
+  ``k+1``'s bottom-forward work is double-buffered against iteration
+  ``k``'s top update: the mini-batches for ``k+1`` are drawn and shipped
+  while the children still compute forward ``k``, and the gradient
+  dispatch of ``k`` is fused with the forward launch of ``k+1`` into a
+  single synchronisation.  The data dependency (forward ``k+1`` runs on
+  weights updated by backward ``k``) is never broken -- the staleness
+  bound is 0 -- so histories stay bit-exact with the ``sync`` scheduler.
+  Executors without the capability (and SplitFed-style rounds that
+  aggregate after every iteration) transparently fall back to the
+  synchronous order.
+
+Schedulers hold no cross-round state, so switching them never invalidates
+a checkpoint; ``Session.save_checkpoint`` still drains the executor first
+so no in-flight asynchronous dispatch can race the state capture.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.worker import SplitWorker
+    from repro.parallel.base import Executor
+
+logger = get_logger("parallel.pipeline")
+
+
+class RoundStage(enum.Enum):
+    """The stages of one communication round, in reference order."""
+
+    PLAN = "plan"
+    INSTALL = "install"
+    BOTTOM_FORWARD = "bottom_forward"
+    MERGE = "merge"
+    TOP_UPDATE = "top_update"
+    BACKWARD_DISPATCH = "backward_dispatch"
+    LOCAL_STEP = "local_step"
+    AGGREGATE = "aggregate"
+
+
+#: Stage observer signature: ``(stage, iteration)``; iteration is ``None``
+#: for the per-round stages (install/aggregate).
+StageHook = Callable[[RoundStage, "int | None"], None]
+
+
+@dataclass
+class SplitRoundOps:
+    """Stage bodies of one split-training round, supplied by the engine.
+
+    The scheduler decides *when* each runs; the engine decides *what* they
+    do.  ``update_top`` covers the MERGE and TOP_UPDATE stages and returns
+    ``(loss, gradients)`` with the gradient segments aligned with
+    ``workers``; the executor's ``backward_step`` covers BACKWARD_DISPATCH
+    and LOCAL_STEP.
+    """
+
+    executor: "Executor"
+    workers: "list[SplitWorker]"
+    batch_sizes: list[int]
+    install: Callable[[], None]
+    update_top: Callable[[list, list], tuple[float, list[np.ndarray]]]
+    aggregate: Callable[[], None]
+    on_stage: StageHook | None = None
+
+    def note(self, stage: RoundStage, iteration: int | None = None) -> None:
+        if self.on_stage is not None:
+            self.on_stage(stage, iteration)
+
+
+@dataclass
+class FullRoundOps:
+    """Stage bodies of one full-model (FL) round.
+
+    ``train`` runs every selected worker's local iterations (LOCAL_STEP)
+    and returns the locally updated state dicts; ``aggregate`` consumes
+    them.
+    """
+
+    executor: "Executor"
+    workers: "list[SplitWorker]"
+    train: Callable[[], list]
+    aggregate: Callable[[list], None]
+    on_stage: StageHook | None = None
+
+    def note(self, stage: RoundStage, iteration: int | None = None) -> None:
+        if self.on_stage is not None:
+            self.on_stage(stage, iteration)
+
+
+class PipelineScheduler:
+    """Reference scheduler: stages run strictly one after another."""
+
+    name = "sync"
+
+    def run_split_round(
+        self,
+        ops: SplitRoundOps,
+        local_iterations: int,
+        aggregate_every_iteration: bool,
+    ) -> list[float]:
+        """Execute INSTALL .. AGGREGATE and return the per-iteration losses."""
+        ops.note(RoundStage.INSTALL)
+        ops.install()
+        losses: list[float] = []
+        for iteration in range(local_iterations):
+            ops.note(RoundStage.BOTTOM_FORWARD, iteration)
+            features, labels = ops.executor.forward(ops.workers, ops.batch_sizes)
+            ops.note(RoundStage.TOP_UPDATE, iteration)
+            loss, gradients = ops.update_top(features, labels)
+            ops.note(RoundStage.BACKWARD_DISPATCH, iteration)
+            ops.executor.backward_step(ops.workers, gradients)
+            losses.append(loss)
+            if aggregate_every_iteration:
+                ops.note(RoundStage.AGGREGATE, iteration)
+                ops.aggregate()
+                ops.note(RoundStage.INSTALL, iteration)
+                ops.install()
+        if not aggregate_every_iteration:
+            ops.note(RoundStage.AGGREGATE)
+            ops.aggregate()
+        return losses
+
+    def run_full_round(self, ops: FullRoundOps) -> list:
+        """Execute the FL round stages and return the local state dicts."""
+        ops.note(RoundStage.LOCAL_STEP)
+        states = ops.train()
+        ops.note(RoundStage.AGGREGATE)
+        ops.aggregate(states)
+        return states
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class PipelinedScheduler(PipelineScheduler):
+    """Double-buffered scheduler: overlap transfer/dispatch across iterations.
+
+    Requires the split-phase executor capability (``stage_forward`` /
+    ``launch_forward`` / ``collect_forward`` / ``fused_backward_forward`` /
+    ``backward_step_nowait``); falls back to the synchronous order when the
+    executor lacks it or the round re-installs after every iteration.
+    """
+
+    name = "pipelined"
+
+    def __init__(self) -> None:
+        self._warned_fallback = False
+
+    def run_split_round(
+        self,
+        ops: SplitRoundOps,
+        local_iterations: int,
+        aggregate_every_iteration: bool,
+    ) -> list[float]:
+        executor = ops.executor
+        if local_iterations <= 0:
+            # Nothing to double-buffer; the pre-loop launch would leave an
+            # uncollected forward behind.  The sync order handles zero
+            # iterations gracefully.
+            return super().run_split_round(
+                ops, local_iterations, aggregate_every_iteration
+            )
+        if not getattr(executor, "supports_pipelining", False) or aggregate_every_iteration:
+            if not self._warned_fallback:
+                self._warned_fallback = True
+                reason = (
+                    "the round re-installs after every iteration"
+                    if aggregate_every_iteration
+                    else f"executor {executor.name!r} has no asynchronous dispatch"
+                )
+                logger.warning(
+                    "pipelined scheduler falling back to synchronous stage "
+                    "order: %s", reason,
+                )
+            return super().run_split_round(
+                ops, local_iterations, aggregate_every_iteration
+            )
+        ops.note(RoundStage.INSTALL)
+        ops.install()
+        losses: list[float] = []
+        # Double buffer: iteration 0's batches are staged and its forward
+        # launched before the loop; inside the loop, iteration k+1's batches
+        # ship while the children still compute forward k.
+        ops.note(RoundStage.BOTTOM_FORWARD, 0)
+        executor.stage_forward(ops.workers, ops.batch_sizes)
+        executor.launch_forward(ops.workers)
+        for iteration in range(local_iterations):
+            if iteration + 1 < local_iterations:
+                ops.note(RoundStage.BOTTOM_FORWARD, iteration + 1)
+                executor.stage_forward(ops.workers, ops.batch_sizes)
+            features, labels = executor.collect_forward(ops.workers)
+            ops.note(RoundStage.TOP_UPDATE, iteration)
+            loss, gradients = ops.update_top(features, labels)
+            ops.note(RoundStage.BACKWARD_DISPATCH, iteration)
+            if iteration + 1 < local_iterations:
+                # One synchronisation: backward k + step + forward k+1.
+                executor.fused_backward_forward(ops.workers, gradients)
+            else:
+                executor.backward_step_nowait(ops.workers, gradients)
+            losses.append(loss)
+        ops.note(RoundStage.AGGREGATE)
+        ops.aggregate()
+        return losses
+
+
+def build_pipeline(config) -> PipelineScheduler:
+    """Instantiate the scheduler named in ``config.pipeline`` via the registry."""
+    from repro.api.registry import PIPELINES
+
+    return PIPELINES.get(config.pipeline)(config)

@@ -1,27 +1,51 @@
 """Multiprocess executor: per-worker compute fanned out to OS processes.
 
 A small pool of persistent child processes each hosts the bottom models of
-a subset of the selected workers.  Weights, features and gradients travel
-over pipes using :mod:`pickle` (numpy float64 arrays round-trip exactly),
-and the children run the very same serial layer kernels -- so the training
-trajectory is bit-identical to the serial executor.
+a subset of the selected workers.  Messages cross the process boundary
+through a pluggable :class:`~repro.parallel.transport.Transport`: the
+classic ``pipe`` transport pickles everything over a pipe, while the
+``shm`` transport moves feature/gradient/mini-batch arrays through
+shared-memory ring buffers and ships only headers.  The children run the
+very same serial layer kernels, so the training trajectory is bit-identical
+to the serial executor.
 
 All checkpointed state stays in the parent: mini-batches are drawn from the
-workers' loaders in the parent process and only the raw arrays are shipped,
-which keeps sampling RNG streams out of the children entirely.
+workers' loaders in the parent process, which keeps sampling RNG streams
+out of the children entirely.  Each worker's (static) data shard is shipped
+to its hosting child once per pool lifetime, so per-iteration messages
+carry only the drawn shard *indices* -- 8 bytes per sample instead of the
+sample itself; the child slices its shard copy, which is bit-identical to
+slicing in the parent.  The flip side of that caching is residency: once
+every worker has been selected at least once, the children collectively
+hold a second copy of the training set for the pool's lifetime (mirroring
+a real deployment, where each device stores its own data); ``close()``
+releases it.
 
-The per-round protocol mirrors :class:`~repro.parallel.base.Executor`:
+The synchronous per-round protocol mirrors
+:class:`~repro.parallel.base.Executor`:
 
+    load_shard -> ship a worker's shard arrays (once per pool)
     install  -> ship the global bottom + per-worker learning rates
-    forward  -> ship mini-batches, receive split-layer features
+    forward  -> ship drawn indices, receive split-layer features
     backward -> ship dispatched gradients (children take the SGD step)
     states   -> receive locally updated bottom state dicts
-    train_full -> ship a full model + pre-drawn batches, receive states
+    train_full -> ship a full model + pre-drawn index sequences, receive states
 
-This backend models the deployment topology of real split federated
-learning (compute happens where the data is, everything crosses a network)
-rather than chasing simulation speed: for the small models of the paper's
-scaled-down testbed, pickling can dominate the savings.
+On top of that, the executor implements the split-phase pipelining
+capability (``supports_pipelining``; see :mod:`repro.parallel.pipeline`):
+
+    stage_forward   -> draw + ship iteration k+1's mini-batches (no reply)
+    launch_forward  -> start the bottom forward on staged data (reply later)
+    collect_forward -> block for the staged forward's features
+    fused_backward_forward -> one message: back-propagate iteration k,
+        take the SGD step, then immediately forward iteration k+1 on the
+        staged data -- halving the parent/child synchronisations per
+        iteration and letting data transfer overlap child compute
+    backward_step_nowait -> dispatch gradients without waiting for the ack
+
+Every no-reply command leaves the channel "dirty" until the next reply from
+that child; :meth:`ProcessExecutor.drain` pings dirty children so
+checkpointing never races in-flight work.
 """
 
 from __future__ import annotations
@@ -29,37 +53,84 @@ from __future__ import annotations
 import multiprocessing
 import os
 import traceback
+from collections import deque
 
 import numpy as np
 
+from repro.exceptions import TransportError
 from repro.parallel.base import Executor
+from repro.parallel.transport import ChildConnector, PipeTransport, Transport
 from repro.utils.logging import get_logger
 
 logger = get_logger("parallel.process")
 
-#: Upper bound on the default pool size; beyond this, process and pickling
+#: Upper bound on the default pool size; beyond this, process and transfer
 #: overhead outweighs any parallelism at simulation scale.
 DEFAULT_MAX_PROCESSES = 8
 
+#: Fire-and-forget commands: the child sends no reply, and any error they
+#: raise is *deferred* to the next replying command's reply slot so the
+#: one-reply-per-request pairing the parent relies on is never broken.
+_NO_REPLY_COMMANDS = frozenset({"stage", "backward_nowait"})
 
-def _child_main(conn) -> None:
+
+def _child_main(connector: ChildConnector) -> None:
     """Child process loop: host bottom models / run local training on demand."""
     from repro.nn.optim import SGD
 
+    endpoint = connector.connect()
     bottoms: dict[int, dict] = {}
+    #: Worker id -> (data, targets) shard copies; shipped once per pool.
+    shards: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    #: Worker id -> indices of the staged (not yet forwarded) mini-batch.
+    staged: dict[int, np.ndarray] = {}
+
+    def run_forward(worker_id: int) -> np.ndarray:
+        held = bottoms[worker_id]
+        indices = staged.pop(worker_id)
+        data = shards[worker_id][0][indices]
+        held["pending"] = data.shape[0]
+        return held["model"].forward(data)
+
+    def run_backward(worker_id: int, gradient: np.ndarray) -> None:
+        held = bottoms[worker_id]
+        if gradient.shape[0] != held["pending"]:
+            raise ValueError(
+                f"gradient batch {gradient.shape[0]} does not "
+                f"match the pending forward batch {held['pending']}"
+            )
+        held["optimizer"].zero_grad()
+        held["model"].backward(gradient)
+        held["optimizer"].step()
+
+    #: Traceback of a failed no-reply command, delivered with the next
+    #: replying command so reply pairing stays one-to-one.
+    deferred_errors: list[str] = []
     try:
         while True:
             try:
-                message = conn.recv()
-            except EOFError:
+                message = endpoint.recv()
+            except (EOFError, OSError):
                 break
             command, payload = message
+            if (deferred_errors and command != "close"
+                    and command not in _NO_REPLY_COMMANDS):
+                # A fire-and-forget command failed earlier; report it in
+                # this command's reply slot instead of executing (the
+                # round's state is already inconsistent).
+                endpoint.send(("error", "\n".join(deferred_errors)))
+                deferred_errors.clear()
+                continue
             try:
                 if command == "close":
                     break
+                elif command == "load_shard":
+                    shards.update(payload)
+                    endpoint.send(("ok", None))
                 elif command == "install":
                     bottom, specs = payload
                     bottoms = {}
+                    staged.clear()
                     for worker_id, (lr, momentum, weight_decay, max_grad_norm) in specs.items():
                         model = bottom.clone()
                         model.train()
@@ -74,38 +145,50 @@ def _child_main(conn) -> None:
                             ),
                             "pending": 0,
                         }
-                    conn.send(("ok", None))
+                    endpoint.send(("ok", None))
                 elif command == "forward":
-                    features = {}
-                    for worker_id, data in payload.items():
-                        held = bottoms[worker_id]
-                        held["pending"] = data.shape[0]
-                        features[worker_id] = held["model"].forward(data)
-                    conn.send(("ok", features))
+                    staged.update(payload)
+                    endpoint.send(
+                        ("ok", {wid: run_forward(wid) for wid in payload})
+                    )
+                elif command == "stage":
+                    # Mini-batches for the *next* forward; no reply, the
+                    # next replying command acts as the sync point.
+                    staged.update(payload)
+                elif command == "forward_staged":
+                    endpoint.send(
+                        ("ok", {wid: run_forward(wid) for wid in payload})
+                    )
+                elif command == "fused_step":
+                    # Backward + SGD step for the pending iteration, then
+                    # forward the staged one -- a single synchronisation.
+                    for worker_id, gradient in payload.items():
+                        run_backward(worker_id, gradient)
+                    endpoint.send(
+                        ("ok", {wid: run_forward(wid) for wid in payload})
+                    )
                 elif command == "backward":
                     for worker_id, gradient in payload.items():
-                        held = bottoms[worker_id]
-                        if gradient.shape[0] != held["pending"]:
-                            raise ValueError(
-                                f"gradient batch {gradient.shape[0]} does not "
-                                f"match the pending forward batch {held['pending']}"
-                            )
-                        held["optimizer"].zero_grad()
-                        held["model"].backward(gradient)
-                        held["optimizer"].step()
-                    conn.send(("ok", None))
+                        run_backward(worker_id, gradient)
+                    endpoint.send(("ok", None))
+                elif command == "backward_nowait":
+                    for worker_id, gradient in payload.items():
+                        run_backward(worker_id, gradient)
                 elif command == "states":
-                    conn.send(
+                    endpoint.send(
                         ("ok", {
                             worker_id: bottoms[worker_id]["model"].state_dict()
                             for worker_id in payload
                         })
                     )
+                elif command == "ping":
+                    endpoint.send(("ok", None))
                 elif command == "train_full":
                     model, loss_fn, iterations, tasks = payload
                     states = {}
                     for worker_id, task in tasks.items():
-                        batches, lr, momentum, weight_decay, max_grad_norm = task
+                        index_batches, lr, momentum, weight_decay, max_grad_norm = task
+                        shard_data, shard_targets = shards[worker_id]
                         local = model.clone()
                         local.train()
                         optimizer = SGD(
@@ -115,20 +198,62 @@ def _child_main(conn) -> None:
                             weight_decay=weight_decay,
                             max_grad_norm=max_grad_norm,
                         )
-                        for data, labels in batches:
+                        for indices in index_batches:
+                            data = shard_data[indices]
+                            labels = shard_targets[indices]
                             optimizer.zero_grad()
                             logits = local.forward(data)
                             loss_fn.forward(logits, labels)
                             local.backward(loss_fn.backward())
                             optimizer.step()
                         states[worker_id] = local.state_dict()
-                    conn.send(("ok", states))
+                    endpoint.send(("ok", states))
                 else:
                     raise RuntimeError(f"unknown executor command {command!r}")
             except Exception:  # noqa: BLE001 - forwarded to the parent
-                conn.send(("error", traceback.format_exc()))
+                if command in _NO_REPLY_COMMANDS:
+                    deferred_errors.append(traceback.format_exc())
+                else:
+                    endpoint.send(("error", traceback.format_exc()))
     finally:
-        conn.close()
+        endpoint.close()
+
+
+class _Child:
+    """Parent-side handle of one pool process.
+
+    Tracks how many fire-and-forget commands are possibly still in flight:
+    the channel is FIFO, so a reply to request R proves the child processed
+    everything sent *before* R -- but not no-reply commands sent after R
+    while its reply was pending.  Each replying request therefore snapshots
+    the no-reply send counter, and its reply acknowledges exactly that
+    prefix.
+    """
+
+    __slots__ = ("process", "endpoint", "noreply_sent", "noreply_acked",
+                 "_request_snapshots")
+
+    def __init__(self, process, endpoint) -> None:
+        self.process = process
+        self.endpoint = endpoint
+        self.noreply_sent = 0
+        self.noreply_acked = 0
+        self._request_snapshots: deque[int] = deque()
+
+    def record_send(self, expects_reply: bool) -> None:
+        if expects_reply:
+            self._request_snapshots.append(self.noreply_sent)
+        else:
+            self.noreply_sent += 1
+
+    def record_reply(self) -> None:
+        if self._request_snapshots:
+            self.noreply_acked = self._request_snapshots.popleft()
+
+    @property
+    def dirty(self) -> bool:
+        """Whether a no-reply command may still be unprocessed."""
+        return self.noreply_sent > self.noreply_acked
 
 
 class ProcessExecutor(Executor):
@@ -140,13 +265,37 @@ class ProcessExecutor(Executor):
         self,
         processes: int | None = None,
         start_method: str | None = None,
+        transport: Transport | None = None,
     ) -> None:
         if processes is not None and processes <= 0:
             raise ValueError(f"processes must be positive, got {processes}")
         self._requested = processes
         self._start_method = start_method
-        self._children: list[tuple[multiprocessing.Process, object]] | None = None
+        self._transport = transport if transport is not None else PipeTransport()
+        self._children: list[_Child] | None = None
         self._assignment: dict[int, int] = {}
+        #: Sticky worker-to-child homes: chosen least-loaded when a worker
+        #: id is first seen, stable afterwards (the shard lives there).
+        self._home: dict[int, int] = {}
+        #: Workers whose shard the hosting child already holds.
+        self._shard_shipped: set[int] = set()
+        #: Children with an outstanding features reply (split-phase forward).
+        self._forward_pending: set[int] = set()
+        #: Labels of staged mini-batches, one entry per stage_forward call.
+        self._staged_labels: deque[dict[int, np.ndarray]] = deque()
+
+    @property
+    def supports_pipelining(self) -> bool:
+        """Pipelining needs out-of-band bulk transfer (see ``Transport``).
+
+        Staging the next iteration's mini-batches while a features reply is
+        still outstanding would mutually write-block parent and child over
+        a plain pipe once payloads exceed the OS pipe buffer; the shared-
+        memory transport moves bulk through its rings, so only it can back
+        the double-buffered schedule.  With other transports the pipelined
+        scheduler transparently falls back to the synchronous order.
+        """
+        return self._transport.supports_async_bulk
 
     # -- pool lifecycle -------------------------------------------------------
     def _pool_size(self) -> int:
@@ -154,7 +303,7 @@ class ProcessExecutor(Executor):
             return self._requested
         return max(1, min(os.cpu_count() or 1, DEFAULT_MAX_PROCESSES))
 
-    def _ensure_pool(self) -> list[tuple[multiprocessing.Process, object]]:
+    def _ensure_pool(self) -> list[_Child]:
         if self._children is None:
             method = self._start_method
             if method is None:
@@ -163,35 +312,49 @@ class ProcessExecutor(Executor):
             context = multiprocessing.get_context(method)
             children = []
             for __ in range(self._pool_size()):
-                parent_conn, child_conn = context.Pipe()
+                endpoint, connector = self._transport.pair(context)
                 process = context.Process(
-                    target=_child_main, args=(child_conn,), daemon=True
+                    target=_child_main, args=(connector,), daemon=True
                 )
                 process.start()
-                child_conn.close()
-                children.append((process, parent_conn))
+                connector.conn.close()
+                endpoint.peer_check = self._make_peer_check(process)
+                children.append(_Child(process, endpoint))
             self._children = children
             logger.debug(
-                "started %d executor processes (start method %s)",
-                len(children), method,
+                "started %d executor processes (start method %s, transport %s)",
+                len(children), method, self._transport.name,
             )
         return self._children
+
+    @staticmethod
+    def _make_peer_check(process):
+        def check() -> None:
+            if not process.is_alive():
+                raise TransportError(
+                    f"executor process (pid {process.pid}) died mid-transfer"
+                )
+        return check
 
     def close(self) -> None:
         if self._children is None:
             return
-        for process, conn in self._children:
+        for child in self._children:
             try:
-                conn.send(("close", None))
-            except (BrokenPipeError, OSError):
+                child.endpoint.send(("close", None))
+            except (BrokenPipeError, OSError, TransportError):
                 pass
-            conn.close()
-        for process, __ in self._children:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive cleanup
-                process.terminate()
-                process.join(timeout=5.0)
+        for child in self._children:
+            child.process.join(timeout=5.0)
+            if child.process.is_alive():  # pragma: no cover - defensive cleanup
+                child.process.terminate()
+                child.process.join(timeout=5.0)
+            child.endpoint.close(unlink=True)
         self._children = None
+        self._home.clear()
+        self._shard_shipped.clear()
+        self._forward_pending.clear()
+        self._staged_labels.clear()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown order
         try:
@@ -201,40 +364,113 @@ class ProcessExecutor(Executor):
 
     # -- messaging ------------------------------------------------------------
     def _assign(self, workers) -> dict[int, dict]:
-        """Round-robin the workers over the pool; returns per-child id sets."""
+        """Distribute the workers over the pool; returns per-child id sets.
+
+        A worker's home child is sticky (its shard is shipped there once)
+        but chosen least-loaded *within the round that first selects it*:
+        already-homed workers are placed first, then each new worker goes
+        to the child with the fewest workers in this round -- so fresh
+        workers fill children the current selection would otherwise leave
+        idle.  A selection consisting solely of workers homed on the same
+        child still serializes there; that is the price of shard residency.
+        """
         children = self._ensure_pool()
+        pool_size = len(children)
         self._assignment = {}
-        shards: dict[int, dict] = {index: {} for index in range(len(children))}
-        for position, worker in enumerate(workers):
-            child = position % len(children)
+        shards: dict[int, dict] = {index: {} for index in range(pool_size)}
+        loads = [0] * pool_size
+
+        def place(worker, child: int) -> None:
             self._assignment[worker.worker_id] = child
             shards[child][worker.worker_id] = worker
+            loads[child] += 1
+
+        fresh = []
+        for worker in workers:
+            home = self._home.get(worker.worker_id)
+            if home is None:
+                fresh.append(worker)
+            else:
+                place(worker, home)
+        for worker in fresh:
+            home = loads.index(min(loads))
+            self._home[worker.worker_id] = home
+            place(worker, home)
         return shards
+
+    def _ship_shards(self, shards: dict[int, dict]) -> None:
+        """Send each new worker's shard arrays to its hosting child, once."""
+        messages = {}
+        for index, shard in shards.items():
+            payload = {
+                worker_id: (worker.dataset.data, worker.dataset.targets)
+                for worker_id, worker in shard.items()
+                if worker_id not in self._shard_shipped
+            }
+            if payload:
+                messages[index] = ("load_shard", payload)
+                self._shard_shipped.update(payload)
+        if messages:
+            self._broadcast(messages)
+
+    def _send(self, index: int, message: tuple, expects_reply: bool) -> None:
+        children = self._ensure_pool()
+        child = children[index]
+        try:
+            child.endpoint.send(message)
+        except (BrokenPipeError, OSError, TransportError) as error:
+            raise RuntimeError(
+                f"executor process {index} (pid {child.process.pid}) died"
+            ) from error
+        child.record_send(expects_reply)
+
+    def _recv(self, index: int):
+        children = self._ensure_pool()
+        child = children[index]
+        try:
+            status, payload = child.endpoint.recv()
+        except (EOFError, OSError, TransportError) as error:
+            raise RuntimeError(
+                f"executor process {index} (pid {child.process.pid}) died"
+            ) from (None if isinstance(error, EOFError) else error)
+        child.record_reply()
+        if status == "error":
+            raise RuntimeError(f"executor process {index} failed:\n{payload}")
+        return payload
 
     def _broadcast(self, messages: dict[int, tuple]) -> dict[int, object]:
         """Send one message per child, then collect every reply."""
-        children = self._ensure_pool()
         for index, message in messages.items():
-            children[index][1].send(message)
-        replies: dict[int, object] = {}
-        for index in messages:
-            process, conn = children[index]
-            try:
-                status, payload = conn.recv()
-            except EOFError:
-                raise RuntimeError(
-                    f"executor process {index} (pid {process.pid}) died"
-                ) from None
-            if status == "error":
-                raise RuntimeError(
-                    f"executor process {index} failed:\n{payload}"
-                )
-            replies[index] = payload
-        return replies
+            self._send(index, message, expects_reply=True)
+        return {index: self._recv(index) for index in messages}
+
+    def _by_child(self, workers, values) -> dict[int, dict[int, object]]:
+        """Group ``{worker_id: value}`` shards by the child hosting each worker."""
+        shards: dict[int, dict[int, object]] = {}
+        for worker, value in zip(workers, values):
+            shards.setdefault(
+                self._assignment[worker.worker_id], {}
+            )[worker.worker_id] = value
+        return shards
 
     # -- split training -------------------------------------------------------
+    def _consume_abandoned_forwards(self) -> None:
+        """Discard forwards a failed round left between launch and collect.
+
+        Their queued features replies must be consumed before any new
+        request, or every later reply would pair with the wrong command.
+        As in collect_forward, each index is un-registered before
+        receiving: the reply slot is spent even when _recv raises.
+        """
+        self._staged_labels.clear()
+        for index in sorted(self._forward_pending):
+            self._forward_pending.discard(index)
+            self._recv(index)
+
     def install(self, workers, bottom, learning_rates) -> None:
+        self._consume_abandoned_forwards()
         shards = self._assign(workers)
+        self._ship_shards(shards)
         lr_of = {
             worker.worker_id: lr for worker, lr in zip(workers, learning_rates)
         }
@@ -256,16 +492,13 @@ class ProcessExecutor(Executor):
 
     def forward(self, workers, batch_sizes):
         drawn = {
-            worker.worker_id: worker.draw_batch(batch_size)
+            worker.worker_id: worker.draw_batch_indices(batch_size)
             for worker, batch_size in zip(workers, batch_sizes)
         }
-        messages: dict[int, tuple] = {}
-        by_child: dict[int, dict[int, np.ndarray]] = {}
-        for worker_id, (data, __) in drawn.items():
-            by_child.setdefault(self._assignment[worker_id], {})[worker_id] = data
-        for index, shard in by_child.items():
-            messages[index] = ("forward", shard)
-        replies = self._broadcast(messages)
+        by_child = self._by_child(workers, [drawn[w.worker_id][0] for w in workers])
+        replies = self._broadcast(
+            {index: ("forward", shard) for index, shard in by_child.items()}
+        )
         features_of: dict[int, np.ndarray] = {}
         for payload in replies.values():
             features_of.update(payload)
@@ -274,14 +507,10 @@ class ProcessExecutor(Executor):
         return features, labels
 
     def backward_step(self, workers, gradients) -> None:
-        by_child: dict[int, dict[int, np.ndarray]] = {}
-        for worker, gradient in zip(workers, gradients):
-            by_child.setdefault(
-                self._assignment[worker.worker_id], {}
-            )[worker.worker_id] = gradient
-        self._broadcast(
-            {index: ("backward", shard) for index, shard in by_child.items()}
-        )
+        self._broadcast({
+            index: ("backward", shard)
+            for index, shard in self._by_child(workers, gradients).items()
+        })
 
     def bottom_states(self, workers):
         by_child: dict[int, list[int]] = {}
@@ -297,20 +526,92 @@ class ProcessExecutor(Executor):
             states_of.update(payload)
         return [states_of[worker.worker_id] for worker in workers]
 
+    # -- split-phase pipelining (see repro.parallel.pipeline) -----------------
+    def stage_forward(self, workers, batch_sizes) -> None:
+        """Draw and ship the next iteration's mini-batch indices (no reply).
+
+        The draw happens in the parent (sampling state stays checkpointable)
+        and the transfer overlaps whatever the children are computing.
+        """
+        drawn = {
+            worker.worker_id: worker.draw_batch_indices(batch_size)
+            for worker, batch_size in zip(workers, batch_sizes)
+        }
+        self._staged_labels.append(
+            {wid: labels for wid, (__, labels) in drawn.items()}
+        )
+        for index, shard in self._by_child(
+            workers, [drawn[w.worker_id][0] for w in workers]
+        ).items():
+            self._send(index, ("stage", shard), expects_reply=False)
+
+    def launch_forward(self, workers) -> None:
+        """Start the bottom forward on staged data; reply collected later."""
+        by_child = self._by_child(workers, [w.worker_id for w in workers])
+        for index, ids in by_child.items():
+            self._send(index, ("forward_staged", list(ids)), expects_reply=True)
+            self._forward_pending.add(index)
+
+    def collect_forward(self, workers):
+        """Block for the in-flight forward's features (and staged labels)."""
+        if not self._forward_pending:
+            raise RuntimeError("collect_forward called with no forward in flight")
+        features_of: dict[int, np.ndarray] = {}
+        for index in sorted(self._forward_pending):
+            # Un-register before receiving: whether the reply is features,
+            # an error, or the child died, this child's reply slot is spent
+            # -- leaving the index pending would make install()'s recovery
+            # drain block on a reply that will never come.
+            self._forward_pending.discard(index)
+            features_of.update(self._recv(index))
+        labels_of = self._staged_labels.popleft()
+        features = [features_of[worker.worker_id] for worker in workers]
+        labels = [labels_of[worker.worker_id] for worker in workers]
+        return features, labels
+
+    def fused_backward_forward(self, workers, gradients) -> None:
+        """One message per child: backward + step, then forward staged data."""
+        for index, shard in self._by_child(workers, gradients).items():
+            self._send(index, ("fused_step", shard), expects_reply=True)
+            self._forward_pending.add(index)
+
+    def backward_step_nowait(self, workers, gradients) -> None:
+        """Dispatch gradients without waiting for the acknowledgement."""
+        for index, shard in self._by_child(workers, gradients).items():
+            self._send(index, ("backward_nowait", shard), expects_reply=False)
+
+    def drain(self) -> None:
+        """Wait until every child has processed all in-flight commands.
+
+        A forward abandoned by a failed round (the scheduler always
+        collects within a healthy one) is consumed and discarded, so
+        checkpointing right after a round error still works -- all
+        checkpointable state lives in the parent.
+        """
+        if self._children is None:
+            return
+        self._consume_abandoned_forwards()
+        for index, child in enumerate(self._children):
+            if child.dirty:
+                self._send(index, ("ping", None), expects_reply=True)
+                self._recv(index)
+
     # -- full-model (FL) training ---------------------------------------------
     def train_full(self, workers, model, loss_fn, iterations, batch_size, learning_rate):
         shards = self._assign(workers)
+        self._ship_shards(shards)
         messages = {}
         for index, shard in shards.items():
             if not shard:
                 continue
             tasks = {}
             for worker_id, worker in shard.items():
-                batches = [
-                    worker.loader.next_batch(batch_size) for __ in range(iterations)
+                index_batches = [
+                    worker.loader.next_indices(batch_size)
+                    for __ in range(iterations)
                 ]
                 tasks[worker_id] = (
-                    batches,
+                    index_batches,
                     learning_rate,
                     worker.momentum,
                     worker.weight_decay,

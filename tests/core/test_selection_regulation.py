@@ -6,7 +6,13 @@ import pytest
 from repro.core.batching import occupied_bandwidth
 from repro.core.divergence import iid_distribution, kl_divergence, mixed_label_distribution
 from repro.core.regulation import finetune_batch_sizes
-from repro.core.selection import genetic_select, greedy_select, selection_priorities
+from repro.core.selection import (
+    PopulationFitness,
+    _fitness,
+    genetic_select,
+    greedy_select,
+    selection_priorities,
+)
 from repro.exceptions import SelectionError
 from repro.utils.rng import new_rng
 
@@ -90,6 +96,90 @@ class TestGeneticSelect:
     def test_mismatched_inputs_raise(self):
         with pytest.raises(SelectionError):
             genetic_select(np.array([1, 2]), np.zeros((3, 2)), np.array([0.5, 0.5]), 1.0, 10)
+
+
+class TestPopulationFitness:
+    """The vectorized GA fitness is bit-identical to the per-mask loop."""
+
+    def _random_problem(self, rng, num_workers, num_classes):
+        batch_sizes = rng.integers(1, 33, size=num_workers)
+        dists = rng.dirichlet(np.ones(num_classes), size=num_workers)
+        target = rng.dirichlet(np.ones(num_classes))
+        return batch_sizes, dists, target
+
+    @pytest.mark.parametrize("num_workers,num_classes", [
+        (3, 2), (8, 4), (40, 10), (150, 10), (60, 100),
+    ])
+    def test_bitwise_identical_to_scalar_fitness(self, num_workers, num_classes):
+        rng = new_rng(17)
+        batch_sizes, dists, target = self._random_problem(rng, num_workers, num_classes)
+        fitness = PopulationFitness(batch_sizes, dists, target, 0.3, 40.0)
+        masks = rng.random((25, num_workers)) < 0.4
+        masks[0] = False                     # empty individual
+        masks[1] = True                      # full fleet (budget violation)
+        masks[2] = masks[3] = masks[4]       # duplicates (dedup path)
+        vectorized = fitness.evaluate(masks)
+        reference = np.asarray([
+            _fitness(mask, np.asarray(batch_sizes, dtype=np.int64),
+                     np.atleast_2d(dists), target, 0.3, 40.0)
+            for mask in masks
+        ])
+        assert np.array_equal(vectorized, reference)
+
+    def test_zero_batch_sizes_match_scalar_fallback(self):
+        """Masks whose selected workers all have zero batch size hit the
+        scalar path's uniform-mean fallback, not a NaN."""
+        dists = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        batch_sizes = np.array([0, 0, 4])
+        target = np.array([0.5, 0.5])
+        fitness = PopulationFitness(batch_sizes, dists, target, 1.0, 10.0)
+        masks = np.array([
+            [True, True, False],    # selected weights sum to zero
+            [True, False, True],
+            [False, False, False],
+        ])
+        scores = fitness.evaluate(masks)
+        reference = np.asarray([
+            _fitness(mask, batch_sizes.astype(np.int64), dists, target, 1.0, 10.0)
+            for mask in masks
+        ])
+        assert np.array_equal(scores, reference)
+        assert np.all(np.isfinite(scores))
+
+    def test_negative_batch_sizes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PopulationFitness(np.array([4, -1]), np.eye(2), np.array([0.5, 0.5]),
+                              1.0, 10.0)
+
+    def test_empty_population_all_penalised(self):
+        rng = new_rng(5)
+        batch_sizes, dists, target = self._random_problem(rng, 6, 3)
+        fitness = PopulationFitness(batch_sizes, dists, target, 1.0, 30.0)
+        scores = fitness.evaluate(np.zeros((4, 6), dtype=bool))
+        assert np.array_equal(scores, np.full(4, 1e6))
+
+    def test_genetic_select_identical_to_scalar_loop(self, monkeypatch):
+        """Same seed, same SelectionResult, whether the population is scored
+        by the vectorized evaluator or the original per-mask loop."""
+        dists, batch_sizes, target = _skewed_problem(num_workers=10)
+        budget = 0.6 * batch_sizes.sum()
+        args = (batch_sizes, dists, target, 1.0, budget)
+
+        vectorized = genetic_select(*args, rng=new_rng(23))
+
+        def loop_evaluate(self, masks):
+            return np.asarray([
+                _fitness(mask, np.asarray(batch_sizes, dtype=np.int64),
+                         np.atleast_2d(dists), target, 1.0, budget)
+                for mask in np.atleast_2d(masks)
+            ])
+
+        monkeypatch.setattr(PopulationFitness, "evaluate", loop_evaluate)
+        reference = genetic_select(*args, rng=new_rng(23))
+
+        assert np.array_equal(vectorized.selected, reference.selected)
+        assert vectorized.kl == reference.kl
+        assert vectorized.feasible == reference.feasible
 
 
 class TestGreedySelect:

@@ -10,6 +10,7 @@ from repro.core.worker import SplitWorker
 from repro.nn.layers import (
     AvgPool2d,
     BatchNorm1d,
+    BatchNorm2d,
     Conv1d,
     Conv2d,
     Dropout,
@@ -21,7 +22,7 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.module import Sequential
+from repro.nn.module import Module, Sequential
 from repro.nn.optim import SGD
 from repro.parallel.batched import BatchedExecutor
 from repro.parallel.kernels import (
@@ -53,6 +54,8 @@ def _layer_cases():
         ("maxpool1d", MaxPool1d(2), (4, 3, 12)),
         ("avgpool2d", AvgPool2d(3), (4, 2, 9, 9)),
         ("dropout", Dropout(0.3, rng=new_rng(5)), (5, 11)),
+        ("batchnorm1d", BatchNorm1d(9), (6, 9)),
+        ("batchnorm2d", BatchNorm2d(3), (5, 3, 6, 6)),
     ]
 
 
@@ -145,10 +148,25 @@ def test_batched_cross_entropy_gradient_matches_serial():
         assert np.array_equal(grad[w], loss.backward())
 
 
+class _PluginLayer(Module):
+    """A third-party layer with no stacked kernel (identity)."""
+
+    def forward(self, inputs):
+        return inputs
+
+    def backward(self, grad_output):
+        return grad_output
+
+
 def test_unsupported_layers_reported():
-    model = Sequential([Linear(8, 8, rng=new_rng(0)), BatchNorm1d(8), ReLU()])
-    assert unsupported_layers(model) == ["BatchNorm1d"]
+    model = Sequential([Linear(8, 8, rng=new_rng(0)), _PluginLayer(), ReLU()])
+    assert unsupported_layers(model) == ["_PluginLayer"]
     assert unsupported_layers(Sequential([Linear(8, 8, rng=new_rng(0))])) == []
+    # Normalised models are fully supported since the stacked BatchNorm
+    # kernels landed.
+    assert unsupported_layers(
+        Sequential([Linear(8, 8, rng=new_rng(0)), BatchNorm1d(8)])
+    ) == []
 
 
 def _make_workers(seed_offset: int = 0) -> list[SplitWorker]:
@@ -166,9 +184,10 @@ def _make_workers(seed_offset: int = 0) -> list[SplitWorker]:
 
 
 def test_batched_executor_falls_back_on_unsupported_layer():
-    """A bottom with BatchNorm has no stacked kernel; the batched executor
-    must transparently run it serially -- and still match SerialExecutor."""
-    bottom = Sequential([Linear(32, 16, rng=new_rng(3)), BatchNorm1d(16), ReLU()])
+    """A bottom with a plugin layer has no stacked kernel; the batched
+    executor must transparently run it serially -- and still match
+    SerialExecutor."""
+    bottom = Sequential([Linear(32, 16, rng=new_rng(3)), _PluginLayer(), ReLU()])
 
     results = {}
     for name, executor in (("serial", SerialExecutor()), ("batched", BatchedExecutor())):

@@ -2,14 +2,19 @@
 
 The executors are pure execution backends -- for a fixed seed, every
 algorithm must produce *bit-identical* history records and final weights no
-matter which backend carried out the per-worker compute.  These tests pin
-that contract for every engine code path:
+matter which backend carried out the per-worker compute, which transport
+moved the tensors, or which round pipeline scheduled the stages.  These
+tests pin that contract for every engine code path:
 
 * ``mergesfl`` -- feature merging + regulated (heterogeneous) batch sizes,
   which exercises the batched executor's shape grouping;
-* ``splitfed`` -- aggregation after every local iteration (re-install path);
+* ``splitfed`` -- aggregation after every local iteration (re-install path,
+  where the pipelined scheduler must fall back);
 * ``fedavg`` -- the FL engine's ``train_full`` path;
-* a convolutional model -- the stacked im2col/einsum kernels.
+* a convolutional model -- the stacked im2col/einsum kernels;
+* a normalised model -- the stacked BatchNorm kernels;
+* ``process`` x {``pipe``, ``shm``} x {``sync``, ``pipelined``} -- the
+  transport framing and the double-buffered iteration overlap.
 """
 
 from __future__ import annotations
@@ -24,12 +29,31 @@ from repro.config import ExperimentConfig
 
 EXECUTORS = ("serial", "batched", "process")
 
+#: (executor, transport, pipeline) variants that must match serial/sync.
+VARIANTS = (
+    ("batched", "pipe", "sync"),
+    ("process", "pipe", "sync"),
+    ("process", "shm", "sync"),
+    ("process", "pipe", "pipelined"),
+    ("process", "shm", "pipelined"),
+)
+
 
 def _run(config: ExperimentConfig):
     """Run a session to completion; return (history records, final weights)."""
     with Session.from_config(config) as session:
         history = session.run()
         return history.records, session.global_model().state_dict()
+
+
+_REFERENCES: dict[str, tuple] = {}
+
+
+def _serial_reference(algorithm: str):
+    """The serial/sync run of an algorithm, computed once per test session."""
+    if algorithm not in _REFERENCES:
+        _REFERENCES[algorithm] = _run(_config("serial", algorithm))
+    return _REFERENCES[algorithm]
 
 
 def _assert_bit_equal(reference, candidate, label: str) -> None:
@@ -67,12 +91,17 @@ def _config(executor: str, algorithm: str, **overrides) -> ExperimentConfig:
     return ExperimentConfig(**params)
 
 
-@pytest.mark.parametrize("executor", [e for e in EXECUTORS if e != "serial"])
+@pytest.mark.parametrize("executor,transport,pipeline", VARIANTS,
+                         ids=["/".join(v) for v in VARIANTS])
 @pytest.mark.parametrize("algorithm", ["mergesfl", "splitfed", "fedavg"])
-def test_executors_bit_exact(algorithm, executor):
-    reference = _run(_config("serial", algorithm))
-    candidate = _run(_config(executor, algorithm))
-    _assert_bit_equal(reference, candidate, f"{algorithm}/{executor}")
+def test_executors_bit_exact(algorithm, executor, transport, pipeline):
+    reference = _serial_reference(algorithm)
+    candidate = _run(
+        _config(executor, algorithm, transport=transport, pipeline=pipeline)
+    )
+    _assert_bit_equal(
+        reference, candidate, f"{algorithm}/{executor}/{transport}/{pipeline}"
+    )
 
 
 def test_batched_matches_serial_on_conv_model():
@@ -109,6 +138,47 @@ def test_batched_matches_serial_with_dropout_in_full_model():
     reference = _run(_config("serial", "fedavg", **overrides))
     candidate = _run(_config("batched", "fedavg", **overrides))
     _assert_bit_equal(reference, candidate, "fedavg/alexnet_s/batched")
+
+
+def test_batched_matches_serial_on_normalised_model(norm_mlp_model):
+    """A bottom/top with BatchNorm1d runs through the stacked BatchNorm
+    kernels (no serial fallback) and still matches serial bit for bit."""
+    overrides = dict(model=norm_mlp_model, num_rounds=2)
+    reference = _run(_config("serial", "mergesfl", **overrides))
+    candidate = _run(_config("batched", "mergesfl", **overrides))
+    _assert_bit_equal(reference, candidate, "mergesfl/norm_mlp/batched")
+
+
+@pytest.fixture
+def norm_mlp_model():
+    """A registered MLP with BatchNorm on both sides of the split."""
+    import numpy as np_
+
+    from repro.api.registry import MODELS, register_model
+    from repro.nn.layers import BatchNorm1d, Linear, ReLU
+    from repro.nn.module import Sequential
+    from repro.utils.rng import spawn_rngs
+
+    name = "mlp_bn_test"
+
+    # BatchNorm's gamma/beta count as a weighted layer, so the cut after the
+    # 2nd weighted layer lands past [Linear, BatchNorm1d, ReLU]: the bottom
+    # trained on workers contains the normalisation.
+    @register_model(name, input_kind="vector", split_after_weighted=2)
+    def build(input_dim, num_classes, seed=None):
+        rngs = spawn_rngs(seed if seed is not None else 0, 3)
+        return Sequential([
+            Linear(input_dim, 24, rng=rngs[0]),
+            BatchNorm1d(24),
+            ReLU(),
+            Linear(24, 16, rng=rngs[1]),
+            BatchNorm1d(16),
+            ReLU(),
+            Linear(16, num_classes, rng=rngs[2]),
+        ])
+
+    yield name
+    MODELS.unregister(name)
 
 
 def test_batched_checkpoint_resume_matches_serial(tmp_path):

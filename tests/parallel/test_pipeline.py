@@ -1,0 +1,290 @@
+"""The staged round pipeline: stage order, overlap, fallback and draining."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.config import ExperimentConfig
+from repro.core.worker import SplitWorker
+from repro.data.synthetic import make_blobs
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Linear, ReLU
+from repro.nn.module import Sequential
+from repro.parallel.pipeline import (
+    PipelinedScheduler,
+    PipelineScheduler,
+    RoundStage,
+    SplitRoundOps,
+    build_pipeline,
+)
+from repro.parallel.process import ProcessExecutor
+from repro.parallel.serial import SerialExecutor
+from repro.parallel.transport import SharedMemoryTransport
+from repro.utils.rng import new_rng
+
+
+def _make_workers(count: int = 2) -> list[SplitWorker]:
+    data = make_blobs(train_samples=40 * count, test_samples=20, seed=6)
+    shard = len(data.train) // count
+    return [
+        SplitWorker(
+            worker_id=index,
+            dataset=data.train.subset(np.arange(index * shard, (index + 1) * shard)),
+            num_classes=data.num_classes,
+            seed=300 + index,
+        )
+        for index in range(count)
+    ]
+
+
+def _split_ops(executor, workers, bottom, trace=None) -> SplitRoundOps:
+    """Minimal split-round ops: identity-ish top update, no-op aggregate."""
+
+    def update_top(features, labels):
+        return 0.5, [0.1 * feats for feats in features]
+
+    return SplitRoundOps(
+        executor=executor,
+        workers=workers,
+        batch_sizes=[8] * len(workers),
+        install=lambda: executor.install(workers, bottom, [0.1] * len(workers)),
+        update_top=update_top,
+        aggregate=lambda: executor.bottom_states(workers),
+        on_stage=(None if trace is None
+                  else lambda stage, iteration: trace.append((stage, iteration))),
+    )
+
+
+class TestStageOrder:
+    def test_sync_stage_sequence(self):
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        trace: list = []
+        scheduler = PipelineScheduler()
+        losses = scheduler.run_split_round(
+            _split_ops(SerialExecutor(), workers, bottom, trace), 2, False
+        )
+        assert losses == [0.5, 0.5]
+        assert trace == [
+            (RoundStage.INSTALL, None),
+            (RoundStage.BOTTOM_FORWARD, 0),
+            (RoundStage.TOP_UPDATE, 0),
+            (RoundStage.BACKWARD_DISPATCH, 0),
+            (RoundStage.BOTTOM_FORWARD, 1),
+            (RoundStage.TOP_UPDATE, 1),
+            (RoundStage.BACKWARD_DISPATCH, 1),
+            (RoundStage.AGGREGATE, None),
+        ]
+
+    def test_sync_aggregate_every_iteration(self):
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        trace: list = []
+        PipelineScheduler().run_split_round(
+            _split_ops(SerialExecutor(), workers, bottom, trace), 2, True
+        )
+        stages = [stage for stage, __ in trace]
+        # aggregate + re-install after *every* iteration, no trailing one.
+        assert stages.count(RoundStage.AGGREGATE) == 2
+        assert stages.count(RoundStage.INSTALL) == 3
+        assert stages[-2:] == [RoundStage.AGGREGATE, RoundStage.INSTALL]
+
+    def test_pipelined_double_buffers_the_forward(self):
+        """With a capable executor, iteration k+1's forward is staged before
+        iteration k's top update runs."""
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        trace: list = []
+        executor = ProcessExecutor(processes=1, transport=SharedMemoryTransport())
+        try:
+            PipelinedScheduler().run_split_round(
+                _split_ops(executor, workers, bottom, trace), 3, False
+            )
+        finally:
+            executor.close()
+        assert trace.index((RoundStage.BOTTOM_FORWARD, 1)) < trace.index(
+            (RoundStage.TOP_UPDATE, 0)
+        )
+        assert trace.index((RoundStage.BOTTOM_FORWARD, 2)) < trace.index(
+            (RoundStage.TOP_UPDATE, 1)
+        )
+
+    @pytest.mark.parametrize("make_executor", [
+        SerialExecutor,
+        lambda: ProcessExecutor(processes=1),  # pipe transport: no async bulk
+    ], ids=["serial", "process-pipe"])
+    def test_pipelined_falls_back_without_capability(self, make_executor):
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        trace: list = []
+        executor = make_executor()
+        try:
+            assert not executor.supports_pipelining
+            PipelinedScheduler().run_split_round(
+                _split_ops(executor, workers, bottom, trace), 2, False
+            )
+        finally:
+            executor.close()
+        # Synchronous order: forward k+1 strictly after top update k.
+        assert trace.index((RoundStage.BOTTOM_FORWARD, 1)) > trace.index(
+            (RoundStage.TOP_UPDATE, 0)
+        )
+
+    def test_pipelined_falls_back_for_per_iteration_aggregation(self):
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        trace: list = []
+        executor = ProcessExecutor(processes=1, transport=SharedMemoryTransport())
+        try:
+            PipelinedScheduler().run_split_round(
+                _split_ops(executor, workers, bottom, trace), 2, True
+            )
+        finally:
+            executor.close()
+        stages = [stage for stage, __ in trace]
+        assert stages.count(RoundStage.AGGREGATE) == 2
+
+
+class TestPipelineConfig:
+    def test_registry_lists_pipelines(self):
+        from repro.api.registry import PIPELINES
+
+        assert {"sync", "pipelined"} <= set(PIPELINES.names())
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown pipeline"):
+            ExperimentConfig(pipeline="hyperdrive")
+
+    def test_build_pipeline_resolves_names(self):
+        assert isinstance(
+            build_pipeline(ExperimentConfig(pipeline="sync")), PipelineScheduler
+        )
+        assert isinstance(
+            build_pipeline(ExperimentConfig(pipeline="pipelined")), PipelinedScheduler
+        )
+
+
+def _run(config: ExperimentConfig):
+    import dataclasses
+
+    with Session.from_config(config) as session:
+        history = session.run()
+        return (
+            [dataclasses.asdict(record) for record in history.records],
+            session.global_model().state_dict(),
+        )
+
+
+def _config(**overrides) -> ExperimentConfig:
+    params = dict(
+        algorithm="mergesfl",
+        dataset="blobs",
+        model="mlp",
+        num_workers=4,
+        num_rounds=2,
+        local_iterations=3,
+        non_iid_level=2.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=200,
+        test_samples=60,
+        momentum=0.9,
+        seed=9,
+        extras={"executor_processes": 2},
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+class TestPipelinedSessions:
+    def test_checkpoint_mid_run_drains_and_resumes_bit_exact(self, tmp_path):
+        """Saving between rounds of a pipelined process run drains in-flight
+        dispatch; the resumed run matches a straight serial run bit for bit."""
+        path = tmp_path / "pipelined.ckpt.json"
+        config = _config(executor="process", transport="shm", pipeline="pipelined")
+        with Session.from_config(config) as session:
+            session.run(1)
+            session.save_checkpoint(path)
+        with Session.load_checkpoint(path) as resumed:
+            assert resumed.config.pipeline == "pipelined"
+            assert resumed.config.transport == "shm"
+            resumed.run()
+            candidate = (
+                [__import__("dataclasses").asdict(r) for r in resumed.history.records],
+                resumed.global_model().state_dict(),
+            )
+        reference = _run(_config(executor="serial"))
+        assert candidate[0] == reference[0]
+        for key in reference[1]:
+            assert np.array_equal(candidate[1][key], reference[1][key])
+
+    def test_drain_is_noop_for_serial_sessions(self):
+        with Session.from_config(_config(executor="serial")) as session:
+            session.run(1)
+            session.algorithm.drain()  # must not raise
+
+
+class TestProcessExecutorPipelineProtocol:
+    def test_collect_without_launch_raises(self):
+        executor = ProcessExecutor(processes=1)
+        try:
+            with pytest.raises(RuntimeError, match="no forward in flight"):
+                executor.collect_forward(_make_workers())
+        finally:
+            executor.close()
+
+    def test_drain_discards_abandoned_forward(self):
+        """Draining right after a round failed between launch and collect
+        consumes the orphaned features reply, so checkpointing still works
+        and the executor stays usable."""
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        executor = ProcessExecutor(
+            processes=1, transport=SharedMemoryTransport(capacity=1 << 20)
+        )
+        try:
+            executor.install(workers, bottom, [0.1, 0.1])
+            executor.stage_forward(workers, [8, 8])
+            executor.launch_forward(workers)
+            executor.drain()
+            assert not executor._forward_pending
+            executor.install(workers, bottom, [0.1, 0.1])
+            features, __ = executor.forward(workers, [8, 8])
+            assert features[0].shape == (8, 16)
+        finally:
+            executor.close()
+
+    def test_reply_does_not_acknowledge_later_noreply_commands(self):
+        """A reply proves the child processed everything sent before the
+        request -- not a fire-and-forget command sent while the reply was
+        pending.  The channel must stay dirty until a later sync."""
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        executor = ProcessExecutor(processes=1)
+        try:
+            executor.install(workers, bottom, [0.1, 0.1])
+            executor.stage_forward(workers, [8, 8])
+            executor.launch_forward(workers)          # replying request pending
+            executor.stage_forward(workers, [8, 8])   # no-reply sent after it
+            executor.collect_forward(workers)
+            assert executor._children[0].dirty        # later stage unacked
+            executor.drain()
+            assert not executor._children[0].dirty
+        finally:
+            executor.close()
+
+    def test_drain_syncs_nowait_backward(self):
+        workers = _make_workers()
+        bottom = Sequential([Linear(32, 16, rng=new_rng(0)), ReLU()])
+        executor = ProcessExecutor(processes=2)
+        try:
+            executor.install(workers, bottom, [0.1, 0.1])
+            features, __ = executor.forward(workers, [8, 8])
+            executor.backward_step_nowait(workers, [0.1 * f for f in features])
+            executor.drain()  # pings the dirty children
+            states = executor.bottom_states(workers)
+            assert len(states) == 2
+        finally:
+            executor.close()

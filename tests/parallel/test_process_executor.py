@@ -1,0 +1,336 @@
+"""The process executor's child loop and failure handling.
+
+``_child_main`` is normally unreachable for coverage (it runs in forked
+children), so these tests drive it in-process through a scripted connector;
+the death tests kill real pool processes mid-round and assert the parent
+fails loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.worker import SplitWorker
+from repro.data.synthetic import make_blobs
+from repro.nn.layers import Linear, ReLU
+from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Sequential
+from repro.parallel.process import ProcessExecutor, _child_main
+from repro.parallel.transport import SharedMemoryTransport
+from repro.utils.rng import new_rng
+
+
+class _ScriptedEndpoint:
+    """Feeds a fixed command sequence to ``_child_main`` and records replies."""
+
+    def __init__(self, script: list) -> None:
+        self.script = list(script)
+        self.replies: list = []
+        self.closed = False
+
+    def recv(self):
+        if not self.script:
+            raise EOFError
+        return self.script.pop(0)
+
+    def send(self, message) -> None:
+        self.replies.append(message)
+
+    def close(self, unlink: bool = False) -> None:
+        self.closed = True
+
+
+class _ScriptedConnector:
+    def __init__(self, endpoint: _ScriptedEndpoint) -> None:
+        self.endpoint = endpoint
+
+    def connect(self) -> _ScriptedEndpoint:
+        return self.endpoint
+
+
+def _bottom() -> Sequential:
+    return Sequential([Linear(32, 16, rng=new_rng(1)), ReLU()])
+
+
+def _install_spec(worker_ids, lr=0.1):
+    return {wid: (lr, 0.0, 0.0, None) for wid in worker_ids}
+
+
+def _drive(script: list) -> _ScriptedEndpoint:
+    endpoint = _ScriptedEndpoint(script)
+    _child_main(_ScriptedConnector(endpoint))
+    assert endpoint.closed
+    return endpoint
+
+
+def _shard(num_samples=16, features=32, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(size=(num_samples, features)),
+        rng.integers(0, classes, size=num_samples),
+    )
+
+
+class TestChildLoop:
+    def test_install_forward_backward_states_cycle(self):
+        endpoint = _drive([
+            ("load_shard", {0: _shard()}),
+            ("install", (_bottom(), _install_spec([0]))),
+            ("forward", {0: np.arange(8, dtype=np.int64)}),
+            ("backward", {0: 0.1 * np.ones((8, 16))}),
+            ("states", [0]),
+            ("close", None),
+        ])
+        statuses = [status for status, __ in endpoint.replies]
+        assert statuses == ["ok", "ok", "ok", "ok", "ok"]
+        features = endpoint.replies[2][1][0]
+        assert features.shape == (8, 16)
+        states = endpoint.replies[4][1][0]
+        assert set(states) == {"layer0.weight", "layer0.bias"}
+
+    def test_forward_slices_the_held_shard(self):
+        """The child's forward on shipped indices equals forwarding the
+        parent-side slice of the same shard."""
+        shard = _shard(seed=7)
+        indices = np.asarray([3, 1, 4, 1], dtype=np.int64)
+        bottom = _bottom()
+        endpoint = _drive([
+            ("load_shard", {0: shard}),
+            ("install", (bottom, _install_spec([0]))),
+            ("forward", {0: indices}),
+            ("close", None),
+        ])
+        expected = bottom.clone().train().forward(shard[0][indices])
+        assert np.array_equal(endpoint.replies[2][1][0], expected)
+
+    def test_staged_fused_pipeline_cycle(self):
+        idx = lambda *values: np.asarray(values, dtype=np.int64)  # noqa: E731
+        endpoint = _drive([
+            ("load_shard", {0: _shard(), 1: _shard(seed=1)}),
+            ("install", (_bottom(), _install_spec([0, 1]))),
+            ("stage", {0: idx(0, 1, 2, 3), 1: idx(4, 5, 6, 7)}),
+            ("forward_staged", [0, 1]),
+            ("stage", {0: idx(8, 9, 10, 11), 1: idx(12, 13, 14, 15)}),
+            ("fused_step", {0: np.zeros((4, 16)), 1: np.zeros((4, 16))}),
+            ("backward_nowait", {0: np.zeros((4, 16)), 1: np.zeros((4, 16))}),
+            ("ping", None),
+            ("close", None),
+        ])
+        statuses = [status for status, __ in endpoint.replies]
+        # stage and backward_nowait produce no reply; ping syncs.
+        assert statuses == ["ok", "ok", "ok", "ok", "ok"]
+        assert set(endpoint.replies[2][1]) == {0, 1}   # forward_staged features
+        assert set(endpoint.replies[3][1]) == {0, 1}   # fused_step features
+
+    def test_gradient_batch_mismatch_reported(self):
+        endpoint = _drive([
+            ("load_shard", {0: _shard()}),
+            ("install", (_bottom(), _install_spec([0]))),
+            ("forward", {0: np.arange(8, dtype=np.int64)}),
+            ("backward", {0: np.zeros((3, 16))}),
+            ("close", None),
+        ])
+        status, payload = endpoint.replies[-1]
+        assert status == "error"
+        assert "does not match the pending forward batch" in payload
+
+    def test_unknown_command_reported(self):
+        endpoint = _drive([("warp", None), ("close", None)])
+        status, payload = endpoint.replies[-1]
+        assert status == "error"
+        assert "unknown executor command" in payload
+
+    def test_train_full_runs_local_iterations(self):
+        model = Sequential([Linear(8, 3, rng=new_rng(4))])
+        index_batches = [
+            np.asarray([0, 1, 2, 3], dtype=np.int64),
+            np.asarray([4, 5, 6, 7], dtype=np.int64),
+        ]
+        endpoint = _drive([
+            ("load_shard", {5: _shard(num_samples=8, features=8)}),
+            ("train_full", (model, CrossEntropyLoss(), 2,
+                            {5: (index_batches, 0.05, 0.0, 0.0, None)})),
+            ("close", None),
+        ])
+        status, states = endpoint.replies[-1]
+        assert status == "ok"
+        assert not np.array_equal(
+            states[5]["layer0.weight"], model.state_dict()["layer0.weight"]
+        )
+
+    def test_no_reply_command_error_is_deferred_to_next_reply_slot(self):
+        """A failing fire-and-forget command must not emit an unpaired reply;
+        its error surfaces in the next replying command's slot."""
+        endpoint = _drive([
+            ("load_shard", {0: _shard()}),
+            ("install", (_bottom(), _install_spec([0]))),
+            ("forward", {0: np.arange(8, dtype=np.int64)}),
+            ("backward_nowait", {0: np.zeros((3, 16))}),  # wrong batch: fails
+            ("ping", None),
+            ("states", [0]),
+            ("close", None),
+        ])
+        statuses = [status for status, __ in endpoint.replies]
+        # Exactly one reply per replying command: the ping slot carries the
+        # deferred error, and states still answers afterwards.
+        assert statuses == ["ok", "ok", "ok", "error", "ok"]
+        assert "does not match the pending forward batch" in endpoint.replies[3][1]
+
+    def test_install_resets_staged_data(self):
+        endpoint = _drive([
+            ("load_shard", {0: _shard()}),
+            ("install", (_bottom(), _install_spec([0]))),
+            ("stage", {0: np.arange(4, dtype=np.int64)}),
+            ("install", (_bottom(), _install_spec([0]))),
+            ("forward_staged", [0]),   # staged indices were dropped -> error
+            ("close", None),
+        ])
+        status, payload = endpoint.replies[-1]
+        assert status == "error"
+        assert "KeyError" in payload
+
+
+def test_sticky_assignment_is_stable_and_round_balanced():
+    """Worker-to-child homes spread each round's *new* workers over the
+    children the selection leaves least loaded, and stay sticky afterwards
+    so shipped shards never move."""
+    from types import SimpleNamespace
+
+    executor = ProcessExecutor(processes=4)
+    executor._children = [SimpleNamespace() for __ in range(4)]  # no spawn
+    try:
+        def assign(ids):
+            shards = executor._assign([SimpleNamespace(worker_id=i) for i in ids])
+            return {wid: executor._assignment[wid] for wid in ids}
+
+        first = assign([0, 8, 16, 24])               # all congruent mod 4
+        assert sorted(first.values()) == [0, 1, 2, 3]  # perfectly spread
+        # Stability: a later round with the same workers keeps the homes.
+        assert assign([0, 8, 16, 24]) == first
+        # A round mixing known and new workers balances the new ones onto
+        # the children this round leaves idle.
+        second = assign([0, 8, 100, 101])
+        assert second[0] == first[0] and second[8] == first[8]
+        assert sorted(second.values()) == [0, 1, 2, 3]
+    finally:
+        executor._children = None
+
+
+def _make_workers(count: int = 2) -> list[SplitWorker]:
+    data = make_blobs(train_samples=40 * count, test_samples=20, seed=8)
+    shard = len(data.train) // count
+    return [
+        SplitWorker(
+            worker_id=index,
+            dataset=data.train.subset(np.arange(index * shard, (index + 1) * shard)),
+            num_classes=data.num_classes,
+            seed=400 + index,
+        )
+        for index in range(count)
+    ]
+
+
+def test_child_error_in_pipelined_round_is_recoverable():
+    """A child-side error surfacing through collect_forward must not leave a
+    phantom pending forward: the next install recovers without blocking."""
+    workers = _make_workers()
+    bottom = _bottom()
+    executor = ProcessExecutor(processes=1)
+    try:
+        executor.install(workers, bottom, [0.1, 0.1])
+        executor.stage_forward(workers, [8, 8])
+        executor.launch_forward(workers)
+        executor.collect_forward(workers)
+        executor.stage_forward(workers, [8, 8])
+        bad = [np.zeros((3, 16)), np.zeros((3, 16))]   # wrong batch size
+        executor.fused_backward_forward(workers, bad)
+        with pytest.raises(RuntimeError, match="does not match the pending"):
+            executor.collect_forward(workers)
+        assert not executor._forward_pending
+        executor.install(workers, bottom, [0.1, 0.1])  # must not hang
+        features, __ = executor.forward(workers, [8, 8])
+        assert features[0].shape == (8, 16)
+        executor.drain()
+    finally:
+        executor.close()
+
+
+def test_install_recovery_survives_an_errored_abandoned_forward():
+    """If the abandoned forward's queued reply is an error, the recovering
+    install raises it -- and the *next* install proceeds instead of hanging
+    on an already-consumed reply slot."""
+    workers = _make_workers()
+    bottom = _bottom()
+    executor = ProcessExecutor(processes=1)
+    try:
+        executor.install(workers, bottom, [0.1, 0.1])
+        executor.launch_forward(workers)   # nothing staged: child KeyErrors
+        with pytest.raises(RuntimeError, match="KeyError"):
+            executor.install(workers, bottom, [0.1, 0.1])
+        assert not executor._forward_pending
+        executor.install(workers, bottom, [0.1, 0.1])  # must not hang
+        features, __ = executor.forward(workers, [8, 8])
+        assert features[0].shape == (8, 16)
+    finally:
+        executor.close()
+
+
+def test_install_reconciles_abandoned_forward():
+    """If a round dies between launch and collect (e.g. the top update
+    raised), the next install consumes the orphaned features replies and
+    the executor keeps working with correctly paired replies."""
+    workers = _make_workers()
+    bottom = _bottom()
+    executor = ProcessExecutor(processes=1)
+    try:
+        executor.install(workers, bottom, [0.1, 0.1])
+        executor.stage_forward(workers, [8, 8])
+        executor.launch_forward(workers)
+        # Parent-side failure here; collect_forward never happens.
+        executor.install(workers, bottom, [0.1, 0.1])
+        features, labels = executor.forward(workers, [8, 8])
+        assert len(features) == 2 and features[0].shape == (8, 16)
+        executor.backward_step(workers, [0.1 * f for f in features])
+        assert len(executor.bottom_states(workers)) == 2
+        executor.drain()
+    finally:
+        executor.close()
+
+
+@pytest.mark.parametrize("transport", [None, SharedMemoryTransport(capacity=1 << 20)],
+                         ids=["pipe", "shm"])
+class TestWorkerDeath:
+    def test_child_death_mid_round_raises(self, transport):
+        """Killing a pool process between commands surfaces as a RuntimeError
+        on the next exchange (never a hang), for both transports."""
+        workers = _make_workers()
+        executor = ProcessExecutor(processes=1, transport=transport)
+        try:
+            executor.install(workers, _bottom(), [0.1, 0.1])
+            executor.forward(workers, [8, 8])
+            child = executor._children[0]
+            child.process.terminate()
+            child.process.join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="died"):
+                executor.forward(workers, [8, 8])
+        finally:
+            executor.close()
+
+    def test_death_while_forward_in_flight(self, transport):
+        workers = _make_workers()
+        executor = ProcessExecutor(processes=1, transport=transport)
+        try:
+            executor.install(workers, _bottom(), [0.1, 0.1])
+            executor.stage_forward(workers, [8, 8])
+            executor.launch_forward(workers)
+            executor.collect_forward(workers)
+            executor.stage_forward(workers, [8, 8])
+            child = executor._children[0]
+            child.process.terminate()
+            child.process.join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="died"):
+                executor.launch_forward(workers)
+                executor.collect_forward(workers)
+        finally:
+            executor.close()
