@@ -24,7 +24,7 @@ from repro.api.session import Session
 from repro.config import ExperimentConfig
 from repro.experiments.reporting import format_table
 
-from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
+from benchmarks.common import bench_overrides, run_once, smoke_mode
 
 #: (executor, transport, pipeline) rows of the comparison table.
 MATRIX = (
@@ -38,11 +38,11 @@ MATRIX = (
 
 def _config(executor: str, transport: str = "pipe", pipeline: str = "sync",
             **overrides) -> ExperimentConfig:
-    params = dict(BENCH_OVERRIDES)
+    params = bench_overrides()
     # This benchmark sweeps the execution axes itself.
     for key in ("executor", "transport", "pipeline"):
         params.pop(key, None)
-    if not SMOKE_MODE:
+    if not smoke_mode():
         params.update(num_workers=16, num_rounds=3, local_iterations=5,
                       train_samples=1280)
     params.update(overrides)

@@ -7,12 +7,12 @@ waiting time by ~67% and reaches the target accuracy ~1.8x faster.
 from repro.experiments import figures
 from repro.experiments.reporting import format_table
 
-from benchmarks.common import BENCH_OVERRIDES, run_once
+from benchmarks.common import bench_overrides, run_once
 
 
 def test_fig02_03_motivation_variants(benchmark):
     result = run_once(
-        benchmark, figures.figure2_3_motivation, dataset="cifar10", **BENCH_OVERRIDES
+        benchmark, figures.figure2_3_motivation, dataset="cifar10", **bench_overrides()
     )
     rows = [
         [row["variant"], row["final_accuracy"], row["total_time_s"],

@@ -8,12 +8,12 @@ from repro.experiments import figures
 from repro.experiments.reporting import format_comparison
 from repro.metrics.summary import time_to_accuracy
 
-from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
+from benchmarks.common import bench_overrides, run_once, smoke_mode
 
 
 def test_fig06_iid_har(benchmark):
     result = run_once(
-        benchmark, figures.figure6_iid_accuracy, datasets=("har",), **BENCH_OVERRIDES
+        benchmark, figures.figure6_iid_accuracy, datasets=("har",), **bench_overrides()
     )
     print()
     print(format_comparison(result["har"]["comparison"],
@@ -22,7 +22,7 @@ def test_fig06_iid_har(benchmark):
 
 def test_fig06_iid_cifar10(benchmark):
     result = run_once(
-        benchmark, figures.figure6_iid_accuracy, datasets=("cifar10",), **BENCH_OVERRIDES
+        benchmark, figures.figure6_iid_accuracy, datasets=("cifar10",), **bench_overrides()
     )
     comparison = result["cifar10"]["comparison"]
     print()
@@ -33,6 +33,6 @@ def test_fig06_iid_cifar10(benchmark):
     locfedmix_time = time_to_accuracy(histories["locfedmix_sl"], target)
     # Shape check: MergeSFL reaches the common target no slower than LocFedMix-SL.
     # Meaningless at smoke scale, where runs are cut to a couple of rounds.
-    if not SMOKE_MODE:
+    if not smoke_mode():
         assert merge_time is not None and locfedmix_time is not None
         assert merge_time <= locfedmix_time * 1.05

@@ -7,12 +7,12 @@ the baselines lose 5.8%-26.2% accuracy.
 from repro.experiments import figures
 from repro.experiments.reporting import format_comparison
 
-from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
+from benchmarks.common import bench_overrides, run_once, smoke_mode
 
 
 def test_fig07_noniid_har(benchmark):
     result = run_once(
-        benchmark, figures.figure7_noniid_accuracy, datasets=("har",), **BENCH_OVERRIDES
+        benchmark, figures.figure7_noniid_accuracy, datasets=("har",), **bench_overrides()
     )
     print()
     print(format_comparison(result["har"]["comparison"],
@@ -21,12 +21,12 @@ def test_fig07_noniid_har(benchmark):
 
 def test_fig07_noniid_cifar10(benchmark):
     result = run_once(
-        benchmark, figures.figure7_noniid_accuracy, datasets=("cifar10",), **BENCH_OVERRIDES
+        benchmark, figures.figure7_noniid_accuracy, datasets=("cifar10",), **bench_overrides()
     )
     comparison = result["cifar10"]["comparison"]
     print()
     print(format_comparison(comparison, title="Fig. 7(c): CIFAR-10 analogue, non-IID p=10"))
     # Every approach must still train (well above the 10% chance level).
     # Meaningless at smoke scale, where runs are cut to a couple of rounds.
-    if not SMOKE_MODE:
+    if not smoke_mode():
         assert all(m["best_accuracy"] > 0.2 for m in comparison.values())

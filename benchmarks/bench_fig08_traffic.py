@@ -8,13 +8,13 @@ from repro.experiments import figures
 from repro.experiments.reporting import format_table
 from repro.metrics.summary import best_accuracy, traffic_to_accuracy
 
-from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
+from benchmarks.common import bench_overrides, run_once, smoke_mode
 
 
 def test_fig08_network_traffic_cifar10(benchmark):
     result = run_once(
         benchmark, figures.figure8_network_traffic, datasets=("cifar10",),
-        **BENCH_OVERRIDES,
+        **bench_overrides(),
     )
     rows = [
         [row["dataset"], row["approach"], row["target_accuracy"], row["traffic_mb"]]
@@ -32,6 +32,6 @@ def test_fig08_network_traffic_cifar10(benchmark):
     fedavg_traffic = traffic_to_accuracy(histories["fedavg"], target)
     # Shape check: model splitting saves traffic compared to full-model FL.
     # Meaningless at smoke scale, where runs are cut to a couple of rounds.
-    if not SMOKE_MODE:
+    if not smoke_mode():
         assert split_traffic is not None and fedavg_traffic is not None
         assert split_traffic < fedavg_traffic

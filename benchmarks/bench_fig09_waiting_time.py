@@ -7,13 +7,13 @@ the fixed-batch approaches (LocFedMix-SL, FedAvg) wait the longest.
 from repro.experiments import figures
 from repro.experiments.reporting import format_table
 
-from benchmarks.common import BENCH_OVERRIDES, run_once
+from benchmarks.common import bench_overrides, run_once
 
 
 def test_fig09_waiting_time_cifar10(benchmark):
     result = run_once(
         benchmark, figures.figure9_waiting_time, datasets=("cifar10",),
-        **BENCH_OVERRIDES,
+        **bench_overrides(),
     )
     rows = [
         [row["dataset"], row["approach"], row["mean_waiting_time_s"]]

@@ -2,24 +2,31 @@
 
 Paper: accuracy of every approach decreases as p grows; MergeSFL stays on
 top across all levels.
+
+Runs as a :mod:`repro.study` grid (levels x approaches) so the whole figure
+is one sweep; set ``BENCH_N_JOBS`` to execute the trials in parallel
+worker processes (bit-exact either way).
 """
 
-from repro.experiments import figures
 from repro.experiments.reporting import format_table
+from repro.metrics.summary import best_accuracy, final_accuracy
 
-from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
+from benchmarks.common import bench_study, run_bench_study, run_once, smoke_mode
+
+LEVELS = (0.0, 10.0)
+APPROACHES = ("mergesfl", "adasfl", "locfedmix_sl", "fedavg")
 
 
 def test_fig10_noniid_levels_cifar10(benchmark):
-    result = run_once(
-        benchmark, figures.figure10_noniid_levels,
-        dataset="cifar10", levels=(0.0, 10.0),
-        approaches=("mergesfl", "adasfl", "locfedmix_sl", "fedavg"),
-        **BENCH_OVERRIDES,
+    study = bench_study(
+        "bench-fig10-noniid-levels", dataset="cifar10",
+        axes={"non_iid_level": LEVELS, "algorithm": APPROACHES},
     )
+    histories = run_once(benchmark, run_bench_study, study)
     rows = [
-        [row["non_iid_level"], row["approach"], row["final_accuracy"], row["best_accuracy"]]
-        for row in result["rows"]
+        [trial.tags["non_iid_level"], trial.tags["algorithm"],
+         final_accuracy(histories[trial.name]), best_accuracy(histories[trial.name])]
+        for trial in study
     ]
     print()
     print(format_table(
@@ -28,5 +35,5 @@ def test_fig10_noniid_levels_cifar10(benchmark):
     ))
     # Every approach trains above chance at every level.
     # Meaningless at smoke scale, where runs are cut to a couple of rounds.
-    if not SMOKE_MODE:
-        assert all(row["best_accuracy"] > 0.2 for row in result["rows"])
+    if not smoke_mode():
+        assert all(best_accuracy(history) > 0.2 for history in histories.values())

@@ -7,12 +7,12 @@ w/o BR matches on non-IID accuracy but is ~2.2x slower.
 from repro.experiments import figures
 from repro.experiments.reporting import format_comparison
 
-from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
+from benchmarks.common import bench_overrides, run_once, smoke_mode
 
 
 def test_fig11_ablation_cifar10(benchmark):
     result = run_once(
-        benchmark, figures.figure11_ablation, dataset="cifar10", **BENCH_OVERRIDES
+        benchmark, figures.figure11_ablation, dataset="cifar10", **bench_overrides()
     )
     print()
     for label in ("iid", "non_iid"):
@@ -25,5 +25,5 @@ def test_fig11_ablation_cifar10(benchmark):
     with_br = iid["mergesfl"].records[-1].sim_time
     without_br = iid["mergesfl_no_br"].records[-1].sim_time
     # Meaningless at smoke scale, where runs are cut to a couple of rounds.
-    if not SMOKE_MODE:
+    if not smoke_mode():
         assert with_br <= without_br * 1.05

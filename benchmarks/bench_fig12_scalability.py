@@ -3,19 +3,23 @@
 Paper: with more participating workers MergeSFL converges faster (1.23x-
 1.68x speedup from 100 to 400 workers), since more workers contribute more
 data per round.
+
+The figure entry point is a :mod:`repro.study` grid over ``num_workers``
+underneath; set ``BENCH_N_JOBS`` to run the scales in parallel worker
+processes (bit-exact either way).
 """
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_table
 
-from benchmarks.common import BENCH_OVERRIDES, SMOKE_MODE, run_once
+from benchmarks.common import bench_n_jobs, bench_overrides, run_once, smoke_mode
 
 
 def test_fig12_scalability(benchmark):
-    overrides = {k: v for k, v in BENCH_OVERRIDES.items() if k != "num_workers"}
+    overrides = {k: v for k, v in bench_overrides().items() if k != "num_workers"}
     result = run_once(
         benchmark, figures.figure12_scalability,
-        dataset="cifar10", scales=(4, 8, 12), **overrides,
+        dataset="cifar10", scales=(4, 8, 12), n_jobs=bench_n_jobs(), **overrides,
     )
     rows = [
         [row["num_workers"], row["target_accuracy"], row["time_to_target_s"],
@@ -29,5 +33,5 @@ def test_fig12_scalability(benchmark):
     ))
     # Every scale reaches the common target.
     # Meaningless at smoke scale, where runs are cut to a couple of rounds.
-    if not SMOKE_MODE:
+    if not smoke_mode():
         assert all(row["time_to_target_s"] is not None for row in result["rows"])

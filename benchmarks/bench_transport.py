@@ -18,7 +18,7 @@ import time
 
 from repro.experiments.reporting import format_table
 
-from benchmarks.common import SMOKE_MODE, run_once
+from benchmarks.common import run_once, smoke_mode
 
 import numpy as np
 
@@ -73,7 +73,7 @@ def _throughput(transport, payload_shape, repeats: int) -> float:
 
 
 def test_transport_throughput(benchmark):
-    repeats = 5 if SMOKE_MODE else 50
+    repeats = 5 if smoke_mode() else 50
     # Feature-sized (16 samples x 13ch x 4x4) and batch-sized (16 x 3x32x32)
     # payloads, four workers each -- the shapes the process executor ships.
     shapes = [(16, 13, 4, 4), (16, 3, 32, 32)]

@@ -9,7 +9,10 @@ Each benchmark runs its experiment exactly once (``benchmark.pedantic`` with
 one round/iteration): the interesting output is the reproduced table, not
 the harness's own wall-clock variance.
 
-Two environment variables tune the suite without editing code:
+Environment variables tune the suite without editing code; they are read
+when a benchmark calls :func:`bench_overrides` (never at import time, so
+importing this module has no side effects and tests cannot contaminate
+each other through a shared dict):
 
 * ``BENCH_SMOKE=1`` -- shrink every experiment to a near-trivial size, so CI
   can assert that all benchmark entry points still *run* in a couple of
@@ -22,14 +25,21 @@ Two environment variables tune the suite without editing code:
   executors.
 * ``BENCH_PIPELINE=sync|pipelined`` -- select the round scheduler (see
   :mod:`repro.parallel.pipeline`).  Also bit-exact.
+* ``BENCH_N_JOBS=k`` -- run the trials of study-backed benchmarks in ``k``
+  parallel worker processes (see :mod:`repro.study`).  Bit-exact as well:
+  trial-level parallelism only reorders wall-clock, never results.
 """
 
 from __future__ import annotations
 
 import os
 
+from repro.experiments import figures
+from repro.metrics.history import History
+from repro.study import Study, StudyRunner
+
 #: Overrides applied to every figure entry point to keep the suite fast.
-BENCH_OVERRIDES = {
+_BASE_OVERRIDES = {
     "num_workers": 6,
     "num_rounds": 4,
     "local_iterations": 6,
@@ -44,7 +54,7 @@ BENCH_OVERRIDES = {
 
 #: Further reductions applied when ``BENCH_SMOKE`` is set: just enough
 #: signal to prove the entry point still assembles and runs.
-SMOKE_OVERRIDES = {
+_SMOKE_OVERRIDES = {
     "num_workers": 4,
     "num_rounds": 2,
     "local_iterations": 2,
@@ -55,21 +65,58 @@ SMOKE_OVERRIDES = {
     "ga_generations": 4,
 }
 
-SMOKE_MODE = bool(os.environ.get("BENCH_SMOKE"))
-if SMOKE_MODE:
-    BENCH_OVERRIDES.update(SMOKE_OVERRIDES)
 
-_executor = os.environ.get("BENCH_EXECUTOR")
-if _executor:
-    BENCH_OVERRIDES["executor"] = _executor
+def smoke_mode() -> bool:
+    """Whether ``BENCH_SMOKE`` requests near-trivial experiment sizes."""
+    return bool(os.environ.get("BENCH_SMOKE"))
 
-_transport = os.environ.get("BENCH_TRANSPORT")
-if _transport:
-    BENCH_OVERRIDES["transport"] = _transport
 
-_pipeline = os.environ.get("BENCH_PIPELINE")
-if _pipeline:
-    BENCH_OVERRIDES["pipeline"] = _pipeline
+def bench_n_jobs() -> int:
+    """Trial-level parallelism requested through ``BENCH_N_JOBS``."""
+    return int(os.environ.get("BENCH_N_JOBS") or "1")
+
+
+def bench_overrides() -> dict:
+    """The suite's config overrides, built fresh from the environment.
+
+    Pure in the sense that matters here: every call returns a new dict
+    assembled from the current environment, so callers may mutate their
+    copy and test processes cannot contaminate one another through shared
+    module state.
+    """
+    overrides = dict(_BASE_OVERRIDES)
+    if smoke_mode():
+        overrides.update(_SMOKE_OVERRIDES)
+    for env, key in (("BENCH_EXECUTOR", "executor"),
+                     ("BENCH_TRANSPORT", "transport"),
+                     ("BENCH_PIPELINE", "pipeline")):
+        value = os.environ.get(env)
+        if value:
+            overrides[key] = value
+    return overrides
+
+
+def bench_study(name: str, dataset: str, axes: dict,
+                algorithm: str = "mergesfl", non_iid_level: float = 0.0,
+                **overrides) -> Study:
+    """Build a grid :class:`Study` at benchmark scale.
+
+    ``axes`` sweeps config fields (e.g. ``{"algorithm": (...)}`` or
+    ``{"num_workers": (4, 8)}``) over a base config assembled from the
+    figure defaults, :func:`bench_overrides` and ``overrides``.
+    """
+    merged = bench_overrides()
+    merged.update(overrides)
+    for axis in axes:
+        merged.pop(axis, None)
+    base = figures.figure_config(dataset, algorithm, non_iid_level, **merged)
+    return Study.grid(name, base, axes)
+
+
+def run_bench_study(study: Study) -> dict[str, History]:
+    """Execute a benchmark study (``BENCH_N_JOBS`` workers) -> histories."""
+    runner = StudyRunner(study, n_jobs=bench_n_jobs())
+    return runner.histories()
 
 
 def run_once(benchmark, func, *args, **kwargs):

@@ -1,0 +1,91 @@
+"""Declarative sweeps with the Study API: parallel, resumable trials.
+
+Builds the paper's Fig. 10-style grid (non-IID levels x algorithms) as a
+:class:`repro.study.Study`, runs it with trial-level parallelism, persists
+every completed trial to a :class:`repro.study.StudyStore`, and then calls
+``resume()`` to show that a re-run (e.g. after a crash or Ctrl-C) only
+executes what is missing.  Shipped callbacks checkpoint each trial every
+round and stream records to JSONL, so even a trial killed mid-run continues
+bit-exactly from its last round.
+
+Usage::
+
+    python examples/sweep_study.py             # full demo, ~1 min on CPU
+    SWEEP_TINY=1 python examples/sweep_study.py
+    SWEEP_JOBS=4 python examples/sweep_study.py
+
+Re-running the script with the same settings resumes instead of recomputing:
+delete ``sweep_results/`` to start over.
+"""
+
+import os
+
+from repro import ExperimentConfig
+from repro.experiments.reporting import format_table
+from repro.metrics.summary import final_accuracy, mean_waiting_time
+from repro.study import JSONLLogger, Study, StudyRunner, StudyStore
+
+
+def build_study(tiny: bool) -> Study:
+    base = ExperimentConfig(
+        dataset="blobs" if tiny else "cifar10",
+        model="mlp" if tiny else "alexnet_s",
+        num_workers=4 if tiny else 8,
+        num_rounds=2 if tiny else 5,
+        local_iterations=2 if tiny else 6,
+        max_batch_size=16,
+        base_batch_size=8,
+        learning_rate=0.08,
+        model_width=0.25 if tiny else 0.4,
+        train_samples=200 if tiny else 560,
+        test_samples=64 if tiny else 160,
+        seed=13,
+    )
+    return Study.grid("noniid-sweep", base, axes={
+        "non_iid_level": (0.0, 10.0),
+        "algorithm": ("mergesfl", "mergesfl_no_fm"),
+    })
+
+
+def main() -> None:
+    tiny = bool(os.environ.get("SWEEP_TINY"))
+    n_jobs = int(os.environ.get("SWEEP_JOBS") or "2")
+    study = build_study(tiny)
+    store = StudyStore("sweep_results")
+
+    runner = StudyRunner(
+        study,
+        store=store,
+        n_jobs=n_jobs,
+        checkpoint_every=1,   # killed trials resume mid-run, bit-exactly
+        callbacks=lambda trial: [
+            JSONLLogger(f"sweep_results/{study.name}/logs/{trial.name}.jsonl"),
+        ],
+    )
+
+    already_done = len(store.completed(study.name))
+    if already_done:
+        print(f"store has {already_done}/{len(study)} trials; resuming the rest")
+        results = runner.resume()
+    else:
+        print(f"running {len(study)} trials with n_jobs={n_jobs}")
+        results = runner.run()
+
+    rows = [
+        [f"p={trial.tags['non_iid_level']:g}",
+         trial.tags["algorithm"],
+         f"{final_accuracy(results[trial.name].history):.3f}",
+         f"{mean_waiting_time(results[trial.name].history):.2f}"]
+        for trial in study
+    ]
+    print()
+    print(format_table(
+        ["non-IID level", "algorithm", "final acc", "avg wait (s)"],
+        rows, title=f"Study {study.name!r}: {len(results)} trials",
+    ))
+    print("\nresults persisted under sweep_results/ -- re-run to resume, "
+          "delete the directory to start over")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,9 @@ Regulation.  This package provides:
 * ``repro.parallel`` -- interchangeable, bit-exact execution backends for
   the per-worker compute: serial, vectorized (worker-stacked kernels) and
   multiprocess.
+* ``repro.study`` -- declarative multi-trial sweeps: :class:`Study` grids,
+  a parallel resumable :class:`StudyRunner`, JSONL result stores and
+  shipped callbacks (early stopping, periodic checkpoints, logging).
 * ``repro.experiments`` -- per-figure reproduction entry points and the
   classic :func:`~repro.experiments.runner.run_experiment` wrapper.
 
@@ -61,6 +64,7 @@ from repro.api.registry import (
 )
 from repro.api.session import Session
 from repro.experiments.runner import run_experiment
+from repro.study import Study, StudyRunner, StudyStore
 
 __all__ = [
     "__version__",
@@ -68,6 +72,9 @@ __all__ = [
     "run_experiment",
     "Algorithm",
     "Session",
+    "Study",
+    "StudyRunner",
+    "StudyStore",
     "ALGORITHMS",
     "DATASETS",
     "EXECUTORS",

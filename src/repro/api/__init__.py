@@ -7,6 +7,8 @@
 * :mod:`repro.api.components` -- configuration-to-components assembly
   (datasets, partitions, models, clusters) and registry-driven algorithm
   construction.
+* :mod:`repro.api.events` -- the typed session event vocabulary
+  (:class:`EventBus`, :class:`Callback` and the event payload types).
 * :mod:`repro.api.session` -- :class:`Session`, the steppable,
   checkpointable driver around one experiment.
 
@@ -21,6 +23,15 @@ from __future__ import annotations
 import importlib
 
 from repro.api.algorithm import Algorithm, EngineBackedAlgorithm
+from repro.api.events import (
+    EVENT_TYPES,
+    Callback,
+    CheckpointSaved,
+    Evaluation,
+    EventBus,
+    RoundEnd,
+    RoundStart,
+)
 from repro.api.registry import (
     ALGORITHMS,
     DATASETS,
@@ -48,6 +59,13 @@ _LAZY_ATTRIBUTES = {
 __all__ = [
     "Algorithm",
     "EngineBackedAlgorithm",
+    "EVENT_TYPES",
+    "Callback",
+    "CheckpointSaved",
+    "Evaluation",
+    "EventBus",
+    "RoundEnd",
+    "RoundStart",
     "Registry",
     "ALGORITHMS",
     "DATASETS",

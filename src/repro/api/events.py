@@ -1,0 +1,207 @@
+"""Typed session events.
+
+A :class:`~repro.api.session.Session` owns an :class:`EventBus` and emits a
+small, fixed vocabulary of events while it drives an experiment:
+
+========================  =====================================================
+event name                payload (second handler argument)
+========================  =====================================================
+``round_start``           :class:`RoundStart` -- the index of the round about
+                          to execute.
+``evaluation``            :class:`Evaluation` -- the round's
+                          :class:`~repro.metrics.history.RoundRecord`, emitted
+                          right after the post-round evaluation.
+``round_end``             :class:`RoundEnd` -- the same record, emitted after
+                          ``evaluation`` once the round is fully accounted.
+``checkpoint_saved``      :class:`CheckpointSaved` -- the checkpoint path and
+                          the number of completed rounds it captures.
+========================  =====================================================
+
+Handlers take ``(session, event)``.  A truthy return value from a
+``round_end`` or ``evaluation`` handler requests early stop of the current
+:meth:`Session.run` loop (``round_start`` and ``checkpoint_saved`` returns
+are ignored).  Dispatch is failure-isolated: every handler fires even when
+an earlier one raises, after which the first error is re-raised as a
+:class:`~repro.exceptions.CallbackError` naming the offending handler.
+
+:class:`Callback` packages a set of handlers as one picklable object -- the
+form :class:`repro.study.StudyRunner` ships into trial worker processes.
+Subclasses override any of the ``on_*`` methods; only overridden methods
+are subscribed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.exceptions import CallbackError, ConfigurationError
+from repro.metrics.history import RoundRecord
+from repro.utils.logging import get_logger
+
+logger = get_logger("api.events")
+
+#: The full event vocabulary, in emission order within one round.
+EVENT_TYPES = ("round_start", "evaluation", "round_end", "checkpoint_saved")
+
+#: Events whose handlers' truthy return values request early stop.
+STOPPING_EVENTS = ("evaluation", "round_end")
+
+
+@dataclass(frozen=True)
+class RoundStart:
+    """Emitted immediately before a round executes."""
+
+    round_index: int
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Emitted after the post-round evaluation of the global model."""
+
+    record: RoundRecord
+
+
+@dataclass(frozen=True)
+class RoundEnd:
+    """Emitted once a round is fully executed and accounted."""
+
+    record: RoundRecord
+
+
+@dataclass(frozen=True)
+class CheckpointSaved:
+    """Emitted after a checkpoint file has been written."""
+
+    path: str
+    rounds_completed: int
+
+
+#: Signature of event handlers.
+EventHandler = Callable[[object, object], object]
+
+
+def _handler_name(handler: object) -> str:
+    """Best-effort human-readable name for an event handler."""
+    for attribute in ("__qualname__", "__name__"):
+        name = getattr(handler, attribute, None)
+        if name:
+            return name
+    return repr(handler)
+
+
+class EventBus:
+    """Per-session registry and dispatcher for the events above."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, list[EventHandler]] = {
+            name: [] for name in EVENT_TYPES
+        }
+
+    def _check_event(self, event: str) -> None:
+        if event not in self._handlers:
+            known = ", ".join(EVENT_TYPES)
+            raise ConfigurationError(
+                f"unknown session event {event!r} (known events: {known})"
+            )
+
+    def on(self, event: str, handler: EventHandler | None = None):
+        """Subscribe ``handler`` to ``event``; usable as a decorator.
+
+        Returns the handler, so ``@bus.on("round_end")`` leaves the
+        decorated function usable under its own name.
+        """
+        self._check_event(event)
+
+        def _subscribe(target: EventHandler) -> EventHandler:
+            self._handlers[event].append(target)
+            return target
+
+        if handler is None:
+            return _subscribe
+        return _subscribe(handler)
+
+    def handlers(self, event: str) -> tuple[EventHandler, ...]:
+        """The handlers currently subscribed to ``event`` (a snapshot)."""
+        self._check_event(event)
+        return tuple(self._handlers[event])
+
+    def emit(self, event: str, session, payload) -> bool:
+        """Fire every handler of ``event`` and report early-stop requests.
+
+        All handlers run even when one raises: the failure is logged with
+        the handler's name, the remaining handlers still fire, and the
+        first failure is then re-raised as :class:`CallbackError` (chained
+        from the original exception).  Returns ``True`` when any handler
+        of a stopping event returned a truthy value.
+        """
+        self._check_event(event)
+        stop = False
+        failures: list[tuple[str, BaseException]] = []
+        for handler in list(self._handlers[event]):
+            try:
+                result = handler(session, payload)
+            except Exception as error:  # noqa: BLE001 - isolate, then re-raise
+                name = _handler_name(handler)
+                logger.exception("%s callback %r failed", event, name)
+                failures.append((name, error))
+                continue
+            if result and event in STOPPING_EVENTS:
+                stop = True
+        if failures:
+            name, error = failures[0]
+            raise CallbackError(
+                f"{event} callback {name!r} raised "
+                f"{type(error).__name__}: {error}"
+            ) from error
+        return stop
+
+
+class Callback:
+    """Bundle of event handlers attached with ``session.add_callback``.
+
+    Subclass and override any of :meth:`on_round_start`,
+    :meth:`on_evaluation`, :meth:`on_round_end` or
+    :meth:`on_checkpoint_saved`; :meth:`subscribe` registers exactly the
+    overridden methods on a session's bus.  Instances only carry plain
+    attribute state, so shipped callbacks pickle cleanly into the trial
+    worker processes of :class:`repro.study.StudyRunner`.
+    """
+
+    def on_round_start(self, session, event: RoundStart) -> object:
+        """Handle ``round_start``."""
+
+    def on_evaluation(self, session, event: Evaluation) -> object:
+        """Handle ``evaluation``; a truthy return requests early stop."""
+
+    def on_round_end(self, session, event: RoundEnd) -> object:
+        """Handle ``round_end``; a truthy return requests early stop."""
+
+    def on_checkpoint_saved(self, session, event: CheckpointSaved) -> object:
+        """Handle ``checkpoint_saved``."""
+
+    def subscribe(self, bus: EventBus) -> None:
+        """Register every overridden ``on_<event>`` method on ``bus``."""
+        for event in EVENT_TYPES:
+            method_name = f"on_{event}"
+            if getattr(type(self), method_name) is not getattr(Callback, method_name):
+                bus.on(event, getattr(self, method_name))
+
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Mutable state to carry through a session checkpoint.
+
+        Stateless callbacks return ``{}`` (the default).  Stateful ones
+        (e.g. an early stopper's best-so-far) override this together with
+        :meth:`load_state_dict` so a trial resumed mid-run behaves
+        bit-identically to one that was never interrupted.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output from a checkpoint."""
+        if state:
+            raise ConfigurationError(
+                f"{type(self).__name__} does not accept callback state, "
+                f"got keys {sorted(state)}"
+            )

@@ -8,12 +8,22 @@ algorithm behind an incremental execution surface::
     session.run(5)                   # five more rounds
     session.run()                    # the rest of config.num_rounds
 
-Round-end hooks stream metrics and implement early stopping::
+Typed events stream progress and implement early stopping (see
+:mod:`repro.api.events` for the vocabulary)::
+
+    @session.on("round_end")
+    def watch(session, event):
+        print(event.record.round_index, event.record.test_accuracy)
+        return event.record.test_accuracy >= 0.9   # truthy return stops run()
+
+    session.add_callback(EarlyStopping(target=0.9))   # packaged handlers
+
+The legacy ``on_round_end`` hook remains as a thin alias that receives the
+record directly::
 
     @session.on_round_end
     def watch(session, record):
-        print(record.round_index, record.test_accuracy)
-        return record.test_accuracy >= 0.9   # truthy return stops run()
+        return record.test_accuracy >= 0.9
 
 Checkpoints are plain JSON files carrying the configuration plus the full
 mutable algorithm state (weights, optimizer buffers, RNG streams, clock,
@@ -33,6 +43,14 @@ from pathlib import Path
 from repro.api.algorithm import Algorithm
 from repro.api.checkpoint import dump_checkpoint, encode_state, load_checkpoint_payload
 from repro.api.components import ExperimentComponents, build_algorithm, build_components
+from repro.api.events import (
+    Callback,
+    CheckpointSaved,
+    Evaluation,
+    EventBus,
+    RoundEnd,
+    RoundStart,
+)
 from repro.config import ExperimentConfig
 from repro.exceptions import ConfigurationError
 from repro.metrics.history import History, RoundRecord
@@ -79,7 +97,10 @@ class Session:
             algorithm = build_algorithm(components)
         self.components = components
         self.algorithm = algorithm
-        self._callbacks: list[RoundCallback] = []
+        self.events = EventBus()
+        #: Callbacks attached via :meth:`add_callback`, in order; their
+        #: state rides in checkpoints so resumed runs behave identically.
+        self.callbacks: list[Callback] = []
         self._stop_requested = False
 
     @classmethod
@@ -103,23 +124,56 @@ class Session:
         return self.algorithm.global_model()
 
     # -- hooks ---------------------------------------------------------------
-    def on_round_end(self, callback: RoundCallback) -> RoundCallback:
-        """Register a round-end hook; usable as a decorator.
+    def on(self, event: str, handler=None):
+        """Subscribe a handler ``(session, event)`` to a typed session event.
 
-        Hooks are invoked after every executed round with ``(session,
-        record)``.  A truthy return value requests early stop: the current
-        :meth:`run` loop finishes the round and returns.
+        Usable as a decorator: ``@session.on("round_end")``.  See
+        :mod:`repro.api.events` for the event vocabulary; a truthy return
+        from a ``round_end``/``evaluation`` handler requests early stop of
+        the current :meth:`run` loop.
         """
-        self._callbacks.append(callback)
+        return self.events.on(event, handler)
+
+    def on_round_end(self, callback: RoundCallback) -> RoundCallback:
+        """Register a legacy round-end hook; usable as a decorator.
+
+        Thin alias for ``session.on("round_end", ...)`` that unwraps the
+        event: hooks receive ``(session, record)`` and a truthy return
+        value requests early stop, exactly as before the typed event API.
+        """
+        def adapter(session: "Session", event: RoundEnd) -> object:
+            return callback(session, event.record)
+
+        adapter.__qualname__ = getattr(callback, "__qualname__", repr(callback))
+        self.events.on("round_end", adapter)
+        return callback
+
+    def add_callback(self, callback: Callback) -> Callback:
+        """Attach a packaged :class:`~repro.api.events.Callback` instance.
+
+        Checkpoints capture every attached callback's
+        :meth:`~repro.api.events.Callback.state_dict`; to restore it, attach
+        the same callbacks (same order) *before* loading the checkpoint.
+        """
+        callback.subscribe(self.events)
+        self.callbacks.append(callback)
         return callback
 
     # -- execution -----------------------------------------------------------
     def step(self) -> RoundRecord:
-        """Execute exactly one communication round and fire the hooks."""
+        """Execute exactly one communication round and fire its events.
+
+        Emits ``round_start`` before the round, then ``evaluation`` and
+        ``round_end`` with the resulting record.  One raising handler does
+        not suppress the others (see :meth:`EventBus.emit`).
+        """
+        self.events.emit("round_start", self, RoundStart(self.rounds_completed))
         record = self.algorithm.step_round()
-        for callback in list(self._callbacks):
-            if callback(self, record):
-                self._stop_requested = True
+        stop = self.events.emit("evaluation", self, Evaluation(record))
+        if self.events.emit("round_end", self, RoundEnd(record)):
+            stop = True
+        if stop:
+            self._stop_requested = True
         return record
 
     def run(self, num_rounds: int | None = None) -> History:
@@ -179,6 +233,10 @@ class Session:
             "custom_wiring": self._custom_wiring,
             "rounds_completed": self.rounds_completed,
             "algorithm": self.algorithm.state_dict(),
+            "callbacks": [
+                {"type": type(callback).__name__, "state": callback.state_dict()}
+                for callback in self.callbacks
+            ],
         }
 
     @staticmethod
@@ -214,6 +272,30 @@ class Session:
                 f"{expected_rounds} but the restored algorithm reports "
                 f"{self.rounds_completed}"
             )
+        self._restore_callbacks(state.get("callbacks", []))
+
+    def _restore_callbacks(self, saved: list) -> None:
+        """Match saved callback states to the attached callbacks by position.
+
+        Restoring without re-attaching callbacks is allowed (the caller
+        opted out of them), as is attaching callbacks to a checkpoint that
+        never recorded any (they simply start fresh).  But when both sides
+        have callbacks and they do not line up -- wrong count or wrong
+        types -- that is an error: silently continuing with fresh callback
+        state would break the resumed-equals-uninterrupted guarantee.
+        """
+        if not self.callbacks or not saved:
+            return
+        saved_types = [entry.get("type") for entry in saved]
+        attached_types = [type(callback).__name__ for callback in self.callbacks]
+        if saved_types != attached_types:
+            raise ConfigurationError(
+                f"checkpoint carries callback state for {saved_types} but "
+                f"the session has {attached_types} attached; attach the "
+                f"same callbacks in the same order before restoring"
+            )
+        for callback, entry in zip(self.callbacks, saved):
+            callback.load_state_dict(entry.get("state", {}))
 
     def save_checkpoint(self, path: str | Path) -> None:
         """Write a JSON checkpoint that :meth:`load_checkpoint` can resume."""
@@ -221,6 +303,10 @@ class Session:
         logger.info(
             "checkpointed %s after %d rounds to %s",
             self.config.algorithm, self.rounds_completed, path,
+        )
+        self.events.emit(
+            "checkpoint_saved", self,
+            CheckpointSaved(str(path), self.rounds_completed),
         )
 
     @classmethod

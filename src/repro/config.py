@@ -154,6 +154,20 @@ class ExperimentConfig:
         for name, value in positive_fields.items():
             if value <= 0:
                 raise ConfigurationError(f"{name} must be positive, got {value}")
+        if self.max_batch_size < self.base_batch_size:
+            raise ConfigurationError(
+                f"max_batch_size ({self.max_batch_size}) must be >= "
+                f"base_batch_size ({self.base_batch_size}): the regulated "
+                f"range [base, max] would be empty"
+            )
+        if self.momentum < 0:
+            raise ConfigurationError(
+                f"momentum must be non-negative, got {self.momentum}"
+            )
+        if self.weight_decay < 0:
+            raise ConfigurationError(
+                f"weight_decay must be non-negative, got {self.weight_decay}"
+            )
         if self.max_grad_norm is not None and self.max_grad_norm <= 0:
             raise ConfigurationError(
                 f"max_grad_norm must be positive or None, got {self.max_grad_norm}"

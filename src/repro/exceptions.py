@@ -27,3 +27,11 @@ class DataError(ReproError):
 
 class TransportError(ReproError):
     """An inter-process feature transport failed (corrupt frame, dead peer)."""
+
+
+class CallbackError(ReproError):
+    """A session event callback raised; the message names the callback."""
+
+
+class StudyError(ReproError):
+    """A study definition or a study run is invalid or inconsistent."""

@@ -6,6 +6,12 @@ reports.  The default parameters are scaled down (fewer workers, rounds and
 samples than the 80-device testbed) so the whole benchmark suite finishes
 on a CPU-only machine; pass ``overrides`` to scale up.  EXPERIMENTS.md
 records the measured numbers next to the paper's.
+
+Under the hood every multi-run figure is a :class:`repro.study.Study`
+(see :func:`approaches_study`): pass ``n_jobs`` to run its trials in
+parallel worker processes, and use the study builders directly with a
+:class:`repro.study.StudyStore` when a sweep should be resumable.  Both
+knobs leave the results bit-identical to the serial path.
 """
 
 from __future__ import annotations
@@ -15,7 +21,6 @@ import numpy as np
 from repro.config import ExperimentConfig
 from repro.data.synthetic import DATASET_SPECS, make_dataset
 from repro.experiments.gradients import GradientComparison, compare_gradient_directions
-from repro.experiments.runner import run_experiment
 from repro.metrics.history import History
 from repro.metrics.summary import (
     best_accuracy,
@@ -28,6 +33,7 @@ from repro.metrics.summary import (
 from repro.nn.models import build_model, default_split_layer
 from repro.nn.split import split_model
 from repro.simulation.device import DEVICE_PROFILES
+from repro.study import Study, StudyRunner, Trial
 from repro.utils.rng import new_rng
 
 #: The five approaches compared throughout Section V-B.
@@ -51,8 +57,14 @@ FAST_DEFAULTS = {
 }
 
 
-def _config(dataset: str, algorithm: str, non_iid_level: float, **overrides) -> ExperimentConfig:
-    """Build a config for one dataset/algorithm pair with fast defaults."""
+def figure_config(dataset: str, algorithm: str, non_iid_level: float = 0.0,
+                  **overrides) -> ExperimentConfig:
+    """Build a config for one dataset/algorithm pair with fast defaults.
+
+    The shared base of every figure entry point (and of the benchmark
+    suite's study builder): the dataset's default model plus
+    :data:`FAST_DEFAULTS`, with ``overrides`` applied on top.
+    """
     spec = DATASET_SPECS[dataset]
     params = dict(FAST_DEFAULTS)
     params.update(overrides)
@@ -65,30 +77,64 @@ def _config(dataset: str, algorithm: str, non_iid_level: float, **overrides) -> 
     )
 
 
+#: Backwards-compatible private alias (pre-Study callers used ``_config``).
+_config = figure_config
+
+
+def approaches_study(
+    dataset: str,
+    approaches: tuple[str, ...] = FIVE_APPROACHES,
+    non_iid_level: float = 0.0,
+    study_name: str | None = None,
+    **overrides,
+) -> Study:
+    """Describe a set of approaches on one dataset as a :class:`Study`.
+
+    One trial per approach, named after it and tagged with the dataset and
+    non-IID level; ``overrides`` apply to every trial's config.
+    """
+    if study_name is None:
+        study_name = f"{dataset}-p{non_iid_level:g}-approaches"
+    return Study(study_name, [
+        Trial(approach, _config(dataset, approach, non_iid_level, **overrides),
+              {"dataset": dataset, "algorithm": approach,
+               "non_iid_level": non_iid_level})
+        for approach in approaches
+    ])
+
+
 def run_approaches(
     dataset: str,
     approaches: tuple[str, ...] = FIVE_APPROACHES,
     non_iid_level: float = 0.0,
+    n_jobs: int = 1,
+    store=None,
     **overrides,
 ) -> dict[str, History]:
-    """Run a set of approaches on one dataset and return their histories."""
-    histories: dict[str, History] = {}
-    for approach in approaches:
-        config = _config(dataset, approach, non_iid_level, **overrides)
-        histories[approach] = run_experiment(config)
-    return histories
+    """Run a set of approaches on one dataset and return their histories.
+
+    Executes :func:`approaches_study` through a
+    :class:`~repro.study.StudyRunner`; ``n_jobs`` parallelises over the
+    approaches and ``store`` (a :class:`~repro.study.StudyStore`) makes the
+    sweep resumable.  Results are bit-identical to running each config
+    through ``run_experiment`` serially.
+    """
+    study = approaches_study(dataset, approaches, non_iid_level, **overrides)
+    results = StudyRunner(study, store=store, n_jobs=n_jobs).run()
+    return {approach: results[approach].history for approach in approaches}
 
 
 # -- Section II motivation -----------------------------------------------------
 
-def figure2_3_motivation(dataset: str = "cifar10", **overrides) -> dict:
+def figure2_3_motivation(dataset: str = "cifar10", n_jobs: int = 1, **overrides) -> dict:
     """Figs. 2-3: SFL-T vs SFL-FM vs SFL-BR on non-IID data.
 
     Returns accuracy curves, completion times and average waiting times for
     the three motivation variants.
     """
     histories = run_approaches(
-        dataset, approaches=MOTIVATION_VARIANTS, non_iid_level=10.0, **overrides
+        dataset, approaches=MOTIVATION_VARIANTS, non_iid_level=10.0,
+        n_jobs=n_jobs, **overrides
     )
     rows = []
     for name, history in histories.items():
@@ -158,11 +204,13 @@ def table2_device_specifications() -> list[dict]:
 
 # -- Section V-B overall performance ------------------------------------------------
 
-def figure6_iid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"), **overrides) -> dict:
+def figure6_iid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"),
+                         n_jobs: int = 1, **overrides) -> dict:
     """Fig. 6: time-to-accuracy of the five approaches on IID data."""
     results = {}
     for dataset in datasets:
-        histories = run_approaches(dataset, non_iid_level=0.0, **overrides)
+        histories = run_approaches(dataset, non_iid_level=0.0, n_jobs=n_jobs,
+                                   **overrides)
         results[dataset] = {
             "histories": histories,
             "comparison": compare_histories(histories),
@@ -170,11 +218,13 @@ def figure6_iid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"), **overr
     return results
 
 
-def figure7_noniid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"), **overrides) -> dict:
+def figure7_noniid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"),
+                            n_jobs: int = 1, **overrides) -> dict:
     """Fig. 7: time-to-accuracy of the five approaches at non-IID level p=10."""
     results = {}
     for dataset in datasets:
-        histories = run_approaches(dataset, non_iid_level=10.0, **overrides)
+        histories = run_approaches(dataset, non_iid_level=10.0, n_jobs=n_jobs,
+                                   **overrides)
         results[dataset] = {
             "histories": histories,
             "comparison": compare_histories(histories),
@@ -183,14 +233,16 @@ def figure7_noniid_accuracy(datasets: tuple[str, ...] = ("har", "cifar10"), **ov
 
 
 def figure8_network_traffic(histories_per_dataset: dict[str, dict[str, History]] | None = None,
-                            datasets: tuple[str, ...] = ("cifar10",), **overrides) -> dict:
+                            datasets: tuple[str, ...] = ("cifar10",),
+                            n_jobs: int = 1, **overrides) -> dict:
     """Fig. 8: network traffic consumed to reach target accuracies.
 
     Reuses Fig. 7-style runs (non-IID) when none are supplied.
     """
     if histories_per_dataset is None:
         histories_per_dataset = {
-            dataset: run_approaches(dataset, non_iid_level=10.0, **overrides)
+            dataset: run_approaches(dataset, non_iid_level=10.0, n_jobs=n_jobs,
+                                    **overrides)
             for dataset in datasets
         }
     rows = []
@@ -209,11 +261,13 @@ def figure8_network_traffic(histories_per_dataset: dict[str, dict[str, History]]
 
 
 def figure9_waiting_time(histories_per_dataset: dict[str, dict[str, History]] | None = None,
-                         datasets: tuple[str, ...] = ("cifar10",), **overrides) -> dict:
+                         datasets: tuple[str, ...] = ("cifar10",),
+                         n_jobs: int = 1, **overrides) -> dict:
     """Fig. 9: average per-round waiting time of the five approaches."""
     if histories_per_dataset is None:
         histories_per_dataset = {
-            dataset: run_approaches(dataset, non_iid_level=10.0, **overrides)
+            dataset: run_approaches(dataset, non_iid_level=10.0, n_jobs=n_jobs,
+                                    **overrides)
             for dataset in datasets
         }
     rows = []
@@ -233,35 +287,47 @@ def figure10_noniid_levels(
     dataset: str = "cifar10",
     levels: tuple[float, ...] = (0.0, 2.0, 10.0),
     approaches: tuple[str, ...] = FIVE_APPROACHES,
+    n_jobs: int = 1,
     **overrides,
 ) -> dict:
-    """Fig. 10: final accuracy of each approach as the non-IID level grows."""
+    """Fig. 10: final accuracy of each approach as the non-IID level grows.
+
+    One grid study (levels x approaches); ``n_jobs`` parallelises over the
+    whole grid rather than one level at a time.
+    """
+    study = Study.grid(
+        f"{dataset}-fig10-noniid-levels",
+        _config(dataset, approaches[0], levels[0], **overrides),
+        axes={"non_iid_level": levels, "algorithm": approaches},
+    )
+    results = StudyRunner(study, n_jobs=n_jobs).run()
     rows = []
-    histories: dict[float, dict[str, History]] = {}
-    for level in levels:
-        histories[level] = run_approaches(
-            dataset, approaches=approaches, non_iid_level=level, **overrides
-        )
-        for name, history in histories[level].items():
-            rows.append({
-                "dataset": dataset,
-                "non_iid_level": level,
-                "approach": name,
-                "final_accuracy": final_accuracy(history),
-                "best_accuracy": best_accuracy(history),
-            })
+    histories: dict[float, dict[str, History]] = {level: {} for level in levels}
+    for trial in study:
+        level = trial.tags["non_iid_level"]
+        name = trial.tags["algorithm"]
+        history = results[trial.name].history
+        histories[level][name] = history
+        rows.append({
+            "dataset": dataset,
+            "non_iid_level": level,
+            "approach": name,
+            "final_accuracy": final_accuracy(history),
+            "best_accuracy": best_accuracy(history),
+        })
     return {"histories": histories, "rows": rows}
 
 
 # -- Section V-D ablation ------------------------------------------------------------
 
-def figure11_ablation(dataset: str = "cifar10", **overrides) -> dict:
+def figure11_ablation(dataset: str = "cifar10", n_jobs: int = 1, **overrides) -> dict:
     """Fig. 11: MergeSFL vs MergeSFL w/o FM vs MergeSFL w/o BR (IID and non-IID)."""
     variants = ("mergesfl", "mergesfl_no_fm", "mergesfl_no_br")
     results = {}
     for label, level in (("iid", 0.0), ("non_iid", 10.0)):
         histories = run_approaches(
-            dataset, approaches=variants, non_iid_level=level, **overrides
+            dataset, approaches=variants, non_iid_level=level, n_jobs=n_jobs,
+            **overrides
         )
         results[label] = {
             "histories": histories,
@@ -276,6 +342,7 @@ def figure12_scalability(
     dataset: str = "cifar10",
     scales: tuple[int, ...] = (8, 16, 24),
     target_fraction: float = 0.9,
+    n_jobs: int = 1,
     **overrides,
 ) -> dict:
     """Fig. 12: completion time and training process at different system scales.
@@ -284,13 +351,18 @@ def figure12_scalability(
     sweeps smaller fleets but reports the same quantities (time to reach a
     common target accuracy, plus each scale's accuracy trajectory).
     """
-    histories: dict[int, History] = {}
-    for scale in scales:
-        config_overrides = dict(overrides)
-        config_overrides["num_workers"] = scale
-        histories[scale] = run_experiment(
-            _config(dataset, "mergesfl", non_iid_level=0.0, **config_overrides)
-        )
+    base_overrides = {key: value for key, value in overrides.items()
+                      if key != "num_workers"}
+    study = Study.grid(
+        f"{dataset}-fig12-scalability",
+        _config(dataset, "mergesfl", non_iid_level=0.0,
+                num_workers=scales[0], **base_overrides),
+        axes={"num_workers": scales},
+    )
+    results = StudyRunner(study, n_jobs=n_jobs).run()
+    histories: dict[int, History] = {
+        trial.tags["num_workers"]: results[trial.name].history for trial in study
+    }
     ceiling = min(best_accuracy(history) for history in histories.values())
     target = target_fraction * ceiling
     rows = []

@@ -58,6 +58,7 @@ from collections import deque
 import numpy as np
 
 from repro.exceptions import TransportError
+from repro.utils.mp import get_mp_context
 from repro.parallel.base import Executor
 from repro.parallel.transport import ChildConnector, PipeTransport, Transport
 from repro.utils.logging import get_logger
@@ -305,11 +306,7 @@ class ProcessExecutor(Executor):
 
     def _ensure_pool(self) -> list[_Child]:
         if self._children is None:
-            method = self._start_method
-            if method is None:
-                available = multiprocessing.get_all_start_methods()
-                method = "fork" if "fork" in available else available[0]
-            context = multiprocessing.get_context(method)
+            context = get_mp_context(self._start_method)
             children = []
             for __ in range(self._pool_size()):
                 endpoint, connector = self._transport.pair(context)
@@ -323,7 +320,7 @@ class ProcessExecutor(Executor):
             self._children = children
             logger.debug(
                 "started %d executor processes (start method %s, transport %s)",
-                len(children), method, self._transport.name,
+                len(children), context.get_start_method(), self._transport.name,
             )
         return self._children
 

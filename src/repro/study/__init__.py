@@ -1,0 +1,52 @@
+"""Declarative experiment sweeps: Study, StudyRunner, StudyStore.
+
+The paper's evaluation is a collection of sweeps (algorithms x datasets x
+non-IID levels x scales).  This package turns such sweeps into first-class
+objects::
+
+    from repro.study import Study, StudyRunner, StudyStore
+
+    study = Study.grid("fig10", base_config, axes={
+        "non_iid_level": (0.0, 2.0, 10.0),
+        "algorithm": ("mergesfl", "fedavg"),
+    })
+    runner = StudyRunner(study, store=StudyStore("results"),
+                         n_jobs=4, checkpoint_every=1)
+    results = runner.run()        # or runner.resume() after an interruption
+    results["non_iid_level=10,algorithm=mergesfl"].history.accuracies
+
+* :mod:`repro.study.study` -- :class:`Study`/:class:`Trial`, the
+  declarative sweep descriptions (explicit lists, grid products,
+  ``config.replace``-style variations, seed replication).
+* :mod:`repro.study.runner` -- :class:`StudyRunner`, parallel (``n_jobs``)
+  and resumable execution; every trial is bit-identical to
+  ``run_experiment`` on its config.
+* :mod:`repro.study.store` -- :class:`StudyStore`/:class:`TrialResult`,
+  JSONL persistence of completed trials plus per-trial session
+  checkpoints.
+* :mod:`repro.study.callbacks` -- shipped callbacks (:class:`EarlyStopping`,
+  :class:`PeriodicCheckpoint`, :class:`JSONLLogger`, :class:`Timing`).
+"""
+
+from repro.study.callbacks import EarlyStopping, JSONLLogger, PeriodicCheckpoint, Timing
+from repro.study.runner import StudyRunner
+from repro.study.store import StudyStore, TrialResult
+from repro.study.study import Study, Trial
+
+__all__ = [
+    "Study",
+    "Trial",
+    "StudyRunner",
+    "StudyStore",
+    "TrialResult",
+    "EarlyStopping",
+    "PeriodicCheckpoint",
+    "JSONLLogger",
+    "Timing",
+    "run_study",
+]
+
+
+def run_study(study: Study, **runner_kwargs) -> dict[str, TrialResult]:
+    """One-call convenience: ``StudyRunner(study, **kwargs).run()``."""
+    return StudyRunner(study, **runner_kwargs).run()

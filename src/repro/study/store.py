@@ -1,0 +1,122 @@
+"""On-disk persistence for study results and in-flight trial checkpoints.
+
+Layout under one root directory::
+
+    <root>/<study name>/trials.jsonl                  # one record per trial
+    <root>/<study name>/checkpoints/<trial>.ckpt.json # in-flight sessions
+
+``trials.jsonl`` is append-only: the runner writes one JSON line the moment
+a trial completes, so a killed sweep keeps everything finished before the
+kill.  Reading tolerates a truncated final line (the signature a mid-write
+kill leaves behind).  Checkpoints are full
+:class:`~repro.api.session.Session` checkpoints written by
+:class:`~repro.study.callbacks.PeriodicCheckpoint`, letting a resumed run
+continue an interrupted trial bit-exactly instead of restarting it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.metrics.history import History
+from repro.utils.logging import get_logger
+
+logger = get_logger("study.store")
+
+
+@dataclass
+class TrialResult:
+    """The persisted outcome of one completed trial.
+
+    Attributes:
+        name: The trial's name within its study.
+        tags: The trial's axis values, as defined by the study.
+        config: The trial's configuration as a plain dict
+            (``ExperimentConfig.to_dict()``).
+        history: The full per-round history of the run.
+    """
+
+    name: str
+    tags: dict
+    config: dict
+    history: History = field(default_factory=History)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "name": self.name,
+            "tags": self.tags,
+            "config": self.config,
+            "history": self.history.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            tags=dict(payload.get("tags", {})),
+            config=dict(payload.get("config", {})),
+            history=History.from_dict(payload.get("history", {})),
+        )
+
+
+class StudyStore:
+    """Filesystem-backed store of per-trial results and checkpoints."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths ---------------------------------------------------------------
+    def study_dir(self, study_name: str) -> Path:
+        """Directory holding one study's records and checkpoints."""
+        return self.root / study_name
+
+    def records_path(self, study_name: str) -> Path:
+        """The study's append-only JSONL results file."""
+        return self.study_dir(study_name) / "trials.jsonl"
+
+    def checkpoint_path(self, study_name: str, trial_name: str) -> Path:
+        """Where an in-flight checkpoint of ``trial_name`` lives."""
+        return self.study_dir(study_name) / "checkpoints" / f"{trial_name}.ckpt.json"
+
+    # -- writing -------------------------------------------------------------
+    def record(self, study_name: str, result: TrialResult) -> None:
+        """Append one completed-trial record to the study's JSONL file."""
+        path = self.records_path(study_name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as stream:
+            stream.write(json.dumps(result.to_dict()) + "\n")
+
+    def clear_checkpoint(self, study_name: str, trial_name: str) -> None:
+        """Drop the trial's in-flight checkpoint (it completed)."""
+        self.checkpoint_path(study_name, trial_name).unlink(missing_ok=True)
+
+    # -- reading -------------------------------------------------------------
+    def completed(self, study_name: str) -> dict[str, TrialResult]:
+        """All recorded results of ``study_name``, keyed by trial name.
+
+        A malformed line (a sweep killed mid-append) is skipped with a
+        warning; when a trial appears twice the later record wins.
+        """
+        path = self.records_path(study_name)
+        results: dict[str, TrialResult] = {}
+        if not path.exists():
+            return results
+        with path.open() as stream:
+            for line_number, line in enumerate(stream, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    result = TrialResult.from_dict(json.loads(line))
+                except (ValueError, KeyError, TypeError) as error:
+                    logger.warning(
+                        "skipping malformed record %s:%d (%s)",
+                        path, line_number, error,
+                    )
+                    continue
+                results[result.name] = result
+        return results

@@ -1,0 +1,209 @@
+"""Declarative descriptions of multi-trial experiment sweeps.
+
+Every result in the paper is a sweep -- the same experiment over
+algorithms x datasets x non-IID levels x scales.  A :class:`Study` names
+such a sweep and enumerates its :class:`Trial`\\ s, each a complete
+:class:`~repro.config.ExperimentConfig` tagged with the axis values that
+produced it::
+
+    base = ExperimentConfig(dataset="blobs", model="mlp", num_rounds=4)
+    study = Study.grid("ablation", base, axes={
+        "algorithm": ("mergesfl", "mergesfl_no_fm"),
+        "non_iid_level": (0.0, 10.0),
+    })
+    [t.name for t in study]
+    # ['algorithm=mergesfl,non_iid_level=0', ..., 'algorithm=mergesfl_no_fm,non_iid_level=10']
+
+Studies are pure descriptions; :class:`repro.study.runner.StudyRunner`
+executes them (in parallel, resumably) and
+:class:`repro.study.store.StudyStore` persists the per-trial results.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+from itertools import product
+
+from repro.config import ExperimentConfig
+from repro.exceptions import StudyError
+
+
+def _format_axis_value(value: object) -> str:
+    """Compact, filename-friendly rendering of one axis value."""
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _check_name(kind: str, name: str) -> str:
+    """Validate a study/trial name (non-empty, stays inside the store dir)."""
+    if not isinstance(name, str) or not name:
+        raise StudyError(f"{kind} name must be a non-empty string, got {name!r}")
+    if "/" in name or "\\" in name:
+        raise StudyError(f"{kind} name {name!r} may not contain path separators")
+    if name in (".", ".."):
+        raise StudyError(
+            f"{kind} name {name!r} would escape the study store directory"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One named configuration inside a study.
+
+    Attributes:
+        name: Unique (within the study) identifier; also the key under
+            which results and checkpoints are stored.
+        config: The complete experiment configuration of this trial.
+        tags: The axis values that produced the trial (e.g.
+            ``{"algorithm": "mergesfl", "non_iid_level": 10.0}``); free-form
+            for hand-built trials.
+    """
+
+    name: str
+    config: ExperimentConfig
+    tags: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_name("trial", self.name)
+        if not isinstance(self.config, ExperimentConfig):
+            raise StudyError(
+                f"trial {self.name!r} config must be an ExperimentConfig, "
+                f"got {type(self.config).__name__}"
+            )
+
+
+class Study:
+    """A named, ordered set of trials.
+
+    Args:
+        name: Study identifier; results live under this name in a
+            :class:`~repro.study.store.StudyStore`.
+        trials: The trials, with unique names.
+    """
+
+    def __init__(self, name: str, trials: Iterable[Trial]) -> None:
+        self.name = _check_name("study", name)
+        self.trials: tuple[Trial, ...] = tuple(trials)
+        if not self.trials:
+            raise StudyError(f"study {name!r} has no trials")
+        seen: set[str] = set()
+        for trial in self.trials:
+            if trial.name in seen:
+                raise StudyError(
+                    f"study {name!r} defines trial {trial.name!r} twice"
+                )
+            seen.add(trial.name)
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_configs(
+        cls,
+        name: str,
+        configs: Mapping[str, ExperimentConfig],
+        tags: Mapping[str, Mapping] | None = None,
+    ) -> "Study":
+        """Build a study from an explicit ``{trial name: config}`` mapping.
+
+        ``tags`` optionally supplies per-trial tags under the same keys.
+        """
+        tags = tags or {}
+        return cls(name, [
+            Trial(trial_name, config, dict(tags.get(trial_name, {})))
+            for trial_name, config in configs.items()
+        ])
+
+    @classmethod
+    def grid(
+        cls,
+        name: str,
+        base: ExperimentConfig,
+        axes: Mapping[str, Sequence],
+    ) -> "Study":
+        """Build the full cross product of ``axes`` over ``base``.
+
+        Each axis is a config field name (or an ``extras`` key) mapped to
+        the values it sweeps; the leftmost axis varies slowest.  Trials are
+        named ``axis=value,axis=value`` and tagged with their axis values.
+        """
+        if not axes:
+            raise StudyError(f"study {name!r} grid needs at least one axis")
+        axis_names = list(axes)
+        for axis, values in axes.items():
+            if not values:
+                raise StudyError(
+                    f"study {name!r} grid axis {axis!r} has no values"
+                )
+        trials = []
+        for combo in product(*(axes[axis] for axis in axis_names)):
+            changes = dict(zip(axis_names, combo))
+            trial_name = ",".join(
+                f"{axis}={_format_axis_value(value)}"
+                for axis, value in changes.items()
+            )
+            trials.append(Trial(trial_name, base.replace(**changes), changes))
+        return cls(name, trials)
+
+    @classmethod
+    def variations(
+        cls,
+        name: str,
+        base: ExperimentConfig,
+        variations: Mapping[str, Mapping],
+    ) -> "Study":
+        """Build one trial per named ``config.replace``-style change set.
+
+        ``{"fast": {"learning_rate": 0.2}, "base": {}}`` yields two trials;
+        an empty change set reproduces ``base`` unchanged.
+        """
+        if not variations:
+            raise StudyError(f"study {name!r} defines no variations")
+        return cls(name, [
+            Trial(trial_name, base.replace(**dict(changes)),
+                  {"variation": trial_name, **dict(changes)})
+            for trial_name, changes in variations.items()
+        ])
+
+    def with_seeds(self, seeds: Iterable[int]) -> "Study":
+        """Replicate every trial under each seed (deterministic naming).
+
+        Trial ``name`` becomes ``name,seed=s`` with ``seed`` added to both
+        the config and the tags, so repeated-seed sweeps stay resumable and
+        bit-reproducible trial by trial.
+        """
+        seeds = tuple(seeds)
+        if not seeds:
+            raise StudyError(f"study {self.name!r} with_seeds got no seeds")
+        return Study(self.name, [
+            Trial(f"{trial.name},seed={seed}",
+                  trial.config.replace(seed=seed),
+                  {**trial.tags, "seed": seed})
+            for trial in self.trials
+            for seed in seeds
+        ])
+
+    # -- access --------------------------------------------------------------
+    def names(self) -> list[str]:
+        """Trial names in definition order."""
+        return [trial.name for trial in self.trials]
+
+    def trial(self, name: str) -> Trial:
+        """Look up one trial by name."""
+        for trial in self.trials:
+            if trial.name == name:
+                return trial
+        raise StudyError(
+            f"study {self.name!r} has no trial {name!r} "
+            f"(trials: {', '.join(self.names())})"
+        )
+
+    def __iter__(self) -> Iterator[Trial]:
+        return iter(self.trials)
+
+    def __len__(self) -> int:
+        return len(self.trials)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Study({self.name!r}, {len(self.trials)} trials)"

@@ -1,0 +1,21 @@
+"""Shared multiprocessing helpers."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+def get_mp_context(start_method: str | None = None):
+    """A multiprocessing context, preferring ``fork`` where available.
+
+    Fork is the cheap option on Linux (no re-import, copy-on-write pages);
+    platforms without it (Windows, and macOS defaults) fall back to their
+    first supported method.  Both the intra-round
+    :class:`~repro.parallel.process.ProcessExecutor` and the trial-level
+    :class:`~repro.study.runner.StudyRunner` resolve their context here so
+    the policy cannot diverge between the two process layers.
+    """
+    if start_method is None:
+        available = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in available else available[0]
+    return multiprocessing.get_context(start_method)

@@ -39,6 +39,28 @@ class TestExperimentConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(max_grad_norm=0.0)
 
+    def test_cross_field_batch_sizes_validated(self):
+        """Regression: max < base used to pass silently, leaving the
+        batch-size regulator an empty [base, max] range."""
+        with pytest.raises(ConfigurationError, match="max_batch_size"):
+            ExperimentConfig(max_batch_size=8, base_batch_size=16)
+        # Equal sizes are a valid (degenerate) regulation range.
+        config = ExperimentConfig(max_batch_size=16, base_batch_size=16)
+        assert config.max_batch_size == config.base_batch_size
+        # replace() re-validates: a consistent config cannot be made
+        # inconsistent through the copy API either.
+        with pytest.raises(ConfigurationError, match="max_batch_size"):
+            ExperimentConfig().replace(max_batch_size=4)
+
+    def test_negative_optimiser_fields_rejected(self):
+        """Regression: negative momentum/weight_decay passed validation and
+        only blew up (or silently corrupted updates) deep in the optimiser."""
+        with pytest.raises(ConfigurationError, match="momentum"):
+            ExperimentConfig(momentum=-0.1)
+        with pytest.raises(ConfigurationError, match="weight_decay"):
+            ExperimentConfig(weight_decay=-1e-4)
+        ExperimentConfig(momentum=0.9, weight_decay=1e-4)  # valid values pass
+
     def test_dict_roundtrip(self):
         config = ExperimentConfig(dataset="har", model="cnn_h", num_workers=7)
         clone = ExperimentConfig.from_dict(config.to_dict())

@@ -103,3 +103,68 @@ class TestFigureEntryPoints:
         })
         assert [row["num_workers"] for row in result["rows"]] == [4, 6]
         assert all(row["final_accuracy"] >= 0 for row in result["rows"])
+
+    def test_figure7_structure(self):
+        result = figures.figure7_noniid_accuracy(
+            datasets=("har",), approaches=("mergesfl", "fedavg"), **TINY
+        )
+        assert set(result["har"]["histories"]) == {"mergesfl", "fedavg"}
+        assert set(result["har"]["comparison"]) == {"mergesfl", "fedavg"}
+
+    def test_figure8_reuses_supplied_histories(self):
+        histories = figures.run_approaches(
+            "har", approaches=("mergesfl", "fedavg"), non_iid_level=10.0, **TINY
+        )
+        result = figures.figure8_network_traffic({"har": histories})
+        assert result["histories"] == {"har": histories}
+        assert {row["approach"] for row in result["rows"]} == {"mergesfl", "fedavg"}
+        # Three targets (50%, 75%, 100% of the common ceiling) per approach.
+        assert len(result["rows"]) == 6
+
+    def test_figure9_rows_one_per_approach(self):
+        histories = figures.run_approaches(
+            "har", approaches=("mergesfl", "fedavg"), non_iid_level=10.0, **TINY
+        )
+        result = figures.figure9_waiting_time({"har": histories})
+        assert [row["approach"] for row in result["rows"]] == ["mergesfl", "fedavg"]
+        assert all(row["mean_waiting_time_s"] >= 0 for row in result["rows"])
+
+
+class TestStudyBackedFigures:
+    """The figure entry points are Studies underneath (same shapes, and
+    n_jobs > 1 must not change any result)."""
+
+    def test_approaches_study_trials_and_tags(self):
+        study = figures.approaches_study(
+            "har", approaches=("mergesfl", "fedavg"), non_iid_level=10.0, **TINY
+        )
+        assert study.names() == ["mergesfl", "fedavg"]
+        trial = study.trial("fedavg")
+        assert trial.config.algorithm == "fedavg"
+        assert trial.config.non_iid_level == 10.0
+        assert trial.tags["dataset"] == "har"
+
+    def test_run_approaches_parallel_matches_serial(self):
+        from dataclasses import asdict
+
+        serial = figures.run_approaches(
+            "blobs", approaches=("mergesfl", "fedavg"), **TINY
+        )
+        parallel = figures.run_approaches(
+            "blobs", approaches=("mergesfl", "fedavg"), n_jobs=2, **TINY
+        )
+        for name in serial:
+            assert ([asdict(r) for r in serial[name].records]
+                    == [asdict(r) for r in parallel[name].records])
+
+    def test_run_approaches_with_store_is_resumable(self, tmp_path):
+        from repro.study import StudyStore
+
+        store = StudyStore(tmp_path)
+        first = figures.run_approaches(
+            "blobs", approaches=("mergesfl",), store=store, **TINY
+        )
+        again = figures.run_approaches(
+            "blobs", approaches=("mergesfl",), store=store, **TINY
+        )
+        assert first["mergesfl"].to_dict() == again["mergesfl"].to_dict()

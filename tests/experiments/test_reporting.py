@@ -1,0 +1,66 @@
+"""Tests for the plain-text reporting tables."""
+
+from repro.experiments.reporting import format_comparison, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout_and_title(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]],
+                            title="My table")
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert lines[1].split() == ["name", "value"]
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].split() == ["a", "1"]
+        assert lines[4].split() == ["bb", "22"]
+
+    def test_no_title_starts_with_headers(self):
+        text = format_table(["h"], [["x"]])
+        assert text.splitlines()[0] == "h"
+
+    def test_floats_get_four_significant_digits(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+        assert "0.123456789" not in text
+
+    def test_none_renders_as_dash(self):
+        text = format_table(["x"], [[None]])
+        assert text.splitlines()[-1].strip() == "-"
+
+    def test_columns_align_to_widest_cell(self):
+        text = format_table(["h", "k"], [["wide-cell", "x"], ["a", "y"]])
+        lines = text.splitlines()
+        # Every row pads the first column to the widest cell's width.
+        assert lines[-1].index("y") == lines[-2].index("x")
+
+    def test_empty_rows_render_headers_only(self):
+        text = format_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatComparison:
+    def test_renders_compare_histories_shape(self):
+        table = {
+            "mergesfl": {
+                "final_accuracy": 0.9, "best_accuracy": 0.91,
+                "time_to_target_s": 12.0, "traffic_to_target_mb": 3.5,
+                "mean_waiting_time_s": 0.2, "total_time_s": 40.0,
+            },
+            "fedavg": {
+                "final_accuracy": 0.8, "best_accuracy": 0.82,
+                "time_to_target_s": None, "traffic_to_target_mb": None,
+                "mean_waiting_time_s": 0.5, "total_time_s": 60.0,
+            },
+        }
+        text = format_comparison(table, title="cmp")
+        lines = text.splitlines()
+        assert lines[0] == "cmp"
+        assert "approach" in lines[1] and "final_acc" in lines[1]
+        assert any(line.startswith("mergesfl") for line in lines)
+        fedavg_line = next(line for line in lines if line.startswith("fedavg"))
+        assert "-" in fedavg_line  # the None cells
+
+    def test_missing_metrics_render_as_dash(self):
+        text = format_comparison({"x": {}})
+        assert text.splitlines()[-1].split()[0] == "x"
+        assert "-" in text.splitlines()[-1]

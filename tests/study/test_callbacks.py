@@ -1,0 +1,109 @@
+"""Tests for the shipped callbacks (EarlyStopping, PeriodicCheckpoint, ...)."""
+
+import json
+
+import pytest
+
+from repro.api.session import Session
+from repro.exceptions import ConfigurationError
+from repro.study import EarlyStopping, JSONLLogger, PeriodicCheckpoint, Timing
+
+
+class TestEarlyStopping:
+    def test_requires_target_or_patience(self):
+        with pytest.raises(ConfigurationError, match="target and/or a patience"):
+            EarlyStopping()
+        with pytest.raises(ConfigurationError, match="mode"):
+            EarlyStopping(target=0.5, mode="up")
+        with pytest.raises(ConfigurationError, match="patience"):
+            EarlyStopping(patience=0)
+
+    def test_target_stops_run(self, fast_config):
+        session = Session.from_config(fast_config)
+        stopper = session.add_callback(EarlyStopping(target=0.0))
+        session.run()
+        # Accuracy is >= 0 from round one, so the run stops immediately.
+        assert session.rounds_completed == 1
+        assert stopper.stopped_round == 0
+
+    def test_patience_stops_a_stalled_metric(self, fast_config):
+        session = Session.from_config(fast_config.replace(num_rounds=6))
+        # merged_kl never improves above 0 in min mode with a huge
+        # min_delta, so every round after the first counts as stale.
+        session.add_callback(EarlyStopping(
+            metric="sim_time", mode="min", patience=2, min_delta=1e9,
+        ))
+        session.run()
+        assert session.rounds_completed == 3  # round 0 sets best, 2 stale rounds
+
+    def test_unknown_metric_fails_loudly(self, fast_config):
+        session = Session.from_config(fast_config)
+        session.add_callback(EarlyStopping(metric="f1", target=0.5))
+        with pytest.raises(Exception, match="f1"):
+            session.step()
+
+
+class TestPeriodicCheckpoint:
+    def test_every_validation(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="every"):
+            PeriodicCheckpoint(tmp_path / "ck.json", every=0)
+
+    def test_saves_on_schedule_and_resumes(self, fast_config, tmp_path):
+        path = tmp_path / "nested" / "ck.json"
+        session = Session.from_config(fast_config)
+        saver = session.add_callback(PeriodicCheckpoint(path, every=2))
+        session.run(2)
+        assert saver.saves == 1
+        assert path.exists()
+        resumed = Session.load_checkpoint(path)
+        assert resumed.rounds_completed == 2
+
+    def test_resumed_saves_counter_matches_uninterrupted(self, fast_config, tmp_path):
+        """The checkpointed counter includes the write in progress, so a
+        resumed run ends with exactly as many saves as an uninterrupted one."""
+        uninterrupted = Session.from_config(fast_config)
+        full = uninterrupted.add_callback(
+            PeriodicCheckpoint(tmp_path / "full.json", every=1))
+        uninterrupted.run()  # 3 rounds
+
+        path = tmp_path / "ck.json"
+        session = Session.from_config(fast_config)
+        session.add_callback(PeriodicCheckpoint(path, every=1))
+        session.run(2)  # "killed" here
+
+        from repro.api.checkpoint import load_checkpoint_payload
+        resumed = Session.from_config(fast_config)
+        saver = resumed.add_callback(PeriodicCheckpoint(path, every=1))
+        resumed.load_state_dict(load_checkpoint_payload(path))
+        assert saver.saves == 2
+        resumed.run()
+        assert saver.saves == full.saves == 3
+
+    def test_skips_off_schedule_rounds(self, fast_config, tmp_path):
+        path = tmp_path / "ck.json"
+        session = Session.from_config(fast_config)
+        saver = session.add_callback(PeriodicCheckpoint(path, every=2))
+        session.run(1)
+        assert saver.saves == 0
+        assert not path.exists()
+
+
+class TestJSONLLogger:
+    def test_appends_one_line_per_round(self, fast_config, tmp_path):
+        path = tmp_path / "log" / "records.jsonl"
+        session = Session.from_config(fast_config)
+        session.add_callback(JSONLLogger(path))
+        session.run(2)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["round_index"] for line in lines] == [0, 1]
+        assert lines[0]["test_accuracy"] == session.history[0].test_accuracy
+
+
+class TestTiming:
+    def test_measures_each_round(self, fast_config):
+        session = Session.from_config(fast_config)
+        timing = session.add_callback(Timing())
+        session.run(2)
+        assert len(timing.durations) == 2
+        assert all(duration >= 0 for duration in timing.durations)
+        assert timing.total == pytest.approx(sum(timing.durations))

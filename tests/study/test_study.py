@@ -1,0 +1,119 @@
+"""Tests for the declarative Study/Trial descriptions."""
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.study import Study, Trial
+
+
+class TestTrial:
+    def test_requires_config_instance(self, fast_config):
+        with pytest.raises(StudyError, match="ExperimentConfig"):
+            Trial("t", {"algorithm": "mergesfl"})
+
+    def test_rejects_path_separators(self, fast_config):
+        with pytest.raises(StudyError, match="path separator"):
+            Trial("a/b", fast_config)
+
+    def test_rejects_empty_name(self, fast_config):
+        with pytest.raises(StudyError, match="non-empty"):
+            Trial("", fast_config)
+
+    def test_rejects_dot_names(self, fast_config):
+        """'.' and '..' would resolve a store's study dir outside its root."""
+        for name in (".", ".."):
+            with pytest.raises(StudyError, match="escape"):
+                Trial(name, fast_config)
+            with pytest.raises(StudyError, match="escape"):
+                Study(name, [Trial("a", fast_config)])
+
+
+class TestStudy:
+    def test_explicit_trials_keep_order(self, fast_config):
+        study = Study("s", [Trial("b", fast_config), Trial("a", fast_config)])
+        assert study.names() == ["b", "a"]
+        assert len(study) == 2
+
+    def test_duplicate_trial_names_rejected(self, fast_config):
+        with pytest.raises(StudyError, match="twice"):
+            Study("s", [Trial("a", fast_config), Trial("a", fast_config)])
+
+    def test_empty_study_rejected(self, fast_config):
+        with pytest.raises(StudyError, match="no trials"):
+            Study("s", [])
+
+    def test_trial_lookup(self, fast_config):
+        study = Study("s", [Trial("a", fast_config)])
+        assert study.trial("a").config == fast_config
+        with pytest.raises(StudyError, match="no trial"):
+            study.trial("zzz")
+
+    def test_from_configs(self, fast_config):
+        study = Study.from_configs("s", {
+            "base": fast_config,
+            "long": fast_config.replace(num_rounds=5),
+        }, tags={"long": {"variant": "long"}})
+        assert study.names() == ["base", "long"]
+        assert study.trial("long").config.num_rounds == 5
+        assert study.trial("long").tags == {"variant": "long"}
+        assert study.trial("base").tags == {}
+
+
+class TestGrid:
+    def test_product_order_names_and_tags(self, fast_config):
+        study = Study.grid("g", fast_config, axes={
+            "algorithm": ("mergesfl", "fedavg"),
+            "non_iid_level": (0.0, 10.0),
+        })
+        assert study.names() == [
+            "algorithm=mergesfl,non_iid_level=0",
+            "algorithm=mergesfl,non_iid_level=10",
+            "algorithm=fedavg,non_iid_level=0",
+            "algorithm=fedavg,non_iid_level=10",
+        ]
+        trial = study.trial("algorithm=fedavg,non_iid_level=10")
+        assert trial.config.algorithm == "fedavg"
+        assert trial.config.non_iid_level == 10.0
+        assert trial.tags == {"algorithm": "fedavg", "non_iid_level": 10.0}
+
+    def test_grid_leaves_base_untouched(self, fast_config):
+        Study.grid("g", fast_config, axes={"num_rounds": (1, 2)})
+        assert fast_config.num_rounds == 3
+
+    def test_empty_axes_rejected(self, fast_config):
+        with pytest.raises(StudyError, match="at least one axis"):
+            Study.grid("g", fast_config, axes={})
+        with pytest.raises(StudyError, match="no values"):
+            Study.grid("g", fast_config, axes={"seed": ()})
+
+    def test_extras_axis_goes_through_replace(self, fast_config):
+        study = Study.grid("g", fast_config, axes={"mystery": (1, 2)})
+        assert study.trial("mystery=2").config.extras["mystery"] == 2
+
+
+class TestVariations:
+    def test_named_change_sets(self, fast_config):
+        study = Study.variations("v", fast_config, {
+            "base": {},
+            "slow": {"learning_rate": 0.01},
+        })
+        assert study.names() == ["base", "slow"]
+        assert study.trial("base").config == fast_config
+        assert study.trial("slow").config.learning_rate == 0.01
+        assert study.trial("slow").tags["variation"] == "slow"
+
+    def test_empty_variations_rejected(self, fast_config):
+        with pytest.raises(StudyError, match="no variations"):
+            Study.variations("v", fast_config, {})
+
+
+class TestWithSeeds:
+    def test_replicates_each_trial_per_seed(self, fast_config):
+        study = Study("s", [Trial("a", fast_config)]).with_seeds((1, 2))
+        assert study.names() == ["a,seed=1", "a,seed=2"]
+        assert study.trial("a,seed=2").config.seed == 2
+        assert study.trial("a,seed=2").tags["seed"] == 2
+
+    def test_no_seeds_rejected(self, fast_config):
+        with pytest.raises(StudyError, match="no seeds"):
+            Study("s", [Trial("a", fast_config)]).with_seeds(())
