@@ -6,21 +6,40 @@ data per round.
 
 The figure entry point is a :mod:`repro.study` grid over ``num_workers``
 underneath; set ``BENCH_N_JOBS`` to run the scales in parallel worker
-processes (bit-exact either way).
+processes (bit-exact either way).  Set ``BENCH_PRESET`` (e.g.
+``paper-scalability``) to sweep a :mod:`repro.study.presets` grid --
+the paper's actual 100/200/400-worker axis -- instead of the scaled-down
+default fleet.
 """
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_table
+from repro.study.presets import get_preset
 
-from benchmarks.common import bench_n_jobs, bench_overrides, run_once, smoke_mode
+from benchmarks.common import (
+    bench_n_jobs,
+    bench_overrides,
+    bench_preset,
+    run_once,
+    smoke_mode,
+)
 
 
 def test_fig12_scalability(benchmark):
     overrides = {k: v for k, v in bench_overrides().items() if k != "num_workers"}
-    result = run_once(
-        benchmark, figures.figure12_scalability,
-        dataset="cifar10", scales=(4, 8, 12), n_jobs=bench_n_jobs(), **overrides,
-    )
+    preset = bench_preset()
+    if preset:
+        # Overrides shape the preset's trials; figure12 then only reports.
+        result = run_once(
+            benchmark, figures.figure12_scalability,
+            study=get_preset(preset, **overrides), n_jobs=bench_n_jobs(),
+        )
+    else:
+        result = run_once(
+            benchmark, figures.figure12_scalability,
+            dataset="cifar10", scales=(4, 8, 12), n_jobs=bench_n_jobs(),
+            **overrides,
+        )
     rows = [
         [row["num_workers"], row["target_accuracy"], row["time_to_target_s"],
          row["final_accuracy"]]

@@ -23,11 +23,19 @@ each other through a shared dict):
 * ``BENCH_TRANSPORT=pipe|shm`` -- select the process executor's feature
   transport (see :mod:`repro.parallel.transport`); ignored by in-process
   executors.
-* ``BENCH_PIPELINE=sync|pipelined`` -- select the round scheduler (see
-  :mod:`repro.parallel.pipeline`).  Also bit-exact.
+* ``BENCH_PIPELINE=sync|pipelined|staleness`` -- select the round scheduler
+  (see :mod:`repro.parallel.pipeline`).  Also bit-exact (``staleness``
+  without a bound behaves as staleness 0).
+* ``BENCH_STALENESS=s`` -- run under the bounded-staleness scheduler with
+  bound ``s`` (implies ``BENCH_PIPELINE=staleness`` unless one is set
+  explicitly).  ``s >= 1`` is the one knob that is *not* bit-exact: it is
+  the measured relaxation, deterministic but a different trajectory.
 * ``BENCH_N_JOBS=k`` -- run the trials of study-backed benchmarks in ``k``
   parallel worker processes (see :mod:`repro.study`).  Bit-exact as well:
   trial-level parallelism only reorders wall-clock, never results.
+* ``BENCH_PRESET=name`` -- point the scalability benchmark at a
+  :mod:`repro.study.presets` study (e.g. ``paper-scalability`` for the
+  paper's 100/200/400-worker axis) instead of the scaled-down default.
 """
 
 from __future__ import annotations
@@ -76,6 +84,16 @@ def bench_n_jobs() -> int:
     return int(os.environ.get("BENCH_N_JOBS") or "1")
 
 
+def bench_staleness() -> int:
+    """Staleness bound requested through ``BENCH_STALENESS`` (0 = exact)."""
+    return int(os.environ.get("BENCH_STALENESS") or "0")
+
+
+def bench_preset() -> str | None:
+    """Preset study name requested through ``BENCH_PRESET`` (or ``None``)."""
+    return os.environ.get("BENCH_PRESET") or None
+
+
 def bench_overrides() -> dict:
     """The suite's config overrides, built fresh from the environment.
 
@@ -93,6 +111,12 @@ def bench_overrides() -> dict:
         value = os.environ.get(env)
         if value:
             overrides[key] = value
+    staleness = bench_staleness()
+    if staleness:
+        overrides["staleness"] = staleness
+        # An explicit BENCH_PIPELINE wins; otherwise a bound implies the
+        # staleness scheduler (a bound under sync/pipelined is inert).
+        overrides.setdefault("pipeline", "staleness")
     return overrides
 
 

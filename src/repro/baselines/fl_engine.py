@@ -164,6 +164,7 @@ class FLTrainingEngine(Algorithm):
         config = self.config
         selected, selected_workers = self._stage_plan(round_index)
         losses: list[float] = []
+        accounting: dict = {}
 
         def train() -> list[dict[str, np.ndarray]]:
             # LOCAL_STEP: full-model training on every selected worker.
@@ -184,17 +185,29 @@ class FLTrainingEngine(Algorithm):
                 losses.append(self._local_loss(state))
             self.model.load_state_dict(average_state_dicts(states, weights))
 
+        def account() -> None:
+            # ACCOUNT: simulated time and traffic; bound into the ops so
+            # the scheduler owns the whole stage order (idempotent -- the
+            # engine invokes it again defensively below).
+            if accounting:
+                return
+            duration, waiting = self._account_time_and_traffic(selected)
+            self._clock += duration
+            accounting["duration"] = duration
+            accounting["waiting"] = waiting
+
         self.pipeline.run_full_round(
             FullRoundOps(
                 executor=self.executor,
                 workers=selected_workers,
                 train=train,
                 aggregate=aggregate,
+                account=account,
             )
         )
+        account()
 
-        duration, waiting = self._account_time_and_traffic(selected)
-        self._clock += duration
+        duration, waiting = accounting["duration"], accounting["waiting"]
         accuracy, test_loss = self._evaluate()
         self.history.append(
             RoundRecord(

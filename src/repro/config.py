@@ -87,10 +87,20 @@ class ExperimentConfig:
     #: bit-exact with each other, so this is purely a speed knob.
     executor: str = "serial"
     #: How the stages of each round are scheduled: ``"sync"`` (strict stage
-    #: order) or ``"pipelined"`` (double-buffered cross-iteration overlap on
-    #: executors that support asynchronous dispatch); see
-    #: :mod:`repro.parallel.pipeline`.  Both schedulers are bit-exact.
+    #: order), ``"pipelined"`` (double-buffered cross-iteration overlap on
+    #: executors that support asynchronous dispatch) or ``"staleness"``
+    #: (dependency-tracked bounded-staleness scheduling); see
+    #: :mod:`repro.parallel.pipeline`.  ``sync`` and ``pipelined`` are
+    #: bit-exact with each other; ``staleness`` is bit-exact at
+    #: ``staleness=0`` and a measured relaxation otherwise.
     pipeline: str = "sync"
+    #: Staleness bound of the ``"staleness"`` scheduler: how many local
+    #: updates a bottom forward may lag behind the strict schedule.  ``0``
+    #: reproduces the pipelined schedule bit-exactly; ``>= 1`` relaxes the
+    #: forward/backward dependency and enables cross-round pipelining
+    #: (deterministic, executor-independent, but a different -- measured --
+    #: trajectory).  Ignored by the other schedulers.
+    staleness: int = 0
     #: How feature/gradient/mini-batch arrays cross the process executor's
     #: process boundary: ``"pipe"`` (pickle over a pipe) or ``"shm"``
     #: (shared-memory ring buffers, headers only over the pipe); see
@@ -159,6 +169,10 @@ class ExperimentConfig:
                 f"max_batch_size ({self.max_batch_size}) must be >= "
                 f"base_batch_size ({self.base_batch_size}): the regulated "
                 f"range [base, max] would be empty"
+            )
+        if self.staleness < 0 or self.staleness != int(self.staleness):
+            raise ConfigurationError(
+                f"staleness must be a non-negative integer, got {self.staleness}"
             )
         if self.momentum < 0:
             raise ConfigurationError(

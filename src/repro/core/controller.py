@@ -73,6 +73,37 @@ class RoundPlan:
         """Total merged batch size of the round."""
         return int(sum(self.batch_sizes.values()))
 
+    def to_dict(self) -> dict:
+        """JSON-safe representation (batch-size keys become strings).
+
+        Plans are normally transient, but a relaxed schedule may prefetch
+        the *next* round's plan during the current round's aggregate window
+        (cross-round pipelining); the engine then serialises it into the
+        checkpoint so resume stays exact.
+        """
+        return {
+            "selected": [int(w) for w in self.selected],
+            "batch_sizes": {
+                str(worker): int(batch)
+                for worker, batch in self.batch_sizes.items()
+            },
+            "merged_kl": float(self.merged_kl),
+            "info": dict(self.info),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RoundPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            selected=[int(w) for w in payload["selected"]],
+            batch_sizes={
+                int(worker): int(batch)
+                for worker, batch in payload["batch_sizes"].items()
+            },
+            merged_kl=float(payload.get("merged_kl", 0.0)),
+            info=dict(payload.get("info", {})),
+        )
+
 
 class ControlModule:
     """Implements Alg. 1: worker arrangement and configuration.

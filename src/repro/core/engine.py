@@ -19,8 +19,13 @@ A round is an explicit stage sequence (plan -> install -> bottom-forward ->
 merge -> top-update -> backward-dispatch -> local-step -> aggregate): the
 engine supplies the stage bodies as :class:`~repro.parallel.pipeline.SplitRoundOps`
 and a :class:`~repro.parallel.pipeline.PipelineScheduler` (picked by
-``config.pipeline``) decides the execution order -- strictly sequential, or
-double-buffered across iterations on executors with asynchronous dispatch.
+``config.pipeline``) decides the execution order -- strictly sequential,
+double-buffered across iterations, or relaxed under a bounded staleness.
+The stage bodies bind *artifact versions*, not an implicit order: the
+engine's parent-side accounting and even the next round's PLAN are handed
+to the scheduler as callables it may run inside the aggregate window
+(cross-round pipelining), and a plan prefetched that way is serialised
+into ``state_dict`` so checkpoint/resume stays exact at any staleness.
 """
 
 from __future__ import annotations
@@ -42,7 +47,12 @@ from repro.nn.module import Sequential
 from repro.nn.serialization import model_size_bytes
 from repro.nn.split import SplitModel
 from repro.parallel.base import Executor
-from repro.parallel.pipeline import PipelineScheduler, SplitRoundOps, build_pipeline
+from repro.parallel.pipeline import (
+    PipelineScheduler,
+    RoundReport,
+    SplitRoundOps,
+    build_pipeline,
+)
 from repro.parallel.serial import SerialExecutor
 from repro.simulation.cluster import Cluster
 from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
@@ -155,6 +165,11 @@ class SplitTrainingEngine(Algorithm):
         self._round_index = 0
         self._clock = 0.0
         self._current_lr = config.learning_rate
+        #: A plan prefetched by a relaxed scheduler during the previous
+        #: round's aggregate window: ``(round_index, plan)`` or ``None``.
+        #: Planning mutates the simulated cluster and the state estimator,
+        #: so the prefetched plan is part of the checkpointed state.
+        self._pending_plan: tuple[int, RoundPlan] | None = None
 
     # -- public API -----------------------------------------------------------
     def step_round(self) -> RoundRecord:
@@ -187,12 +202,24 @@ class SplitTrainingEngine(Algorithm):
 
     # -- checkpointing -----------------------------------------------------------
     def state_dict(self) -> dict:
-        """Every mutable piece of training state, for checkpoint/resume."""
+        """Every mutable piece of training state, for checkpoint/resume.
+
+        Drains the executor first, then serialises the one cross-round
+        in-flight artifact a relaxed schedule leaves behind -- the
+        prefetched next-round plan -- so resume is exact at any staleness.
+        """
         self.drain()
+        pending_plan = None
+        if self._pending_plan is not None:
+            pending_plan = {
+                "round_index": int(self._pending_plan[0]),
+                "plan": self._pending_plan[1].to_dict(),
+            }
         return {
             "round_index": self._round_index,
             "clock": self._clock,
             "current_lr": self._current_lr,
+            "pending_plan": pending_plan,
             "history": self.history.to_dict(),
             "server": self.server.state_dict(),
             "estimator": self.estimator.state_dict(),
@@ -213,6 +240,13 @@ class SplitTrainingEngine(Algorithm):
         self._round_index = int(state["round_index"])
         self._clock = float(state["clock"])
         self._current_lr = float(state["current_lr"])
+        pending_plan = state.get("pending_plan")
+        self._pending_plan = None
+        if pending_plan is not None:
+            self._pending_plan = (
+                int(pending_plan["round_index"]),
+                RoundPlan.from_dict(pending_plan["plan"]),
+            )
         self.history = History.from_dict(state["history"])
         self.server.load_state_dict(state["server"])
         self.estimator.load_state_dict(state["estimator"])
@@ -249,21 +283,38 @@ class SplitTrainingEngine(Algorithm):
     def _run_round(self, round_index: int) -> None:
         config = self.config
         plan, selected_workers = self._stage_plan(round_index)
+        accounting: dict = {}
+
+        def account() -> None:
+            # ACCOUNT: participation, simulated time/traffic and the
+            # bandwidth observation.  Reads the plan and the *round-r*
+            # cluster state only, so a relaxed scheduler may run it inside
+            # the aggregate window (before any next-round planning
+            # advances the cluster); idempotent because the engine invokes
+            # it unconditionally afterwards for the exact schedulers.
+            if accounting:
+                return
+            for worker in selected_workers:
+                worker.participation_count += 1
+            duration, waiting = self._account_time_and_traffic(plan)
+            self._clock += duration
+            self.bandwidth_estimator.observe(
+                self.cluster.current_budget_mbps * self._budget_scale
+            )
+            accounting["duration"] = duration
+            accounting["waiting"] = waiting
 
         # INSTALL .. AGGREGATE run under the configured scheduler; tau local
         # iterations of split training (end-of-round aggregation is Eq. 17).
         losses = self.pipeline.run_split_round(
-            self._round_ops(plan, selected_workers),
+            self._round_ops(plan, selected_workers, round_index, account),
             config.local_iterations,
             self.policy.aggregate_every_iteration,
         )
-
-        for worker in selected_workers:
-            worker.participation_count += 1
-
-        duration, waiting = self._account_time_and_traffic(plan)
-        self._clock += duration
-        self.bandwidth_estimator.observe(self.cluster.current_budget_mbps * self._budget_scale)
+        account()
+        # Third-party schedulers registered via register_pipeline may not
+        # subclass PipelineScheduler; treat the report as optional.
+        report = getattr(self.pipeline, "last_report", None) or RoundReport()
 
         accuracy, test_loss = self.server.evaluate(
             self.data.test.data, self.data.test.targets, config.eval_batch_size
@@ -272,8 +323,8 @@ class SplitTrainingEngine(Algorithm):
             RoundRecord(
                 round_index=round_index,
                 sim_time=self._clock,
-                duration=duration,
-                waiting_time=waiting,
+                duration=accounting["duration"],
+                waiting_time=accounting["waiting"],
                 traffic_mb=self.traffic.total_megabytes,
                 train_loss=float(np.mean(losses)) if losses else 0.0,
                 test_loss=test_loss,
@@ -281,6 +332,7 @@ class SplitTrainingEngine(Algorithm):
                 num_selected=len(plan.selected),
                 total_batch=plan.total_batch,
                 merged_kl=plan.merged_kl,
+                effective_staleness=report.effective_staleness,
             )
         )
         self._current_lr *= config.lr_decay
@@ -290,21 +342,46 @@ class SplitTrainingEngine(Algorithm):
             self._clock, self.traffic.total_megabytes,
         )
 
-    def _stage_plan(
-        self, round_index: int
-    ) -> tuple[RoundPlan, list[SplitWorker]]:
-        """PLAN: refresh estimates, run the control policy, set the top LR."""
+    def _compute_plan(self, round_index: int) -> RoundPlan:
+        """Refresh estimates and run the control policy for one round."""
         self.cluster.advance_round(round_index)
         self._observe_states()
         context = self._make_context(round_index)
-        plan = self.policy.plan_round(context)
+        return self.policy.plan_round(context)
+
+    def _prefetch_plan(self, round_index: int) -> None:
+        """Plan ``round_index`` early, inside the previous aggregate window.
+
+        Called by relaxed schedulers after the previous round's accounting;
+        the computed plan (and the cluster/estimator mutations planning
+        entails) is exactly what :meth:`_stage_plan` would have produced at
+        the start of the round, so trajectories are unchanged -- only the
+        round-end drain disappears.
+        """
+        if self._pending_plan is None:
+            self._pending_plan = (round_index, self._compute_plan(round_index))
+
+    def _stage_plan(
+        self, round_index: int
+    ) -> tuple[RoundPlan, list[SplitWorker]]:
+        """PLAN: take the prefetched plan or compute one, set the top LR."""
+        if self._pending_plan is not None and self._pending_plan[0] == round_index:
+            plan = self._pending_plan[1]
+            self._pending_plan = None
+        else:
+            self._pending_plan = None
+            plan = self._compute_plan(round_index)
         if not plan.selected:
             raise RuntimeError("control policy selected no workers")
         self.server.set_learning_rate(self._top_lr(plan))
         return plan, [self.workers[w] for w in plan.selected]
 
     def _round_ops(
-        self, plan: RoundPlan, selected_workers: list[SplitWorker]
+        self,
+        plan: RoundPlan,
+        selected_workers: list[SplitWorker],
+        round_index: int,
+        account,
     ) -> SplitRoundOps:
         """Bind this round's stage bodies for the pipeline scheduler."""
         worker_ids = [worker.worker_id for worker in selected_workers]
@@ -330,23 +407,43 @@ class SplitTrainingEngine(Algorithm):
             install=lambda: self._install_bottoms(plan, selected_workers),
             update_top=update_top,
             aggregate=lambda: self._aggregate(plan, selected_workers),
+            install_nowait=lambda: self._install_bottoms(
+                plan, selected_workers, nowait=True
+            ),
+            finish_aggregate=lambda states: self._aggregate_states(
+                plan, selected_workers, states
+            ),
+            account=account,
+            prefetch_plan=lambda: self._prefetch_plan(round_index + 1),
         )
 
     def _install_bottoms(
-        self, plan: RoundPlan, selected_workers: list[SplitWorker]
+        self,
+        plan: RoundPlan,
+        selected_workers: list[SplitWorker],
+        nowait: bool = False,
     ) -> None:
         """Distribute the global bottom model with batch-size-scaled rates."""
         learning_rates = [
             self._scaled_lr(plan.batch_sizes[worker.worker_id])
             for worker in selected_workers
         ]
-        self.executor.install(
-            selected_workers, self.server.global_bottom, learning_rates
-        )
+        install = self.executor.install_nowait if nowait else self.executor.install
+        install(selected_workers, self.server.global_bottom, learning_rates)
 
     def _aggregate(self, plan: RoundPlan, selected_workers: list[SplitWorker]) -> None:
         """Aggregate bottom models with batch-size-proportional weights (Eq. 17)."""
-        states = self.executor.bottom_states(selected_workers)
+        self._aggregate_states(
+            plan, selected_workers, self.executor.bottom_states(selected_workers)
+        )
+
+    def _aggregate_states(
+        self,
+        plan: RoundPlan,
+        selected_workers: list[SplitWorker],
+        states: list[dict[str, np.ndarray]],
+    ) -> None:
+        """The weight-averaging half of AGGREGATE, given collected states."""
         weights = [float(plan.batch_sizes[w.worker_id]) for w in selected_workers]
         self.server.aggregate_bottoms(states, weights)
 

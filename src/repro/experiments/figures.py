@@ -339,26 +339,47 @@ def figure11_ablation(dataset: str = "cifar10", n_jobs: int = 1, **overrides) ->
 # -- Section V-E scalability -----------------------------------------------------------
 
 def figure12_scalability(
-    dataset: str = "cifar10",
-    scales: tuple[int, ...] = (8, 16, 24),
+    dataset: str | None = None,
+    scales: tuple[int, ...] | None = None,
     target_fraction: float = 0.9,
     n_jobs: int = 1,
+    study: Study | None = None,
     **overrides,
 ) -> dict:
     """Fig. 12: completion time and training process at different system scales.
 
     The paper simulates 100/200/300/400 workers; the scaled-down default
-    sweeps smaller fleets but reports the same quantities (time to reach a
-    common target accuracy, plus each scale's accuracy trajectory).
+    (``cifar10``, scales ``(8, 16, 24)``) sweeps smaller fleets but reports
+    the same quantities (time to reach a common target accuracy, plus each
+    scale's accuracy trajectory).  Pass ``study`` (e.g. a
+    :mod:`repro.study.presets` grid such as ``paper-scalability``) to
+    report on a ready-made ``num_workers`` sweep instead of building one;
+    its trials must be tagged with ``num_workers``, and the sweep-shaping
+    arguments (``dataset``, ``scales``, ``overrides``) must then be left
+    unset -- they cannot be retrofitted onto a prebuilt study's trials.
     """
-    base_overrides = {key: value for key, value in overrides.items()
-                      if key != "num_workers"}
-    study = Study.grid(
-        f"{dataset}-fig12-scalability",
-        _config(dataset, "mergesfl", non_iid_level=0.0,
-                num_workers=scales[0], **base_overrides),
-        axes={"num_workers": scales},
-    )
+    if study is not None and (dataset is not None or scales is not None or overrides):
+        conflicting = [name for name, given in (
+            ("dataset", dataset is not None),
+            ("scales", scales is not None),
+            *((key, True) for key in sorted(overrides)),
+        ) if given]
+        raise ValueError(
+            "figure12_scalability received both a prebuilt study and the "
+            f"sweep-shaping arguments {conflicting}; apply them when "
+            "building the study instead (e.g. get_preset(name, **overrides))"
+        )
+    if study is None:
+        dataset = "cifar10" if dataset is None else dataset
+        scales = (8, 16, 24) if scales is None else scales
+        base_overrides = {key: value for key, value in overrides.items()
+                          if key != "num_workers"}
+        study = Study.grid(
+            f"{dataset}-fig12-scalability",
+            _config(dataset, "mergesfl", non_iid_level=0.0,
+                    num_workers=scales[0], **base_overrides),
+            axes={"num_workers": scales},
+        )
     results = StudyRunner(study, n_jobs=n_jobs).run()
     histories: dict[int, History] = {
         trial.tags["num_workers"]: results[trial.name].history for trial in study

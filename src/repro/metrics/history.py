@@ -21,6 +21,12 @@ class RoundRecord:
         num_selected: Number of workers in the round's worker set.
         total_batch: Total merged batch size.
         merged_kl: KL divergence of the merged label distribution.
+        effective_staleness: Mean realized staleness of the round's bottom
+            forwards -- how many local updates behind the strict schedule
+            they ran.  ``0.0`` under any exact schedule (sync, pipelined,
+            staleness bound 0, or a relaxation that fell back); positive
+            only when a bounded-staleness schedule actually relaxed the
+            round, which makes the relaxation measurable per round.
     """
 
     round_index: int
@@ -34,6 +40,7 @@ class RoundRecord:
     num_selected: int
     total_batch: int
     merged_kl: float = 0.0
+    effective_staleness: float = 0.0
 
 
 @dataclass

@@ -59,6 +59,39 @@ def speedup(baseline: History, candidate: History, target: float) -> float | Non
     return baseline_time / candidate_time
 
 
+def mean_effective_staleness(history: History) -> float:
+    """Average realized staleness across the run's rounds (0.0 when exact)."""
+    if not history.records:
+        return 0.0
+    return float(np.mean([r.effective_staleness for r in history.records]))
+
+
+def schedule_divergence(relaxed: History, exact: History) -> dict:
+    """Convergence delta of a relaxed schedule against its exact reference.
+
+    Compares per-round test accuracy of a bounded-staleness run against the
+    exact (sync/pipelined/staleness-0) run of the same configuration, so
+    the relaxation's cost is a measured number rather than a hope.
+
+    Returns:
+        ``per_round`` (absolute accuracy deltas over the common prefix),
+        ``max`` (worst per-round delta), ``final`` (absolute delta of the
+        final accuracies) and ``mean_staleness`` (the relaxed run's average
+        realized staleness).
+    """
+    rounds = min(len(relaxed.records), len(exact.records))
+    per_round = [
+        abs(relaxed.records[i].test_accuracy - exact.records[i].test_accuracy)
+        for i in range(rounds)
+    ]
+    return {
+        "per_round": per_round,
+        "max": max(per_round) if per_round else 0.0,
+        "final": abs(final_accuracy(relaxed) - final_accuracy(exact)),
+        "mean_staleness": mean_effective_staleness(relaxed),
+    }
+
+
 def compare_histories(
     histories: dict[str, History], target: float | None = None
 ) -> dict[str, dict[str, float | None]]:

@@ -19,7 +19,10 @@ Two further axes compose with the executor choice:
 * the **round pipeline** (``config.pipeline``, :mod:`repro.parallel.pipeline`)
   schedules the stages of each round -- ``sync`` runs them strictly in
   order, ``pipelined`` double-buffers iteration ``k+1``'s bottom-forward
-  work against iteration ``k``'s top update on capable executors;
+  work against iteration ``k``'s top update on capable executors, and
+  ``staleness`` schedules by declared artifact dependencies with a bounded
+  staleness (``config.staleness``; 0 is bit-exact, ``>= 1`` is a
+  deterministic measured relaxation with cross-round pipelining);
 * the **feature transport** (``config.transport``,
   :mod:`repro.parallel.transport`) moves tensors across the process
   executor's process boundary -- ``pipe`` pickles them, ``shm`` ships them
@@ -34,15 +37,23 @@ from repro.api.registry import register_executor, register_pipeline, register_tr
 from repro.parallel.base import Executor
 from repro.parallel.batched import BatchedExecutor
 from repro.parallel.pipeline import (
+    ArtifactKind,
+    ArtifactRef,
+    BoundedStalenessScheduler,
     FullRoundOps,
     PipelinedScheduler,
     PipelineScheduler,
+    RoundReport,
     RoundStage,
     SplitRoundOps,
+    StageSpec,
     build_pipeline,
+    relaxed_dispatch_order,
+    round_stage_specs,
 )
 from repro.parallel.process import ProcessExecutor
 from repro.parallel.serial import SerialExecutor
+from repro.parallel.staleness import InflightQueue
 from repro.parallel.transport import (
     DEFAULT_RING_CAPACITY,
     PipeTransport,
@@ -51,21 +62,29 @@ from repro.parallel.transport import (
 )
 
 __all__ = [
+    "ArtifactKind",
+    "ArtifactRef",
     "BatchedExecutor",
+    "BoundedStalenessScheduler",
     "Executor",
     "FullRoundOps",
+    "InflightQueue",
     "PipeTransport",
     "PipelineScheduler",
     "PipelinedScheduler",
     "ProcessExecutor",
+    "RoundReport",
     "RoundStage",
     "SerialExecutor",
     "SharedMemoryTransport",
     "SplitRoundOps",
+    "StageSpec",
     "Transport",
     "build_executor",
     "build_pipeline",
     "build_transport",
+    "relaxed_dispatch_order",
+    "round_stage_specs",
 ]
 
 
@@ -110,6 +129,15 @@ def _build_sync_pipeline(config) -> PipelineScheduler:
 @register_pipeline("pipelined", description="double-buffered cross-iteration overlap")
 def _build_pipelined_pipeline(config) -> PipelinedScheduler:
     return PipelinedScheduler()
+
+
+@register_pipeline(
+    "staleness",
+    description="dependency-tracked bounded-staleness scheduling "
+                "(config.staleness; 0 = exact)",
+)
+def _build_staleness_pipeline(config) -> BoundedStalenessScheduler:
+    return BoundedStalenessScheduler(staleness=int(getattr(config, "staleness", 0)))
 
 
 def build_executor(config) -> Executor:

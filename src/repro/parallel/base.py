@@ -57,6 +57,20 @@ class Executor(abc.ABC):
     #: scheduler then falls back to the synchronous stage order.
     supports_pipelining: bool = False
 
+    #: Whether the backend implements the *relaxed dispatch* protocol the
+    #: bounded-staleness scheduler drives (``install_nowait`` /
+    #: ``dispatch_forward`` / ``collect_forward`` / ``dispatch_backward`` /
+    #: ``request_states`` / ``collect_states``).  The contract is ordering,
+    #: not timing: commands execute per-worker in dispatch order, so a
+    #: forward dispatched before a pending backward runs on weights that
+    #: miss that update -- the backend keeps delayed backwards well-defined
+    #: with in-flight snapshots (:mod:`repro.parallel.staleness`) and the
+    #: relaxed trajectory stays deterministic and backend-independent.
+    #: Backends without the capability leave this ``False``; the staleness
+    #: scheduler then falls back to the *exact* schedule (a semantic
+    #: fallback, logged loudly).
+    supports_staleness: bool = False
+
     # -- split training -------------------------------------------------------
     @abc.abstractmethod
     def install(

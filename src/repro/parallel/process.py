@@ -43,9 +43,27 @@ capability (``supports_pipelining``; see :mod:`repro.parallel.pipeline`):
         iteration and letting data transfer overlap child compute
     backward_step_nowait -> dispatch gradients without waiting for the ack
 
-Every no-reply command leaves the channel "dirty" until the next reply from
-that child; :meth:`ProcessExecutor.drain` pings dirty children so
-checkpointing never races in-flight work.
+and the relaxed-dispatch capability the bounded-staleness scheduler
+drives (``supports_staleness``; same transport requirement):
+
+    install_nowait   -> install without waiting for the acknowledgement
+    dispatch_forward -> stage + launch the next iteration's forward; it may
+        be dispatched *before* a pending backward, in which case the child
+        runs it on an in-flight snapshot (:mod:`repro.parallel.staleness`)
+        so the delayed backward keeps its own weights and activations
+    dispatch_backward -> ``backward_step_nowait`` under its protocol name
+    request_states / collect_states -> split the aggregation's state
+        collection so parent-side work (round accounting, the next round's
+        PLAN) overlaps the children's tail compute
+
+Reply-bearing asynchronous requests (launched forwards, state
+collections) are tracked in a FIFO *completion queue*: per-child channels
+are ordered, so popping the oldest entry and receiving one reply per
+involved child always pairs replies with the right request, no matter how
+many are in flight.  Every no-reply command additionally leaves the
+channel "dirty" until the next reply from that child;
+:meth:`ProcessExecutor.drain` consumes the completion queue and pings
+dirty children so checkpointing never races in-flight work.
 """
 
 from __future__ import annotations
@@ -72,12 +90,13 @@ DEFAULT_MAX_PROCESSES = 8
 #: Fire-and-forget commands: the child sends no reply, and any error they
 #: raise is *deferred* to the next replying command's reply slot so the
 #: one-reply-per-request pairing the parent relies on is never broken.
-_NO_REPLY_COMMANDS = frozenset({"stage", "backward_nowait"})
+_NO_REPLY_COMMANDS = frozenset({"stage", "backward_nowait", "install_nowait"})
 
 
 def _child_main(connector: ChildConnector) -> None:
     """Child process loop: host bottom models / run local training on demand."""
     from repro.nn.optim import SGD
+    from repro.parallel.staleness import InflightQueue
 
     endpoint = connector.connect()
     bottoms: dict[int, dict] = {}
@@ -90,19 +109,36 @@ def _child_main(connector: ChildConnector) -> None:
         held = bottoms[worker_id]
         indices = staged.pop(worker_id)
         data = shards[worker_id][0][indices]
-        held["pending"] = data.shape[0]
-        return held["model"].forward(data)
+        # All forwards route through the in-flight queue: with no pending
+        # backward this is a plain forward on the hosted model (bit-exact
+        # with the historical path); under relaxed dispatch a forward that
+        # overtakes a backward runs on a snapshot so the delayed gradient
+        # stays well-defined.
+        return held["inflight"].forward(held["model"], data)
 
     def run_backward(worker_id: int, gradient: np.ndarray) -> None:
         held = bottoms[worker_id]
-        if gradient.shape[0] != held["pending"]:
-            raise ValueError(
-                f"gradient batch {gradient.shape[0]} does not "
-                f"match the pending forward batch {held['pending']}"
-            )
-        held["optimizer"].zero_grad()
-        held["model"].backward(gradient)
-        held["optimizer"].step()
+        held["inflight"].backward(held["model"], held["optimizer"], gradient)
+
+    def run_install(payload) -> None:
+        nonlocal bottoms
+        bottom, specs = payload
+        bottoms = {}
+        staged.clear()
+        for worker_id, (lr, momentum, weight_decay, max_grad_norm) in specs.items():
+            model = bottom.clone()
+            model.train()
+            bottoms[worker_id] = {
+                "model": model,
+                "optimizer": SGD(
+                    model.parameters(),
+                    lr=lr,
+                    momentum=momentum,
+                    weight_decay=weight_decay,
+                    max_grad_norm=max_grad_norm,
+                ),
+                "inflight": InflightQueue(),
+            }
 
     #: Traceback of a failed no-reply command, delivered with the next
     #: replying command so reply pairing stays one-to-one.
@@ -129,24 +165,13 @@ def _child_main(connector: ChildConnector) -> None:
                     shards.update(payload)
                     endpoint.send(("ok", None))
                 elif command == "install":
-                    bottom, specs = payload
-                    bottoms = {}
-                    staged.clear()
-                    for worker_id, (lr, momentum, weight_decay, max_grad_norm) in specs.items():
-                        model = bottom.clone()
-                        model.train()
-                        bottoms[worker_id] = {
-                            "model": model,
-                            "optimizer": SGD(
-                                model.parameters(),
-                                lr=lr,
-                                momentum=momentum,
-                                weight_decay=weight_decay,
-                                max_grad_norm=max_grad_norm,
-                            ),
-                            "pending": 0,
-                        }
+                    run_install(payload)
                     endpoint.send(("ok", None))
+                elif command == "install_nowait":
+                    # Relaxed-dispatch install: no acknowledgement; errors
+                    # defer to the next replying command like every other
+                    # fire-and-forget command.
+                    run_install(payload)
                 elif command == "forward":
                     staged.update(payload)
                     endpoint.send(
@@ -280,8 +305,13 @@ class ProcessExecutor(Executor):
         self._home: dict[int, int] = {}
         #: Workers whose shard the hosting child already holds.
         self._shard_shipped: set[int] = set()
-        #: Children with an outstanding features reply (split-phase forward).
-        self._forward_pending: set[int] = set()
+        #: Completion queue: reply-bearing asynchronous requests in dispatch
+        #: order, each a ``(kind, child indices)`` pair.  Channels are FIFO
+        #: per child, so receiving one reply per involved child of the
+        #: oldest entry always pairs replies with the right request --
+        #: which is what lets several forwards (and a state collection) be
+        #: in flight at once under relaxed dispatch.
+        self._completions: deque[tuple[str, tuple[int, ...]]] = deque()
         #: Labels of staged mini-batches, one entry per stage_forward call.
         self._staged_labels: deque[dict[int, np.ndarray]] = deque()
 
@@ -295,6 +325,18 @@ class ProcessExecutor(Executor):
         memory transport moves bulk through its rings, so only it can back
         the double-buffered schedule.  With other transports the pipelined
         scheduler transparently falls back to the synchronous order.
+        """
+        return self._transport.supports_async_bulk
+
+    @property
+    def supports_staleness(self) -> bool:
+        """Relaxed dispatch shares pipelining's transport requirement.
+
+        Its schedule keeps a features reply outstanding while gradients
+        travel the other way; only a transport with out-of-band bulk (the
+        shared-memory rings) can carry that without the mutual write-block
+        a plain pipe risks.  The staleness scheduler falls back to the
+        exact schedule on other transports.
         """
         return self._transport.supports_async_bulk
 
@@ -350,7 +392,7 @@ class ProcessExecutor(Executor):
         self._children = None
         self._home.clear()
         self._shard_shipped.clear()
-        self._forward_pending.clear()
+        self._completions.clear()
         self._staged_labels.clear()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown order
@@ -451,21 +493,22 @@ class ProcessExecutor(Executor):
         return shards
 
     # -- split training -------------------------------------------------------
-    def _consume_abandoned_forwards(self) -> None:
-        """Discard forwards a failed round left between launch and collect.
+    def _consume_abandoned_replies(self) -> None:
+        """Discard replies a failed round left between dispatch and collect.
 
-        Their queued features replies must be consumed before any new
+        The completion queue's replies must be consumed before any new
         request, or every later reply would pair with the wrong command.
-        As in collect_forward, each index is un-registered before
-        receiving: the reply slot is spent even when _recv raises.
+        As in collect_forward, each entry is popped before receiving: the
+        reply slots are spent even when _recv raises.
         """
         self._staged_labels.clear()
-        for index in sorted(self._forward_pending):
-            self._forward_pending.discard(index)
-            self._recv(index)
+        while self._completions:
+            __, indices = self._completions.popleft()
+            for index in indices:
+                self._recv(index)
 
-    def install(self, workers, bottom, learning_rates) -> None:
-        self._consume_abandoned_forwards()
+    def _install_messages(self, workers, learning_rates, bottom, command: str):
+        """Assign workers, ship fresh shards, build per-child install messages."""
         shards = self._assign(workers)
         self._ship_shards(shards)
         lr_of = {
@@ -484,8 +527,14 @@ class ProcessExecutor(Executor):
                 )
                 for worker_id, worker in shard.items()
             }
-            messages[index] = ("install", (bottom, specs))
-        self._broadcast(messages)
+            messages[index] = (command, (bottom, specs))
+        return messages
+
+    def install(self, workers, bottom, learning_rates) -> None:
+        self._consume_abandoned_replies()
+        self._broadcast(
+            self._install_messages(workers, learning_rates, bottom, "install")
+        )
 
     def forward(self, workers, batch_sizes):
         drawn = {
@@ -545,21 +594,27 @@ class ProcessExecutor(Executor):
     def launch_forward(self, workers) -> None:
         """Start the bottom forward on staged data; reply collected later."""
         by_child = self._by_child(workers, [w.worker_id for w in workers])
-        for index, ids in by_child.items():
-            self._send(index, ("forward_staged", list(ids)), expects_reply=True)
-            self._forward_pending.add(index)
+        indices = tuple(sorted(by_child))
+        for index in indices:
+            self._send(
+                index, ("forward_staged", list(by_child[index])), expects_reply=True
+            )
+        self._completions.append(("forward", indices))
 
     def collect_forward(self, workers):
-        """Block for the in-flight forward's features (and staged labels)."""
-        if not self._forward_pending:
+        """Block for the oldest in-flight forward's features (and labels)."""
+        if not any(kind == "forward" for kind, __ in self._completions):
             raise RuntimeError("collect_forward called with no forward in flight")
+        kind, indices = self._completions[0]
+        if kind != "forward":  # pragma: no cover - scheduler orders collects
+            raise RuntimeError(f"oldest in-flight request is {kind!r}, not a forward")
+        # Pop before receiving: whether the reply is features, an error, or
+        # the child died, these reply slots are spent -- leaving the entry
+        # queued would make install()'s recovery drain block on replies
+        # that will never come.
+        self._completions.popleft()
         features_of: dict[int, np.ndarray] = {}
-        for index in sorted(self._forward_pending):
-            # Un-register before receiving: whether the reply is features,
-            # an error, or the child died, this child's reply slot is spent
-            # -- leaving the index pending would make install()'s recovery
-            # drain block on a reply that will never come.
-            self._forward_pending.discard(index)
+        for index in indices:
             features_of.update(self._recv(index))
         labels_of = self._staged_labels.popleft()
         features = [features_of[worker.worker_id] for worker in workers]
@@ -568,9 +623,11 @@ class ProcessExecutor(Executor):
 
     def fused_backward_forward(self, workers, gradients) -> None:
         """One message per child: backward + step, then forward staged data."""
-        for index, shard in self._by_child(workers, gradients).items():
-            self._send(index, ("fused_step", shard), expects_reply=True)
-            self._forward_pending.add(index)
+        by_child = self._by_child(workers, gradients)
+        indices = tuple(sorted(by_child))
+        for index in indices:
+            self._send(index, ("fused_step", by_child[index]), expects_reply=True)
+        self._completions.append(("forward", indices))
 
     def backward_step_nowait(self, workers, gradients) -> None:
         """Dispatch gradients without waiting for the acknowledgement."""
@@ -580,18 +637,69 @@ class ProcessExecutor(Executor):
     def drain(self) -> None:
         """Wait until every child has processed all in-flight commands.
 
-        A forward abandoned by a failed round (the scheduler always
-        collects within a healthy one) is consumed and discarded, so
-        checkpointing right after a round error still works -- all
-        checkpointable state lives in the parent.
+        Replies abandoned by a failed round (the scheduler always collects
+        within a healthy one) are consumed and discarded, so checkpointing
+        right after a round error still works -- all checkpointable state
+        lives in the parent.
         """
         if self._children is None:
             return
-        self._consume_abandoned_forwards()
+        self._consume_abandoned_replies()
         for index, child in enumerate(self._children):
             if child.dirty:
                 self._send(index, ("ping", None), expects_reply=True)
                 self._recv(index)
+
+    # -- relaxed dispatch (see repro.parallel.pipeline) -----------------------
+    def install_nowait(self, workers, bottom, learning_rates) -> None:
+        """Install without waiting for acknowledgements (relaxed schedules).
+
+        Shard shipping (first selection of a worker) still synchronises --
+        it happens once per pool lifetime -- but the per-round install
+        itself is fire-and-forget; errors defer to the next reply.
+        """
+        self._consume_abandoned_replies()
+        messages = self._install_messages(
+            workers, learning_rates, bottom, "install_nowait"
+        )
+        for index, message in messages.items():
+            self._send(index, message, expects_reply=False)
+
+    def dispatch_forward(self, workers, batch_sizes) -> None:
+        """Stage and launch the next forward; may overtake pending backwards."""
+        self.stage_forward(workers, batch_sizes)
+        self.launch_forward(workers)
+
+    def dispatch_backward(self, workers, gradients) -> None:
+        """Gradient dispatch under the relaxed protocol (fire-and-forget)."""
+        self.backward_step_nowait(workers, gradients)
+
+    def request_states(self, workers) -> None:
+        """Ask for the bottom states; the reply is collected later.
+
+        Dispatched after the round's final backwards: per-child FIFO means
+        the states the children capture include every local update, while
+        the parent is free to run accounting and next-round planning before
+        blocking in :meth:`collect_states`.
+        """
+        by_child = self._by_child(workers, [w.worker_id for w in workers])
+        indices = tuple(sorted(by_child))
+        for index in indices:
+            self._send(index, ("states", list(by_child[index])), expects_reply=True)
+        self._completions.append(("states", indices))
+
+    def collect_states(self, workers):
+        """Block for the oldest in-flight state collection."""
+        if not self._completions:
+            raise RuntimeError("collect_states called with no request in flight")
+        kind, indices = self._completions[0]
+        if kind != "states":  # pragma: no cover - scheduler orders collects
+            raise RuntimeError(f"oldest in-flight request is {kind!r}, not states")
+        self._completions.popleft()
+        states_of: dict[int, dict] = {}
+        for index in indices:
+            states_of.update(self._recv(index))
+        return [states_of[worker.worker_id] for worker in workers]
 
     # -- full-model (FL) training ---------------------------------------------
     def train_full(self, workers, model, loss_fn, iterations, batch_size, learning_rate):

@@ -3,23 +3,50 @@
 This is the reference backend.  It delegates straight to the
 :class:`~repro.core.worker.SplitWorker` methods, so its behaviour *defines*
 what the other executors must reproduce bit-exactly.
+
+The backend also implements the relaxed-dispatch protocol of the
+bounded-staleness scheduler (``supports_staleness``): dispatches execute
+immediately in call order, which is exactly the per-worker ordering the
+protocol promises, and forwards that overtake pending backwards go through
+the shared in-flight snapshot mechanics
+(:mod:`repro.parallel.staleness`).  A relaxed serial run is therefore the
+*reference semantics* for relaxed process runs, just as the plain serial
+run is for exact ones.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.parallel.base import Executor
+from repro.parallel.staleness import InflightQueue
 
 
 class SerialExecutor(Executor):
     """Run every worker's computation sequentially (the historical semantics)."""
 
     name = "serial"
+    supports_staleness = True
+
+    def __init__(self) -> None:
+        #: Per-worker in-flight forwards of the relaxed protocol.
+        self._inflight: dict[int, InflightQueue] = {}
+        #: Completed-but-uncollected forward results, oldest first.
+        self._features: deque[tuple[list, list]] = deque()
+        #: Completed-but-uncollected state collections, oldest first.
+        self._states: deque[list] = deque()
 
     def install(self, workers, bottom, learning_rates) -> None:
+        # A failed relaxed round may leave uncollected results behind;
+        # installing starts the round from a clean slate, mirroring the
+        # process executor's recovery drain.
+        self._features.clear()
+        self._states.clear()
         for worker, lr in zip(workers, learning_rates):
             worker.receive_bottom_model(bottom, lr)
+            self._inflight[worker.worker_id] = InflightQueue()
 
     def forward(self, workers, batch_sizes):
         features: list[np.ndarray] = []
@@ -44,3 +71,41 @@ class SerialExecutor(Executor):
             )
             for worker in workers
         ]
+
+    # -- relaxed dispatch (see repro.parallel.pipeline) -----------------------
+    def install_nowait(self, workers, bottom, learning_rates) -> None:
+        """Install immediately; in-process there is no ack to skip."""
+        self.install(workers, bottom, learning_rates)
+
+    def dispatch_forward(self, workers, batch_sizes) -> None:
+        """Run the next forward now; it may overtake pending backwards."""
+        features: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        for worker, batch_size in zip(workers, batch_sizes):
+            data, labs = worker.draw_batch(batch_size)
+            queue = self._inflight[worker.worker_id]
+            features.append(queue.forward(worker.bottom, data))
+            labels.append(labs)
+        self._features.append((features, labels))
+
+    def collect_forward(self, workers):
+        """Oldest dispatched-but-uncollected forward's results."""
+        if not self._features:
+            raise RuntimeError("collect_forward called with no forward in flight")
+        return self._features.popleft()
+
+    def dispatch_backward(self, workers, gradients) -> None:
+        """Apply the oldest pending forward's (possibly delayed) backward."""
+        for worker, gradient in zip(workers, gradients):
+            self._inflight[worker.worker_id].backward(
+                worker.bottom, worker.optimizer, gradient
+            )
+
+    def request_states(self, workers) -> None:
+        """Capture the bottom states now; collected by ``collect_states``."""
+        self._states.append(self.bottom_states(workers))
+
+    def collect_states(self, workers):
+        if not self._states:
+            raise RuntimeError("collect_states called with no request in flight")
+        return self._states.popleft()

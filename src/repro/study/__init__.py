@@ -26,10 +26,17 @@ objects::
   checkpoints.
 * :mod:`repro.study.callbacks` -- shipped callbacks (:class:`EarlyStopping`,
   :class:`PeriodicCheckpoint`, :class:`JSONLLogger`, :class:`Timing`).
+* :mod:`repro.study.presets` -- ready-made paper-scale sweeps (the
+  100/200/400-worker scalability grids of Fig. 12).
+
+``StudyRunner(max_processes=...)`` caps the *product* of trial-level
+parallelism and each trial's intra-round executor pool, so nested pools
+never oversubscribe the host.
 """
 
 from repro.study.callbacks import EarlyStopping, JSONLLogger, PeriodicCheckpoint, Timing
-from repro.study.runner import StudyRunner
+from repro.study.presets import PRESETS, get_preset, preset_scales, scalability_study
+from repro.study.runner import StudyRunner, trial_process_footprint
 from repro.study.store import StudyStore, TrialResult
 from repro.study.study import Study, Trial
 
@@ -43,6 +50,11 @@ __all__ = [
     "PeriodicCheckpoint",
     "JSONLLogger",
     "Timing",
+    "PRESETS",
+    "get_preset",
+    "preset_scales",
+    "scalability_study",
+    "trial_process_footprint",
     "run_study",
 ]
 

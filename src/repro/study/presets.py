@@ -1,0 +1,101 @@
+"""Paper-scale sweep presets.
+
+The paper's scalability evaluation (Fig. 12, Section V-E) simulates fleets
+of 100/200/400 workers.  The figure entry points default to scaled-down
+fleets so the benchmark suite stays CPU-friendly; the presets here describe
+the *paper-scale* sweeps as ready-made :class:`~repro.study.study.Study`
+grids so a multi-core host (or an overnight run) can reproduce the actual
+axis of the paper:
+
+    from repro.study import StudyRunner, StudyStore
+    from repro.study.presets import get_preset
+
+    study = get_preset("paper-scalability")
+    runner = StudyRunner(study, store=StudyStore("results"),
+                         n_jobs=3, max_processes=8)
+    histories = runner.histories()
+
+``benchmarks/bench_fig12_scalability.py`` consumes the same presets through
+the ``BENCH_PRESET`` environment variable, so the benchmark harness can be
+pointed at the paper axis without editing code.  Presets are grid studies,
+hence resumable through a :class:`~repro.study.store.StudyStore` and
+clampable through ``StudyRunner(max_processes=...)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.config import ExperimentConfig
+from repro.exceptions import StudyError
+from repro.study.study import Study
+
+#: The worker counts of the paper's scalability axis (Fig. 12).
+PAPER_WORKER_SCALES = (100, 200, 400)
+
+#: A smaller axis with the same shape, for dry-running the preset plumbing.
+SMOKE_WORKER_SCALES = (8, 16, 24)
+
+
+def scalability_study(
+    dataset: str = "cifar10",
+    scales: tuple[int, ...] = PAPER_WORKER_SCALES,
+    algorithm: str = "mergesfl",
+    non_iid_level: float = 0.0,
+    name: str | None = None,
+    **overrides,
+) -> Study:
+    """A ``num_workers`` grid matching the paper's scalability axis.
+
+    ``overrides`` apply to every trial's config (``num_workers`` itself is
+    the swept axis and is stripped from them).
+    """
+    from repro.experiments.figures import figure_config
+
+    overrides = {k: v for k, v in overrides.items() if k != "num_workers"}
+    base = figure_config(
+        dataset, algorithm, non_iid_level, num_workers=scales[0], **overrides
+    )
+    if name is None:
+        name = f"{dataset}-scalability-{'-'.join(str(s) for s in scales)}"
+    return Study.grid(name, base, axes={"num_workers": scales})
+
+
+def _paper_scalability(**overrides) -> Study:
+    return scalability_study(scales=PAPER_WORKER_SCALES,
+                             name="paper-scalability", **overrides)
+
+
+def _paper_scalability_noniid(**overrides) -> Study:
+    return scalability_study(scales=PAPER_WORKER_SCALES, non_iid_level=10.0,
+                             name="paper-scalability-noniid", **overrides)
+
+
+def _smoke_scalability(**overrides) -> Study:
+    return scalability_study(scales=SMOKE_WORKER_SCALES,
+                             name="smoke-scalability", **overrides)
+
+
+#: Name -> study builder; builders accept config overrides.
+PRESETS: dict[str, Callable[..., Study]] = {
+    "paper-scalability": _paper_scalability,
+    "paper-scalability-noniid": _paper_scalability_noniid,
+    "smoke-scalability": _smoke_scalability,
+}
+
+
+def get_preset(name: str, **overrides) -> Study:
+    """Build a preset study by name, applying config ``overrides``."""
+    try:
+        builder = PRESETS[name]
+    except KeyError:
+        raise StudyError(
+            f"unknown study preset {name!r} "
+            f"(available: {', '.join(sorted(PRESETS))})"
+        ) from None
+    return builder(**overrides)
+
+
+def preset_scales(name: str) -> tuple[int, ...]:
+    """The ``num_workers`` axis a preset sweeps, in definition order."""
+    return tuple(trial.tags["num_workers"] for trial in get_preset(name))

@@ -41,6 +41,7 @@ from repro.api.session import Session
 from repro.config import ExperimentConfig
 from repro.exceptions import StudyError
 from repro.metrics.history import History
+from repro.parallel.process import DEFAULT_MAX_PROCESSES
 from repro.study.callbacks import PeriodicCheckpoint
 from repro.study.store import StudyStore, TrialResult
 from repro.study.study import Study, Trial
@@ -48,6 +49,22 @@ from repro.utils.logging import get_logger
 from repro.utils.mp import get_mp_context
 
 logger = get_logger("study.runner")
+
+
+def trial_process_footprint(config: ExperimentConfig) -> int:
+    """Worker processes one trial of ``config`` occupies.
+
+    Trials on in-process executors cost one process (the trial worker
+    itself); trials on the ``process`` executor additionally fan out to the
+    executor's pool, sized by ``extras["executor_processes"]`` or its
+    host-dependent default -- so their footprint is ``1 + pool size``.
+    """
+    if config.executor != "process":
+        return 1
+    requested = config.extras.get("executor_processes")
+    if requested is not None:
+        return 1 + max(1, int(requested))
+    return 1 + max(1, min(os.cpu_count() or 1, DEFAULT_MAX_PROCESSES))
 
 #: Either a list of callbacks cloned into every trial, or a factory
 #: ``(trial) -> sequence of callbacks`` for per-trial wiring (e.g. per-trial
@@ -106,6 +123,14 @@ class StudyRunner:
         start_method: Multiprocessing start method for ``n_jobs > 1``;
             defaults to ``fork`` where available (cheap on Linux), matching
             :class:`repro.parallel.process.ProcessExecutor`.
+        max_processes: Study-level worker budget.  Trial-level parallelism
+            multiplies with each trial's intra-round executor pool: a
+            process-executor trial occupies its trial worker *plus* its
+            executor children (``1 + executor_processes``).  When
+            ``n_jobs`` times that footprint would exceed this budget the
+            runner clamps ``n_jobs`` (with a warning) so the two pool
+            layers never oversubscribe the host.  ``None`` leaves
+            ``n_jobs`` untouched.
     """
 
     def __init__(
@@ -116,9 +141,12 @@ class StudyRunner:
         callbacks: TrialCallbacks = (),
         checkpoint_every: int | None = None,
         start_method: str | None = None,
+        max_processes: int | None = None,
     ) -> None:
         if n_jobs < 1:
             raise StudyError(f"n_jobs must be >= 1, got {n_jobs}")
+        if max_processes is not None and max_processes < 1:
+            raise StudyError(f"max_processes must be >= 1, got {max_processes}")
         if checkpoint_every is not None:
             if checkpoint_every < 1:
                 raise StudyError(
@@ -132,6 +160,30 @@ class StudyRunner:
         self.callbacks = callbacks
         self.checkpoint_every = checkpoint_every
         self.start_method = start_method
+        self.max_processes = max_processes
+
+    def effective_n_jobs(self) -> int:
+        """``n_jobs`` after applying the study-level worker budget.
+
+        The budget divides by the *largest* trial footprint in the study:
+        trials run in arbitrary interleavings, so any concurrent pair must
+        fit, and sizing for the worst keeps the bound sound.
+        """
+        if self.max_processes is None or self.n_jobs == 1:
+            return self.n_jobs
+        footprint = max(
+            trial_process_footprint(trial.config) for trial in self.study
+        )
+        allowed = max(1, self.max_processes // footprint)
+        if allowed < self.n_jobs:
+            logger.warning(
+                "study %r: clamping n_jobs %d -> %d (largest trial occupies "
+                "%d process(es) incl. its executor pool; budget "
+                "max_processes=%d)",
+                self.study.name, self.n_jobs, allowed, footprint,
+                self.max_processes,
+            )
+        return min(self.n_jobs, allowed)
 
     # -- public API ----------------------------------------------------------
     def run(self, max_trials: int | None = None) -> dict[str, TrialResult]:
@@ -149,18 +201,19 @@ class StudyRunner:
             if max_trials < 0:
                 raise StudyError(f"max_trials must be >= 0, got {max_trials}")
             pending = pending[:max_trials]
+        n_jobs = self.effective_n_jobs()
         if pending:
             logger.info(
                 "study %r: running %d trial(s) (%d already recorded, n_jobs=%d)",
                 self.study.name, len(pending),
-                len(results), self.n_jobs,
+                len(results), n_jobs,
             )
-        if self.n_jobs == 1 or len(pending) <= 1:
+        if n_jobs == 1 or len(pending) <= 1:
             for trial in pending:
                 history = _execute_trial(self._payload(trial))
                 results[trial.name] = self._record(trial, history)
         else:
-            self._run_parallel(pending, results)
+            self._run_parallel(pending, results, n_jobs)
         # Definition order, independent of completion order.
         return {
             trial.name: results[trial.name]
@@ -235,9 +288,14 @@ class StudyRunner:
             self.store.clear_checkpoint(self.study.name, trial.name)
         return result
 
-    def _run_parallel(self, pending: list[Trial], results: dict[str, TrialResult]) -> None:
+    def _run_parallel(
+        self,
+        pending: list[Trial],
+        results: dict[str, TrialResult],
+        n_jobs: int,
+    ) -> None:
         """Fan pending trials out over a process pool, recording as they land."""
-        workers = min(self.n_jobs, len(pending))
+        workers = min(n_jobs, len(pending))
         with ProcessPoolExecutor(
             max_workers=workers, mp_context=get_mp_context(self.start_method)
         ) as pool:

@@ -30,12 +30,18 @@ from repro.config import ExperimentConfig
 EXECUTORS = ("serial", "batched", "process")
 
 #: (executor, transport, pipeline) variants that must match serial/sync.
+#: The ``staleness`` rows run the bounded-staleness scheduler at its
+#: default bound of 0, pinning that the dependency-tracked schedule is
+#: bit-identical to the exact ones (the relaxed ``staleness>=1`` rows have
+#: their own reference semantics in test_staleness.py).
 VARIANTS = (
     ("batched", "pipe", "sync"),
     ("process", "pipe", "sync"),
     ("process", "shm", "sync"),
     ("process", "pipe", "pipelined"),
     ("process", "shm", "pipelined"),
+    ("serial", "pipe", "staleness"),
+    ("process", "shm", "staleness"),
 )
 
 

@@ -249,7 +249,7 @@ class TestProcessExecutorPipelineProtocol:
             executor.stage_forward(workers, [8, 8])
             executor.launch_forward(workers)
             executor.drain()
-            assert not executor._forward_pending
+            assert not executor._completions
             executor.install(workers, bottom, [0.1, 0.1])
             features, __ = executor.forward(workers, [8, 8])
             assert features[0].shape == (8, 16)

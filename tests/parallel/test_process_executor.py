@@ -247,7 +247,7 @@ def test_child_error_in_pipelined_round_is_recoverable():
         executor.fused_backward_forward(workers, bad)
         with pytest.raises(RuntimeError, match="does not match the pending"):
             executor.collect_forward(workers)
-        assert not executor._forward_pending
+        assert not executor._completions
         executor.install(workers, bottom, [0.1, 0.1])  # must not hang
         features, __ = executor.forward(workers, [8, 8])
         assert features[0].shape == (8, 16)
@@ -268,7 +268,7 @@ def test_install_recovery_survives_an_errored_abandoned_forward():
         executor.launch_forward(workers)   # nothing staged: child KeyErrors
         with pytest.raises(RuntimeError, match="KeyError"):
             executor.install(workers, bottom, [0.1, 0.1])
-        assert not executor._forward_pending
+        assert not executor._completions
         executor.install(workers, bottom, [0.1, 0.1])  # must not hang
         features, __ = executor.forward(workers, [8, 8])
         assert features[0].shape == (8, 16)

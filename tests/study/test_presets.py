@@ -1,0 +1,63 @@
+"""Paper-scale sweep presets: construction, axes and the bench hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import StudyError
+from repro.study import PRESETS, get_preset, preset_scales, scalability_study
+from repro.study.presets import PAPER_WORKER_SCALES, SMOKE_WORKER_SCALES
+
+
+class TestScalabilityStudy:
+    def test_paper_preset_sweeps_the_paper_axis(self):
+        study = get_preset("paper-scalability")
+        assert preset_scales("paper-scalability") == PAPER_WORKER_SCALES == (100, 200, 400)
+        assert len(study) == 3
+        for trial, scale in zip(study, PAPER_WORKER_SCALES):
+            assert trial.config.num_workers == scale
+            assert trial.config.algorithm == "mergesfl"
+            assert trial.tags["num_workers"] == scale
+
+    def test_noniid_preset_sets_the_level(self):
+        study = get_preset("paper-scalability-noniid")
+        assert all(trial.config.non_iid_level == 10.0 for trial in study)
+
+    def test_smoke_preset_has_the_same_shape(self):
+        assert preset_scales("smoke-scalability") == SMOKE_WORKER_SCALES
+        smoke = get_preset("smoke-scalability")
+        paper = get_preset("paper-scalability")
+        assert len(smoke) == len(paper)
+
+    def test_overrides_apply_to_every_trial(self):
+        study = get_preset("paper-scalability", num_rounds=2, seed=42)
+        for trial in study:
+            assert trial.config.num_rounds == 2
+            assert trial.config.seed == 42
+
+    def test_num_workers_override_cannot_clobber_the_axis(self):
+        study = scalability_study(scales=(10, 20), num_workers=999)
+        assert [t.config.num_workers for t in study] == [10, 20]
+
+    def test_unknown_preset_fails_loudly(self):
+        with pytest.raises(StudyError, match="unknown study preset"):
+            get_preset("paper-warp-speed")
+
+    def test_registry_is_complete(self):
+        assert {"paper-scalability", "paper-scalability-noniid",
+                "smoke-scalability"} <= set(PRESETS)
+
+
+class TestPresetExecution:
+    def test_preset_study_runs_through_figure12(self):
+        """A (tiny) preset-shaped study flows through the figure12 entry
+        point exactly like the bench harness drives it via BENCH_PRESET."""
+        from repro.experiments import figures
+
+        study = scalability_study(
+            dataset="blobs", scales=(3, 4), num_rounds=1, local_iterations=1,
+            train_samples=60, test_samples=30, max_batch_size=8,
+            base_batch_size=4, model_width=0.25,
+        )
+        result = figures.figure12_scalability(study=study)
+        assert [row["num_workers"] for row in result["rows"]] == [3, 4]

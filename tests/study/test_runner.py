@@ -319,3 +319,80 @@ class TestCallbacksThroughStudies:
 
         with pytest.raises(CallbackError, match="on_round_end"):
             StudyRunner(study, callbacks=[Exploding(target=1.0)]).run()
+
+
+class TestWorkerBudget:
+    """Study-level worker budget: n_jobs x executor_processes is capped."""
+
+    @staticmethod
+    def _study(tiny_config, executor_processes):
+        config = tiny_config.replace(
+            executor="process",
+            extras={"executor_processes": executor_processes},
+        )
+        return Study.grid("budget", config, axes={"seed": (3, 4, 5, 6)})
+
+    def test_effective_n_jobs_clamps_to_the_budget(self, tiny_config, caplog):
+        runner = StudyRunner(
+            self._study(tiny_config, executor_processes=3),
+            n_jobs=4, max_processes=8,
+        )
+        with caplog.at_level("WARNING", logger="repro.study.runner"):
+            # Each trial = 1 worker + 3 children; two fit in a budget of 8.
+            assert runner.effective_n_jobs() == 2
+        assert any("clamping n_jobs" in message for message in caplog.messages)
+
+    def test_budget_never_clamps_below_one(self, tiny_config):
+        runner = StudyRunner(
+            self._study(tiny_config, executor_processes=16),
+            n_jobs=4, max_processes=2,
+        )
+        assert runner.effective_n_jobs() == 1
+
+    def test_within_budget_is_untouched(self, tiny_config, caplog):
+        runner = StudyRunner(
+            self._study(tiny_config, executor_processes=2),
+            n_jobs=2, max_processes=6,
+        )
+        with caplog.at_level("WARNING", logger="repro.study.runner"):
+            assert runner.effective_n_jobs() == 2
+        assert not any("clamping" in message for message in caplog.messages)
+
+    def test_in_process_trials_cost_one_each(self, tiny_config):
+        study = Study.grid("serial-budget", tiny_config, axes={"seed": (3, 4)})
+        runner = StudyRunner(study, n_jobs=2, max_processes=2)
+        assert runner.effective_n_jobs() == 2
+
+    def test_no_budget_leaves_n_jobs_alone(self, tiny_config):
+        runner = StudyRunner(self._study(tiny_config, 8), n_jobs=4)
+        assert runner.effective_n_jobs() == 4
+
+    def test_invalid_budget_rejected(self, tiny_config):
+        with pytest.raises(StudyError, match="max_processes"):
+            StudyRunner(
+                self._study(tiny_config, 2), n_jobs=2, max_processes=0
+            )
+
+    def test_footprint_reads_the_executor_config(self, tiny_config):
+        from repro.study import trial_process_footprint
+
+        assert trial_process_footprint(tiny_config) == 1
+        # A process-executor trial costs its worker plus its pool.
+        assert trial_process_footprint(
+            tiny_config.replace(
+                executor="process", extras={"executor_processes": 5}
+            )
+        ) == 6
+
+    def test_clamped_parallel_run_still_completes(self, tiny_config):
+        """End to end: a clamped run produces the same results, just with
+        fewer concurrent trial workers."""
+        study = Study.grid("clamped", tiny_config, axes={"seed": (3, 4)})
+        reference = {
+            name: _records(result.history)
+            for name, result in StudyRunner(study).run().items()
+        }
+        clamped = StudyRunner(study, n_jobs=2, max_processes=1).run()
+        assert {
+            name: _records(result.history) for name, result in clamped.items()
+        } == reference
