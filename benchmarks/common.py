@@ -33,6 +33,10 @@ each other through a shared dict):
 * ``BENCH_N_JOBS=k`` -- run the trials of study-backed benchmarks in ``k``
   parallel worker processes (see :mod:`repro.study`).  Bit-exact as well:
   trial-level parallelism only reorders wall-clock, never results.
+* ``BENCH_POPULATION=eager|lazy`` -- select the worker-population mode
+  (see :mod:`repro.population`).  ``lazy`` registers workers as metadata
+  rows and materialises only each round's cohort; bit-exact against
+  ``eager``, so this only changes memory and wall-clock.
 * ``BENCH_PRESET=name`` -- point the scalability benchmark at a
   :mod:`repro.study.presets` study (e.g. ``paper-scalability`` for the
   paper's 100/200/400-worker axis) instead of the scaled-down default.
@@ -107,7 +111,8 @@ def bench_overrides() -> dict:
         overrides.update(_SMOKE_OVERRIDES)
     for env, key in (("BENCH_EXECUTOR", "executor"),
                      ("BENCH_TRANSPORT", "transport"),
-                     ("BENCH_PIPELINE", "pipeline")):
+                     ("BENCH_PIPELINE", "pipeline"),
+                     ("BENCH_POPULATION", "population")):
         value = os.environ.get(env)
         if value:
             overrides[key] = value

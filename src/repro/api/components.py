@@ -30,7 +30,15 @@ from repro.nn.models import build_model, default_split_layer, has_default_split
 from repro.nn.module import Sequential
 from repro.nn.split import SplitModel, split_model
 from repro.parallel import build_executor
-from repro.simulation.cluster import Cluster, build_cluster
+from repro.population.cache import DeltaCache
+from repro.population.materializer import Materializer
+from repro.population.pool import EagerWorkerPool, LazyWorkerPool, WorkerPool
+from repro.population.registry import (
+    PartitionShards,
+    SampledShards,
+    WorkerRegistry,
+)
+from repro.simulation.cluster import Cluster, LazyCluster, build_cluster
 from repro.simulation.traffic import feature_bytes
 
 #: Fraction of the "everyone at full batch" ingress load used as the default
@@ -55,11 +63,23 @@ class ExperimentComponents:
     model: Sequential
     split: SplitModel | None
     workers: list[SplitWorker]
-    cluster: Cluster
+    cluster: "Cluster | LazyCluster"
     bandwidth_budget: float
     #: ``None`` (e.g. hand-wired component sets) means the engines fall
     #: back to their default serial executor.
     executor: "Executor | None" = None
+    #: The population abstraction the engines train against.  ``None``
+    #: (hand-wired component sets) means :meth:`worker_pool` wraps the
+    #: eager ``workers`` list on first use; ``config.population="lazy"``
+    #: stores a :class:`~repro.population.pool.LazyWorkerPool` here and
+    #: leaves ``workers`` empty.
+    pool: "WorkerPool | None" = None
+
+    def worker_pool(self) -> "WorkerPool":
+        """The population pool, wrapping the eager worker list if needed."""
+        if self.pool is None:
+            self.pool = EagerWorkerPool(self.workers)
+        return self.pool
 
 
 def build_model_for(config: ExperimentConfig, data: TrainTestSplit) -> Sequential:
@@ -137,6 +157,68 @@ def _default_bandwidth_budget(
     )
 
 
+def _build_lazy_population(
+    config: ExperimentConfig, data: TrainTestSplit
+) -> LazyWorkerPool:
+    """Registry + materializer + delta cache for ``population="lazy"``.
+
+    ``extras['population_sharding']`` picks the shard source: ``"partition"``
+    (default) reuses :func:`partition_dataset` verbatim, which keeps the lazy
+    path bit-exact with eager construction; ``"sampled"`` derives each shard
+    lazily from a per-worker RNG stream, the O(1)-per-registration mode for
+    million-worker registries (shard size via
+    ``extras['population_samples_per_worker']``).
+    """
+    sharding = config.extras.get("population_sharding", "partition")
+    if sharding == "partition":
+        source = PartitionShards(
+            partition_dataset(
+                data.train, config.num_workers, config.non_iid_level,
+                seed=config.seed,
+            )
+        )
+    elif sharding == "sampled":
+        default_samples = min(
+            len(data.train), max(16, len(data.train) // config.num_workers)
+        )
+        source = SampledShards(
+            train_size=len(data.train),
+            samples_per_worker=int(
+                config.extras.get("population_samples_per_worker", default_samples)
+            ),
+            seed=config.seed,
+        )
+    else:
+        raise ConfigurationError(
+            f"extras['population_sharding'] must be 'partition' or 'sampled', "
+            f"got {sharding!r}"
+        )
+    registry = WorkerRegistry(
+        num_workers=config.num_workers,
+        num_classes=data.num_classes,
+        targets=data.train.targets,
+        source=source,
+        shard_size=config.population_shard_size,
+    )
+    materializer = Materializer(
+        registry=registry,
+        train_dataset=data.train,
+        num_classes=data.num_classes,
+        seed=config.seed,
+        momentum=config.momentum,
+        weight_decay=config.weight_decay,
+        max_grad_norm=config.max_grad_norm,
+    )
+    cache = DeltaCache(config.population_cache) if config.population_cache else None
+    return LazyWorkerPool(
+        registry=registry,
+        materializer=materializer,
+        cache=cache,
+        candidates_per_round=config.population_candidates,
+        seed=config.seed,
+    )
+
+
 def build_components(config: ExperimentConfig) -> ExperimentComponents:
     """Materialise dataset, partition, model, split, cluster and workers."""
     # make_dataset honours legacy DATASET_REGISTRY dict mutations as well
@@ -147,32 +229,44 @@ def build_components(config: ExperimentConfig) -> ExperimentComponents:
         test_samples=config.test_samples,
         seed=config.seed,
     )
-    shards = partition_dataset(
-        data.train, config.num_workers, config.non_iid_level, seed=config.seed
-    )
-    workers = [
-        SplitWorker(
-            worker_id=worker_id,
-            dataset=data.train.subset(shard),
-            num_classes=data.num_classes,
-            seed=config.seed + 1000 + worker_id,
-            momentum=config.momentum,
-            weight_decay=config.weight_decay,
-            max_grad_norm=config.max_grad_norm,
+    if config.population == "lazy":
+        pool = _build_lazy_population(config, data)
+        workers: list[SplitWorker] = []
+        cluster: Cluster | LazyCluster = LazyCluster(
+            num_workers=config.num_workers,
+            bandwidth_budget_mbps=config.bandwidth_budget_mbps,
+            seed=config.seed,
+            mode_change_interval=config.mode_change_interval,
+            max_live_devices=int(config.extras.get("population_live_devices", 0)),
         )
-        for worker_id, shard in enumerate(shards)
-    ]
+    else:
+        pool = None
+        shards = partition_dataset(
+            data.train, config.num_workers, config.non_iid_level, seed=config.seed
+        )
+        workers = [
+            SplitWorker(
+                worker_id=worker_id,
+                dataset=data.train.subset(shard),
+                num_classes=data.num_classes,
+                seed=config.seed + 1000 + worker_id,
+                momentum=config.momentum,
+                weight_decay=config.weight_decay,
+                max_grad_norm=config.max_grad_norm,
+            )
+            for worker_id, shard in enumerate(shards)
+        ]
+        cluster = build_cluster(
+            num_workers=config.num_workers,
+            bandwidth_budget_mbps=config.bandwidth_budget_mbps,
+            seed=config.seed,
+            mode_change_interval=config.mode_change_interval,
+        )
     model = build_model_for(config, data)
     if has_default_split(config.model):
         split = split_model(model, default_split_layer(config.model, model))
     else:
         split = None
-    cluster = build_cluster(
-        num_workers=config.num_workers,
-        bandwidth_budget_mbps=config.bandwidth_budget_mbps,
-        seed=config.seed,
-        mode_change_interval=config.mode_change_interval,
-    )
     # Without a split there is no feature traffic to budget against; the
     # configured ingress budget is used verbatim.
     if split is not None:
@@ -188,6 +282,7 @@ def build_components(config: ExperimentConfig) -> ExperimentComponents:
         cluster=cluster,
         bandwidth_budget=budget,
         executor=build_executor(config),
+        pool=pool,
     )
 
 

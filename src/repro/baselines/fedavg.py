@@ -60,7 +60,7 @@ class FedAvg(EngineBackedAlgorithm):
         return cls(
             config=components.config,
             model=components.model,
-            workers=components.workers,
+            workers=components.worker_pool(),
             cluster=components.cluster,
             data=components.data,
             executor=components.executor,

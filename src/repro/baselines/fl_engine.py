@@ -36,7 +36,8 @@ from repro.nn.serialization import (
 from repro.parallel.base import Executor
 from repro.parallel.pipeline import FullRoundOps, PipelineScheduler, build_pipeline
 from repro.parallel.serial import SerialExecutor
-from repro.simulation.cluster import Cluster
+from repro.population.pool import WorkerPool, as_worker_pool
+from repro.simulation.cluster import Cluster, LazyCluster
 from repro.simulation.timing import average_waiting_time, round_duration
 from repro.simulation.traffic import TrafficMeter
 from repro.utils.logging import get_logger
@@ -67,8 +68,8 @@ class FLTrainingEngine(Algorithm):
         self,
         config: ExperimentConfig,
         model: Sequential,
-        workers: list[SplitWorker],
-        cluster: Cluster,
+        workers: "list[SplitWorker] | WorkerPool",
+        cluster: "Cluster | LazyCluster",
         data: TrainTestSplit,
         selection: FLSelectionStrategy,
         executor: Executor | None = None,
@@ -76,7 +77,7 @@ class FLTrainingEngine(Algorithm):
     ) -> None:
         self.config = config
         self.model = model.clone()
-        self.workers = workers
+        self.pool = as_worker_pool(workers)
         self.cluster = cluster
         self.data = data
         self.selection = selection
@@ -88,9 +89,6 @@ class FLTrainingEngine(Algorithm):
         self.history = History(algorithm=config.algorithm)
         self.model_bytes = model_size_bytes(self.model)
         self.full_flops = estimate_forward_flops(self.model, data.feature_shape)
-        self._label_distributions = np.stack(
-            [worker.local_label_distribution() for worker in workers]
-        )
         #: Root seed of the per-round RNG streams; generators are derived
         #: lazily per round index so the round count is unbounded.
         self._round_seed = config.seed + 40617
@@ -99,6 +97,11 @@ class FLTrainingEngine(Algorithm):
         self._current_lr = config.learning_rate
 
     # -- public API -----------------------------------------------------------
+    @property
+    def workers(self) -> list[SplitWorker]:
+        """The eager worker list (raises for lazily-materialised populations)."""
+        return self.pool.eager_workers
+
     def step_round(self) -> RoundRecord:
         """Execute one communication round and return its record."""
         self._run_round(self._round_index)
@@ -137,17 +140,12 @@ class FLTrainingEngine(Algorithm):
             "model_extra": module_extra_state(self.model),
             "traffic": self.traffic.state_dict(),
             "cluster": self.cluster.state_dict(),
-            "workers": [worker.state_dict() for worker in self.workers],
+            "workers": self.pool.workers_state(),
         }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore training state captured by :meth:`state_dict`."""
-        workers_state = state["workers"]
-        if len(workers_state) != len(self.workers):
-            raise ValueError(
-                f"checkpoint has {len(workers_state)} workers, engine has "
-                f"{len(self.workers)}"
-            )
+        self.pool.load_workers_state(state["workers"])
         self._round_index = int(state["round_index"])
         self._clock = float(state["clock"])
         self._current_lr = float(state["current_lr"])
@@ -156,8 +154,6 @@ class FLTrainingEngine(Algorithm):
         load_module_extra_state(self.model, state["model_extra"])
         self.traffic.load_state_dict(state["traffic"])
         self.cluster.load_state_dict(state["cluster"])
-        for worker, worker_state in zip(self.workers, workers_state):
-            worker.load_state_dict(worker_state)
 
     # -- internals -------------------------------------------------------------
     def _run_round(self, round_index: int) -> None:
@@ -206,6 +202,10 @@ class FLTrainingEngine(Algorithm):
             )
         )
         account()
+        # Round over: fold the cohort's mutable state back into the pool
+        # (a no-op for eager populations, the release point for lazy ones).
+        self.pool.release(selected_workers)
+        population_stats = self.pool.collect_round_stats()
 
         duration, waiting = accounting["duration"], accounting["waiting"]
         accuracy, test_loss = self._evaluate()
@@ -221,6 +221,9 @@ class FLTrainingEngine(Algorithm):
                 test_accuracy=accuracy,
                 num_selected=len(selected),
                 total_batch=config.base_batch_size * len(selected),
+                selected_ids=[int(w) for w in selected],
+                cache_hits=int(population_stats.get("cache_hits", 0)),
+                cache_misses=int(population_stats.get("cache_misses", 0)),
             )
         )
         self._current_lr *= config.lr_decay
@@ -229,22 +232,29 @@ class FLTrainingEngine(Algorithm):
     def _stage_plan(
         self, round_index: int
     ) -> tuple[list[int], list[SplitWorker]]:
-        """PLAN: refresh durations and run the selection strategy."""
+        """PLAN: refresh durations and run the selection strategy.
+
+        When the pool supplies a candidate subset, the strategy sees dense
+        candidate-local arrays and its picks are remapped to global ids.
+        """
         self.cluster.advance_round(round_index)
-        durations = self._per_worker_durations()
-        participation = np.asarray(
-            [worker.participation_count for worker in self.workers], dtype=np.float64
-        )
+        candidates = self.pool.plan_candidates(round_index)
+        if candidates is None:
+            durations = self._per_worker_durations()
+        else:
+            durations = self._durations_for(candidates)
         selected = self.selection.select(
             round_index,
             durations,
-            self._label_distributions,
-            participation,
+            self.pool.label_distributions(candidates),
+            self.pool.participation_counts(candidates),
             spawned_rng(self._round_seed, round_index),
         )
         if not selected:
             raise RuntimeError("FL selection strategy selected no workers")
-        return selected, [self.workers[worker_id] for worker_id in selected]
+        if candidates is not None:
+            selected = [int(candidates[local]) for local in selected]
+        return selected, self.pool.checkout(selected)
 
     def _local_loss(self, state: dict[str, np.ndarray]) -> float:
         """Training loss of a locally updated model on a small probe batch."""
@@ -257,9 +267,14 @@ class FLTrainingEngine(Algorithm):
 
     def _per_worker_durations(self) -> np.ndarray:
         """Per-round duration of every worker (compute + model exchange)."""
+        return self._durations_for(range(len(self.pool)))
+
+    def _durations_for(self, ids) -> np.ndarray:
+        """Per-round duration of a subset of workers, in ``ids`` order."""
         config = self.config
         durations = []
-        for device in self.cluster.devices:
+        for worker_id in ids:
+            device = self.cluster[int(worker_id)]
             compute = (
                 config.local_iterations
                 * config.base_batch_size
@@ -270,7 +285,7 @@ class FLTrainingEngine(Algorithm):
         return np.asarray(durations)
 
     def _account_time_and_traffic(self, selected: list[int]) -> tuple[float, float]:
-        durations = self._per_worker_durations()[selected]
+        durations = self._durations_for(selected)
         self.traffic.add_model_exchange(self.model_bytes, num_workers=len(selected))
         return round_duration(durations), average_waiting_time(durations)
 

@@ -141,7 +141,7 @@ def _build_split_custom(components):
     return SplitTrainingEngine(
         config=components.config,
         split=components.split,
-        workers=components.workers,
+        workers=components.worker_pool(),
         cluster=components.cluster,
         data=components.data,
         policy=_configured_policy(components.config, "split_control"),
@@ -161,7 +161,7 @@ def _build_fl_custom(components):
     return FLTrainingEngine(
         config=components.config,
         model=components.model,
-        workers=components.workers,
+        workers=components.worker_pool(),
         cluster=components.cluster,
         data=components.data,
         selection=_configured_policy(components.config, "fl_selection"),

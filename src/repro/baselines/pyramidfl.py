@@ -106,7 +106,7 @@ class PyramidFL(EngineBackedAlgorithm):
         return cls(
             config=components.config,
             model=components.model,
-            workers=components.workers,
+            workers=components.worker_pool(),
             cluster=components.cluster,
             data=components.data,
             executor=components.executor,

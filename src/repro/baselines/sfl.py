@@ -56,7 +56,7 @@ class _SplitBaseline(EngineBackedAlgorithm):
         return cls(
             components.config,
             components.split,
-            components.workers,
+            components.worker_pool(),
             components.cluster,
             components.data,
             bandwidth_budget_override=components.bandwidth_budget,
@@ -121,7 +121,7 @@ class SFLVariant(_SplitBaseline):
             components.config.algorithm,
             components.config,
             components.split,
-            components.workers,
+            components.worker_pool(),
             components.cluster,
             components.data,
             bandwidth_budget_override=components.bandwidth_budget,

@@ -80,6 +80,28 @@ class ExperimentConfig:
     ga_generations: int = 15
     selection_fraction: float = 0.5        # m = N/2 initial population seed
 
+    # Population -------------------------------------------------------------
+    #: How registered workers are held: ``"eager"`` builds one live
+    #: :class:`~repro.core.worker.SplitWorker` per registered worker (the
+    #: historical behaviour); ``"lazy"`` keeps compact metadata rows in a
+    #: :class:`~repro.population.registry.WorkerRegistry` and materialises
+    #: live workers only for each round's selected cohort.  Both modes are
+    #: bit-exact with each other; ``"lazy"`` bounds resident worker state by
+    #: the cohort instead of the registered population.
+    population: str = "eager"
+    #: Rows per registry shard -- the granularity at which the lazy
+    #: registry materialises its label-distribution column.
+    population_shard_size: int = 4096
+    #: Candidate-pool size for per-round planning under ``population="lazy"``.
+    #: ``0`` plans over the full population (bit-exact with eager); a
+    #: positive value plans each round over that many deterministically
+    #: sampled candidates, keeping planning cost flat as registrations grow.
+    population_candidates: int = 0
+    #: Capacity of the lazy pool's per-worker bottom-model
+    #: :class:`~repro.population.cache.DeltaCache` (LRU over recent
+    #: participants); ``0`` disables delta caching.
+    population_cache: int = 64
+
     # Execution --------------------------------------------------------------
     #: How the per-worker compute of each round is executed: ``"serial"``,
     #: ``"batched"`` (vectorized over the worker axis) or ``"process"``
@@ -205,6 +227,30 @@ class ExperimentConfig:
         if not 0.0 < self.selection_fraction <= 1.0:
             raise ConfigurationError(
                 f"selection_fraction must be in (0, 1], got {self.selection_fraction}"
+            )
+        if self.population not in ("eager", "lazy"):
+            raise ConfigurationError(
+                f"population must be 'eager' or 'lazy', got {self.population!r}"
+            )
+        if self.population_shard_size <= 0:
+            raise ConfigurationError(
+                f"population_shard_size must be positive, "
+                f"got {self.population_shard_size}"
+            )
+        if self.population_candidates < 0:
+            raise ConfigurationError(
+                f"population_candidates must be non-negative, "
+                f"got {self.population_candidates}"
+            )
+        if self.population_cache < 0:
+            raise ConfigurationError(
+                f"population_cache must be non-negative, "
+                f"got {self.population_cache}"
+            )
+        if self.population == "eager" and self.population_candidates > 0:
+            raise ConfigurationError(
+                "population_candidates requires population='lazy'; the eager "
+                "population always plans over every registered worker"
             )
 
     def to_dict(self) -> dict:

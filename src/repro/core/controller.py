@@ -73,6 +73,24 @@ class RoundPlan:
         """Total merged batch size of the round."""
         return int(sum(self.batch_sizes.values()))
 
+    def remapped(self, ids: "np.ndarray") -> "RoundPlan":
+        """Translate a candidate-local plan into global worker ids.
+
+        Policies planning over a candidate subset see dense candidate-local
+        arrays; ``ids[local]`` is the global id of candidate ``local``.
+        ``ids`` is sorted ascending, so a sorted local selection stays
+        sorted after remapping.
+        """
+        return RoundPlan(
+            selected=[int(ids[local]) for local in self.selected],
+            batch_sizes={
+                int(ids[local]): batch
+                for local, batch in self.batch_sizes.items()
+            },
+            merged_kl=self.merged_kl,
+            info=dict(self.info, candidate_pool=int(len(ids))),
+        )
+
     def to_dict(self) -> dict:
         """JSON-safe representation (batch-size keys become strings).
 

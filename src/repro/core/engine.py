@@ -54,7 +54,8 @@ from repro.parallel.pipeline import (
     build_pipeline,
 )
 from repro.parallel.serial import SerialExecutor
-from repro.simulation.cluster import Cluster
+from repro.population.pool import WorkerPool, as_worker_pool
+from repro.simulation.cluster import Cluster, LazyCluster
 from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
 from repro.simulation.timing import average_waiting_time, round_duration
 from repro.simulation.traffic import TrafficMeter, feature_bytes
@@ -98,8 +99,8 @@ class SplitTrainingEngine(Algorithm):
         self,
         config: ExperimentConfig,
         split: SplitModel,
-        workers: list[SplitWorker],
-        cluster: Cluster,
+        workers: "list[SplitWorker] | WorkerPool",
+        cluster: "Cluster | LazyCluster",
         data: TrainTestSplit,
         policy: ControlPolicy,
         bandwidth_budget_override: float | None = None,
@@ -114,7 +115,7 @@ class SplitTrainingEngine(Algorithm):
             )
         self.config = config
         self.split = split
-        self.workers = workers
+        self.pool = as_worker_pool(workers)
         self.cluster = cluster
         self.data = data
         self.policy = policy
@@ -130,8 +131,10 @@ class SplitTrainingEngine(Algorithm):
             max_grad_norm=config.max_grad_norm,
         )
         self.estimator = WorkerStateEstimator(
-            num_workers=len(workers), alpha=config.estimator_alpha
+            num_workers=len(self.pool), alpha=config.estimator_alpha
         )
+        # Delta-cache capture/reconstruction needs the round's global bottom.
+        self.pool.bind_bottom_source(lambda: self.server.global_bottom)
         self.traffic = TrafficMeter()
         self.history = History(algorithm=config.algorithm)
 
@@ -156,9 +159,6 @@ class SplitTrainingEngine(Algorithm):
         self.bandwidth_estimator = BandwidthEstimator(initial_mbps=nominal)
         self._budget_scale = nominal / cluster.nominal_budget_mbps
 
-        self._label_distributions = np.stack(
-            [worker.local_label_distribution() for worker in workers]
-        )
         #: Root seed of the per-round RNG streams; generators are derived
         #: lazily per round index so the round count is unbounded.
         self._round_seed = config.seed + 9173
@@ -172,6 +172,11 @@ class SplitTrainingEngine(Algorithm):
         self._pending_plan: tuple[int, RoundPlan] | None = None
 
     # -- public API -----------------------------------------------------------
+    @property
+    def workers(self) -> list[SplitWorker]:
+        """The eager worker list (raises for lazily-materialised populations)."""
+        return self.pool.eager_workers
+
     def step_round(self) -> RoundRecord:
         """Execute one communication round and return its record."""
         self._run_round(self._round_index)
@@ -226,17 +231,12 @@ class SplitTrainingEngine(Algorithm):
             "bandwidth_estimator": self.bandwidth_estimator.state_dict(),
             "traffic": self.traffic.state_dict(),
             "cluster": self.cluster.state_dict(),
-            "workers": [worker.state_dict() for worker in self.workers],
+            "workers": self.pool.workers_state(),
         }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore training state captured by :meth:`state_dict`."""
-        workers_state = state["workers"]
-        if len(workers_state) != len(self.workers):
-            raise ValueError(
-                f"checkpoint has {len(workers_state)} workers, engine has "
-                f"{len(self.workers)}"
-            )
+        self.pool.load_workers_state(state["workers"])
         self._round_index = int(state["round_index"])
         self._clock = float(state["clock"])
         self._current_lr = float(state["current_lr"])
@@ -253,26 +253,39 @@ class SplitTrainingEngine(Algorithm):
         self.bandwidth_estimator.load_state_dict(state["bandwidth_estimator"])
         self.traffic.load_state_dict(state["traffic"])
         self.cluster.load_state_dict(state["cluster"])
-        for worker, worker_state in zip(self.workers, workers_state):
-            worker.load_state_dict(worker_state)
 
     # -- round mechanics ---------------------------------------------------------
-    def _observe_states(self) -> None:
-        """Refresh the moving-average state estimates from the current devices."""
-        mus = self.cluster.compute_times(self.bottom_flops)
-        betas = self.cluster.comm_times(self.feature_exchange_bytes)
-        self.estimator.update_all(mus, betas)
+    def _observe_states(self, candidates: np.ndarray | None = None) -> None:
+        """Refresh the moving-average state estimates from the current devices.
 
-    def _make_context(self, round_index: int) -> ControlContext:
-        participation = np.asarray(
-            [worker.participation_count for worker in self.workers], dtype=np.float64
-        )
+        With a candidate pool, only the round's candidates are observed --
+        the moving averages of untouched workers simply stay put, so the
+        per-round cost is the candidate count, not the population.
+        """
+        if candidates is None:
+            mus = self.cluster.compute_times(self.bottom_flops)
+            betas = self.cluster.comm_times(self.feature_exchange_bytes)
+            self.estimator.update_all(mus, betas)
+        else:
+            mus = self.cluster.compute_times_for(candidates, self.bottom_flops)
+            betas = self.cluster.comm_times_for(
+                candidates, self.feature_exchange_bytes
+            )
+            self.estimator.update_ids(candidates, mus, betas)
+
+    def _make_context(
+        self, round_index: int, candidates: np.ndarray | None = None
+    ) -> ControlContext:
+        if candidates is None:
+            durations = self.estimator.per_sample_duration()
+        else:
+            durations = self.estimator.per_sample_duration_for(candidates)
         budget = self.bandwidth_estimator.estimate()
         return ControlContext(
             round_index=round_index,
-            per_sample_durations=self.estimator.per_sample_duration(),
-            label_distributions=self._label_distributions,
-            participation_counts=participation,
+            per_sample_durations=durations,
+            label_distributions=self.pool.label_distributions(candidates),
+            participation_counts=self.pool.participation_counts(candidates),
             bandwidth_budget=budget,
             bandwidth_per_sample=self.bandwidth_per_sample,
             max_batch_size=self.config.max_batch_size,
@@ -312,9 +325,13 @@ class SplitTrainingEngine(Algorithm):
             self.policy.aggregate_every_iteration,
         )
         account()
+        # Round over: fold the cohort's mutable state back into the pool
+        # (a no-op for eager populations, the release point for lazy ones).
+        self.pool.release(selected_workers)
         # Third-party schedulers registered via register_pipeline may not
         # subclass PipelineScheduler; treat the report as optional.
         report = getattr(self.pipeline, "last_report", None) or RoundReport()
+        population_stats = self.pool.collect_round_stats()
 
         accuracy, test_loss = self.server.evaluate(
             self.data.test.data, self.data.test.targets, config.eval_batch_size
@@ -333,6 +350,9 @@ class SplitTrainingEngine(Algorithm):
                 total_batch=plan.total_batch,
                 merged_kl=plan.merged_kl,
                 effective_staleness=report.effective_staleness,
+                selected_ids=[int(w) for w in plan.selected],
+                cache_hits=int(population_stats.get("cache_hits", 0)),
+                cache_misses=int(population_stats.get("cache_misses", 0)),
             )
         )
         self._current_lr *= config.lr_decay
@@ -343,11 +363,21 @@ class SplitTrainingEngine(Algorithm):
         )
 
     def _compute_plan(self, round_index: int) -> RoundPlan:
-        """Refresh estimates and run the control policy for one round."""
+        """Refresh estimates and run the control policy for one round.
+
+        When the pool supplies a candidate subset, planning runs entirely
+        in candidate-local coordinates (the policy sees dense arrays of
+        ``len(candidates)`` rows) and the resulting plan is remapped to
+        global worker ids afterwards.
+        """
         self.cluster.advance_round(round_index)
-        self._observe_states()
-        context = self._make_context(round_index)
-        return self.policy.plan_round(context)
+        candidates = self.pool.plan_candidates(round_index)
+        self._observe_states(candidates)
+        context = self._make_context(round_index, candidates)
+        plan = self.policy.plan_round(context)
+        if candidates is not None:
+            plan = plan.remapped(candidates)
+        return plan
 
     def _prefetch_plan(self, round_index: int) -> None:
         """Plan ``round_index`` early, inside the previous aggregate window.
@@ -374,7 +404,7 @@ class SplitTrainingEngine(Algorithm):
         if not plan.selected:
             raise RuntimeError("control policy selected no workers")
         self.server.set_learning_rate(self._top_lr(plan))
-        return plan, [self.workers[w] for w in plan.selected]
+        return plan, self.pool.checkout(plan.selected)
 
     def _round_ops(
         self,
@@ -445,6 +475,14 @@ class SplitTrainingEngine(Algorithm):
     ) -> None:
         """The weight-averaging half of AGGREGATE, given collected states."""
         weights = [float(plan.batch_sizes[w.worker_id]) for w in selected_workers]
+        if self.pool.wants_bottom_states:
+            # Capture each worker's delta against the round's install-time
+            # global bottom (still unchanged here) for the lazy pool's
+            # DeltaCache.  Observation only: the next install overwrites
+            # worker bottoms with the global model either way.
+            self.pool.observe_bottom_states(
+                selected_workers, states, self.server.global_bottom.state_dict()
+            )
         self.server.aggregate_bottoms(states, weights)
 
     def _scaled_lr(self, batch_size: int) -> float:

@@ -111,7 +111,7 @@ class MergeSFL(EngineBackedAlgorithm):
         return cls(
             config=components.config,
             split=components.split,
-            workers=components.workers,
+            workers=components.worker_pool(),
             cluster=components.cluster,
             data=components.data,
             bandwidth_budget_override=components.bandwidth_budget,

@@ -4,6 +4,14 @@ The control module must pick a worker set ``S^h`` whose merged label
 distribution is as close to IID as possible while the occupied ingress
 bandwidth stays within budget.  Workers that have participated less often
 get higher priority so every worker's data eventually contributes.
+
+Everything here operates on dense metadata arrays -- per-sample durations,
+label-distribution rows, participation counts -- with *positional* indices:
+no live worker objects are needed to plan a round.  That makes the module
+population-agnostic: a lazily-materialised registry hands the GA the rows
+of its per-round candidate pool and the resulting positional selection is
+remapped to global worker ids afterwards
+(:meth:`repro.core.controller.RoundPlan.remapped`).
 """
 
 from __future__ import annotations

@@ -27,6 +27,13 @@ class RoundRecord:
             staleness bound 0, or a relaxation that fell back); positive
             only when a bounded-staleness schedule actually relaxed the
             round, which makes the relaxation measurable per round.
+        selected_ids: Global ids of the round's selected cohort, in plan
+            order -- the participation history churn scenarios build on.
+        cache_hits: Worker materialisations served from the population's
+            :class:`~repro.population.cache.DeltaCache` this round
+            (``0`` for eager populations and disabled caches).
+        cache_misses: Materialisations that fell back to the plain global
+            model this round (FedAvg-install semantics).
     """
 
     round_index: int
@@ -41,6 +48,9 @@ class RoundRecord:
     total_batch: int
     merged_kl: float = 0.0
     effective_staleness: float = 0.0
+    selected_ids: list[int] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
 
 
 @dataclass

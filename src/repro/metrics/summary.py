@@ -59,6 +59,46 @@ def speedup(baseline: History, candidate: History, target: float) -> float | Non
     return baseline_time / candidate_time
 
 
+def participation_summary(history: History) -> dict:
+    """Aggregate the per-round participation history of a run.
+
+    Uses the ``selected_ids`` recorded per round, so it works for eager and
+    lazy populations alike (and for histories loaded from checkpoints).
+
+    Returns:
+        ``distinct_workers`` (how many workers ever participated),
+        ``total_selections`` (sum of cohort sizes), ``mean_cohort`` /
+        ``max_cohort`` (per-round cohort statistics) and ``selections``
+        (mapping from worker id to times selected).
+    """
+    selections: dict[int, int] = {}
+    cohorts = []
+    for record in history.records:
+        cohorts.append(len(record.selected_ids))
+        for worker_id in record.selected_ids:
+            selections[worker_id] = selections.get(worker_id, 0) + 1
+    return {
+        "distinct_workers": len(selections),
+        "total_selections": int(np.sum(cohorts)) if cohorts else 0,
+        "mean_cohort": float(np.mean(cohorts)) if cohorts else 0.0,
+        "max_cohort": int(np.max(cohorts)) if cohorts else 0,
+        "selections": selections,
+    }
+
+
+def cache_hit_rate(history: History) -> float:
+    """Fraction of worker materialisations served by the delta cache.
+
+    ``0.0`` when the run recorded no cache events (eager populations,
+    disabled caches, or an empty history).
+    """
+    hits = sum(record.cache_hits for record in history.records)
+    misses = sum(record.cache_misses for record in history.records)
+    if hits + misses == 0:
+        return 0.0
+    return hits / (hits + misses)
+
+
 def mean_effective_staleness(history: History) -> float:
     """Average realized staleness across the run's rounds (0.0 when exact)."""
     if not history.records:

@@ -1,0 +1,102 @@
+"""Bounded per-worker bottom-model delta cache.
+
+When a lazily-materialised worker is rebuilt for a round, its bottom model
+is reconstructed as ``global + delta`` from a bounded LRU cache of the
+deltas recent participants produced; a cache miss falls back to the plain
+global model, which is exactly the FedAvg-install semantics the engines
+already apply at the start of every round.  The cache therefore bounds the
+per-worker model state a population can pin regardless of how many workers
+ever participated.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+
+class DeltaCache:
+    """LRU cache of per-worker bottom-model deltas against the global model."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._deltas: "OrderedDict[int, dict[str, np.ndarray]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self._round_hits = 0
+        self._round_misses = 0
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __contains__(self, worker_id: int) -> bool:
+        return int(worker_id) in self._deltas
+
+    def put(
+        self,
+        worker_id: int,
+        state: dict[str, np.ndarray],
+        reference: dict[str, np.ndarray],
+    ) -> None:
+        """Store ``state - reference`` for a worker, evicting the LRU entry."""
+        worker_id = int(worker_id)
+        self._deltas[worker_id] = {
+            key: np.asarray(state[key]) - np.asarray(reference[key])
+            for key in state
+        }
+        self._deltas.move_to_end(worker_id)
+        while len(self._deltas) > self.capacity:
+            self._deltas.popitem(last=False)
+
+    def reconstruct(
+        self, worker_id: int, reference: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray] | None:
+        """``reference + delta`` on a hit, ``None`` (use the global) on a miss."""
+        delta = self._deltas.get(int(worker_id))
+        if delta is None:
+            self.misses += 1
+            self._round_misses += 1
+            return None
+        self.hits += 1
+        self._round_hits += 1
+        self._deltas.move_to_end(int(worker_id))
+        return {key: np.asarray(reference[key]) + delta[key] for key in delta}
+
+    def take_round_counts(self) -> tuple[int, int]:
+        """This round's ``(hits, misses)``; resets the per-round counters."""
+        counts = (self._round_hits, self._round_misses)
+        self._round_hits = 0
+        self._round_misses = 0
+        return counts
+
+    # -- checkpointing -------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Cache contents in LRU order (oldest first) plus lifetime counters."""
+        return {
+            "capacity": self.capacity,
+            "entries": [
+                [wid, {key: value.copy() for key, value in delta.items()}]
+                for wid, delta in self._deltas.items()
+            ],
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore contents captured by :meth:`state_dict`."""
+        self._deltas = OrderedDict(
+            (
+                int(wid),
+                {key: np.asarray(value) for key, value in delta.items()},
+            )
+            for wid, delta in state.get("entries", [])
+        )
+        while len(self._deltas) > self.capacity:
+            self._deltas.popitem(last=False)
+        self.hits = int(state.get("hits", 0))
+        self.misses = int(state.get("misses", 0))
+        self._round_hits = 0
+        self._round_misses = 0

@@ -44,6 +44,28 @@ class WorkerStateEstimator:
         for worker_id, (mu, beta) in enumerate(zip(mus, betas)):
             self.update(worker_id, float(mu), float(beta))
 
+    def update_ids(self, ids: np.ndarray, mus: np.ndarray, betas: np.ndarray) -> None:
+        """Fold observations for a subset of workers, vectorised.
+
+        Elementwise first-observation/moving-average updates are IEEE-
+        identical to the scalar :meth:`update` loop, so candidate-scope
+        planning (which only ever observes the round's candidates) costs
+        O(len(ids)) regardless of the registered population.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        mus = np.asarray(mus, dtype=np.float64)
+        betas = np.asarray(betas, dtype=np.float64)
+        if (mus < 0).any() or (betas < 0).any():
+            raise ValueError("observed times must be non-negative")
+        seen = self._seen[ids]
+        fresh = ids[~seen]
+        self._mu[fresh] = mus[~seen]
+        self._beta[fresh] = betas[~seen]
+        self._seen[fresh] = True
+        tracked = ids[seen]
+        self._mu[tracked] = moving_average(self._mu[tracked], mus[seen], self.alpha)
+        self._beta[tracked] = moving_average(self._beta[tracked], betas[seen], self.alpha)
+
     def estimates(self) -> tuple[np.ndarray, np.ndarray]:
         """Current ``(mu, beta)`` estimates (copies)."""
         return self._mu.copy(), self._beta.copy()
@@ -51,6 +73,15 @@ class WorkerStateEstimator:
     def per_sample_duration(self) -> np.ndarray:
         """Estimated ``mu_i + beta_i`` per worker (seconds per sample)."""
         return self._mu + self._beta
+
+    def per_sample_duration_for(self, ids: np.ndarray) -> np.ndarray:
+        """``mu_i + beta_i`` for a subset of workers, in ``ids`` order.
+
+        Bit-identical to ``per_sample_duration()[ids]`` without touching
+        the full estimate arrays (candidate-scope planning).
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        return self._mu[ids] + self._beta[ids]
 
     def is_initialised(self) -> bool:
         """Whether every worker has been observed at least once."""

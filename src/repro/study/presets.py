@@ -20,6 +20,12 @@ the ``BENCH_PRESET`` environment variable, so the benchmark harness can be
 pointed at the paper axis without editing code.  Presets are grid studies,
 hence resumable through a :class:`~repro.study.store.StudyStore` and
 clampable through ``StudyRunner(max_processes=...)``.
+
+The ``*-population`` presets sweep the *registered* population instead of
+the participating fleet: trials run over the lazy worker registry
+(:mod:`repro.population`) with a fixed candidate pool, extending the
+scalability axis to a million registered workers while each round still
+materialises only its cohort.
 """
 
 from __future__ import annotations
@@ -35,6 +41,13 @@ PAPER_WORKER_SCALES = (100, 200, 400)
 
 #: A smaller axis with the same shape, for dry-running the preset plumbing.
 SMOKE_WORKER_SCALES = (8, 16, 24)
+
+#: Registered-population axis for the lazy worker registry (three orders of
+#: magnitude beyond the paper's fleets; the cohort stays candidate-bounded).
+PAPER_POPULATION_SCALES = (1_000, 100_000, 1_000_000)
+
+#: A smaller population axis for dry-running the preset plumbing.
+SMOKE_POPULATION_SCALES = (500, 5_000)
 
 
 def scalability_study(
@@ -61,6 +74,42 @@ def scalability_study(
     return Study.grid(name, base, axes={"num_workers": scales})
 
 
+def population_study(
+    dataset: str = "blobs",
+    scales: tuple[int, ...] = PAPER_POPULATION_SCALES,
+    algorithm: str = "mergesfl",
+    non_iid_level: float = 0.0,
+    name: str | None = None,
+    **overrides,
+) -> Study:
+    """A registered-population grid over the lazy worker registry.
+
+    Sweeps ``num_workers`` far beyond the paper's fleets while holding the
+    per-round cohort fixed through a candidate pool, so every trial does
+    comparable work and the axis isolates the cost of *registering* workers
+    (which the lazy registry keeps flat).  ``overrides`` apply to every
+    trial's config; the population knobs themselves may be overridden too.
+    """
+    from repro.experiments.figures import figure_config
+
+    overrides = {k: v for k, v in overrides.items() if k != "num_workers"}
+    extras = dict(overrides.pop("extras", {}) or {})
+    # Partitioning a fixed train set over 1e5+ workers yields empty shards;
+    # sampled sharding derives shards per worker, O(1) in the population.
+    extras.setdefault("population_sharding", "sampled")
+    extras.setdefault("population_live_devices", 4096)
+    overrides.setdefault("population", "lazy")
+    overrides.setdefault("population_candidates", 64)
+    overrides.setdefault("population_cache", 32)
+    base = figure_config(
+        dataset, algorithm, non_iid_level,
+        num_workers=scales[0], extras=extras, **overrides,
+    )
+    if name is None:
+        name = f"{dataset}-population-{'-'.join(str(s) for s in scales)}"
+    return Study.grid(name, base, axes={"num_workers": scales})
+
+
 def _paper_scalability(**overrides) -> Study:
     return scalability_study(scales=PAPER_WORKER_SCALES,
                              name="paper-scalability", **overrides)
@@ -76,11 +125,23 @@ def _smoke_scalability(**overrides) -> Study:
                              name="smoke-scalability", **overrides)
 
 
+def _paper_population(**overrides) -> Study:
+    return population_study(scales=PAPER_POPULATION_SCALES,
+                            name="paper-population", **overrides)
+
+
+def _smoke_population(**overrides) -> Study:
+    return population_study(scales=SMOKE_POPULATION_SCALES,
+                            name="smoke-population", **overrides)
+
+
 #: Name -> study builder; builders accept config overrides.
 PRESETS: dict[str, Callable[..., Study]] = {
     "paper-scalability": _paper_scalability,
     "paper-scalability-noniid": _paper_scalability_noniid,
     "smoke-scalability": _smoke_scalability,
+    "paper-population": _paper_population,
+    "smoke-population": _smoke_population,
 }
 
 

@@ -1,0 +1,137 @@
+"""Lazy-vs-eager bit-exactness across algorithms, executors and schedulers.
+
+``population="lazy"`` is a materialisation strategy, not a different
+algorithm: for any config where the eager path fits in memory, the lazy
+path must produce bit-identical history records and final weights.  The
+only record fields allowed to differ are the observational ``cache_hits``
+and ``cache_misses`` -- eager pools never touch the delta cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.config import ExperimentConfig
+
+#: Fields that legitimately differ between lazy and eager runs: the delta
+#: cache is observational (reconstruction matches the engine's install).
+OBSERVATIONAL_FIELDS = {"cache_hits", "cache_misses"}
+
+#: (executor, transport, pipeline) rows the lazy path must match.
+VARIANTS = (
+    ("serial", "pipe", "sync"),
+    ("batched", "pipe", "sync"),
+    ("process", "shm", "pipelined"),
+    ("serial", "pipe", "staleness"),
+)
+
+
+def _config(population: str, algorithm: str, **overrides) -> ExperimentConfig:
+    params = dict(
+        algorithm=algorithm,
+        dataset="blobs",
+        model="mlp",
+        num_workers=5,
+        num_rounds=3,
+        local_iterations=3,
+        non_iid_level=2.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=300,
+        test_samples=80,
+        learning_rate=0.1,
+        momentum=0.9,
+        weight_decay=1e-4,
+        seed=3,
+        population=population,
+        population_cache=8 if population == "lazy" else 0,
+        extras={"executor_processes": 2},
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _run(config: ExperimentConfig):
+    with Session.from_config(config) as session:
+        history = session.run()
+        return history.records, session.global_model().state_dict()
+
+
+_REFERENCES: dict[str, tuple] = {}
+
+
+def _eager_reference(algorithm: str):
+    if algorithm not in _REFERENCES:
+        _REFERENCES[algorithm] = _run(_config("eager", algorithm))
+    return _REFERENCES[algorithm]
+
+
+def _assert_bit_equal(reference, candidate, label: str) -> None:
+    ref_records, ref_state = reference
+    records, state = candidate
+    assert len(records) == len(ref_records), label
+    for ref_record, record in zip(ref_records, records):
+        ref_dict = {k: v for k, v in dataclasses.asdict(ref_record).items()
+                    if k not in OBSERVATIONAL_FIELDS}
+        got = {k: v for k, v in dataclasses.asdict(record).items()
+               if k not in OBSERVATIONAL_FIELDS}
+        assert got == ref_dict, label
+    assert set(state) == set(ref_state)
+    for key in ref_state:
+        assert np.array_equal(state[key], ref_state[key]), f"{label}: {key}"
+
+
+@pytest.mark.parametrize("executor,transport,pipeline", VARIANTS,
+                         ids=["/".join(v) for v in VARIANTS])
+@pytest.mark.parametrize("algorithm", ["mergesfl", "splitfed", "fedavg"])
+def test_lazy_matches_eager(algorithm, executor, transport, pipeline):
+    reference = _eager_reference(algorithm)
+    candidate = _run(_config(
+        "lazy", algorithm,
+        executor=executor, transport=transport, pipeline=pipeline,
+    ))
+    _assert_bit_equal(
+        reference, candidate,
+        f"{algorithm}/lazy/{executor}/{transport}/{pipeline}",
+    )
+
+
+def test_lazy_without_cache_matches_eager():
+    reference = _eager_reference("mergesfl")
+    candidate = _run(_config("lazy", "mergesfl", population_cache=0))
+    _assert_bit_equal(reference, candidate, "mergesfl/lazy/no-cache")
+
+
+def test_selected_ids_recorded_and_identical():
+    ref_records, _ = _eager_reference("mergesfl")
+    lazy_records, _ = _run(_config("lazy", "mergesfl"))
+    for ref_record, record in zip(ref_records, lazy_records):
+        assert record.selected_ids == ref_record.selected_ids
+        assert len(record.selected_ids) == record.num_selected
+
+
+def test_candidate_pool_restricts_selection_deterministically():
+    """With a candidate pool the trajectory is its own (a different planning
+    scope), but it must be deterministic and select within the pool."""
+    config = _config("lazy", "mergesfl", num_workers=40,
+                     population_candidates=8)
+    records_a, state_a = _run(config)
+    records_b, state_b = _run(_config("lazy", "mergesfl", num_workers=40,
+                                      population_candidates=8))
+    for a, b in zip(records_a, records_b):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+    for key in state_a:
+        assert np.array_equal(state_a[key], state_b[key])
+    for record in records_a:
+        assert len(record.selected_ids) <= 8
+
+
+def test_eager_with_candidates_is_rejected():
+    from repro.exceptions import ConfigurationError
+
+    with pytest.raises(ConfigurationError, match="population_candidates"):
+        _config("eager", "mergesfl", population_candidates=8)

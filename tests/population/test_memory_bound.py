@@ -1,0 +1,89 @@
+"""The memory contract: live worker state is bounded by the cohort."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api.session import Session
+from repro.config import ExperimentConfig
+from repro.metrics.summary import cache_hit_rate, participation_summary
+
+
+def _session(num_workers=200, candidates=8, rounds=3, **overrides) -> Session:
+    params = dict(
+        algorithm="mergesfl",
+        dataset="blobs",
+        model="mlp",
+        num_workers=num_workers,
+        num_rounds=rounds,
+        local_iterations=2,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=240,
+        test_samples=64,
+        seed=9,
+        population="lazy",
+        population_candidates=candidates,
+        population_cache=8,
+        extras={"population_sharding": "sampled"},
+    )
+    params.update(overrides)
+    return Session.from_config(ExperimentConfig(**params))
+
+
+def test_peak_live_bounded_by_cohort_and_released_at_round_end():
+    session = _session()
+    session.run()
+    pool = session.algorithm.engine.pool
+    stats = pool.stats()
+    assert stats["registered"] == 200
+    # Resident worker state never exceeds the candidate pool (which caps
+    # the selectable cohort) ...
+    assert 0 < stats["peak_live"] <= 8
+    # ... and the cohort is fully released once the round is over.
+    assert pool.live_worker_count() == 0
+    assert stats["live"] == 0
+
+
+def test_materializations_only_for_selected_workers():
+    session = _session()
+    session.run()
+    pool = session.algorithm.engine.pool
+    participation = participation_summary(session.history)
+    assert pool.materializer.materializations == participation["total_selections"]
+    assert participation["distinct_workers"] <= 8 * session.config.num_rounds
+
+
+def test_cached_deltas_bounded_by_capacity():
+    session = _session(num_workers=10, candidates=0, rounds=4,
+                       population_cache=4)
+    session.run()
+    pool = session.algorithm.engine.pool
+    assert pool.stats()["cached_deltas"] <= 4
+    # A 10-worker population revisits workers, so the bounded cache serves
+    # real hits and the summary reflects them.
+    assert cache_hit_rate(session.history) > 0.0
+
+
+def test_label_columns_materialise_only_touched_shards():
+    session = _session(num_workers=100_000, candidates=8, rounds=2,
+                       extras={"population_sharding": "sampled",
+                               "auto_budget": False,
+                               "population_live_devices": 256})
+    session.run()
+    registry = session.algorithm.engine.pool.registry
+    # 100k workers / shard_size 4096 ~ 25 shards; the rounds touch at most
+    # one per candidate (plus none eagerly).
+    assert registry.built_label_shards <= 8 * 2
+
+
+def test_plan_candidates_is_pure_in_round_index():
+    session = _session()
+    pool = session.algorithm.engine.pool
+    first = pool.plan_candidates(5)
+    second = pool.plan_candidates(5)
+    other = pool.plan_candidates(6)
+    assert np.array_equal(first, second)
+    assert not np.array_equal(first, other)
+    assert first.shape == (8,)
+    assert np.array_equal(first, np.sort(first))

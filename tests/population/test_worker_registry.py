@@ -1,0 +1,182 @@
+"""Registry round-trips, shard determinism and the delta cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.partition import label_distribution, partition_dataset
+from repro.population import (
+    DeltaCache,
+    PartitionShards,
+    SampledShards,
+    WorkerRegistry,
+    sample_distinct,
+)
+from repro.utils.rng import spawned_rng
+
+
+def _targets(n=200, classes=4, seed=0):
+    return spawned_rng(seed, 0).integers(0, classes, size=n)
+
+
+# -- sample_distinct ----------------------------------------------------------
+def test_sample_distinct_is_sorted_distinct_and_in_range():
+    ids = sample_distinct(spawned_rng(3, 0), population=1_000_000, count=64)
+    assert ids.shape == (64,)
+    assert ids.dtype == np.int64
+    assert len(set(ids.tolist())) == 64
+    assert np.array_equal(ids, np.sort(ids))
+    assert ids.min() >= 0 and ids.max() < 1_000_000
+
+
+def test_sample_distinct_is_deterministic():
+    a = sample_distinct(spawned_rng(3, 7), 10_000, 32)
+    b = sample_distinct(spawned_rng(3, 7), 10_000, 32)
+    assert np.array_equal(a, b)
+
+
+def test_sample_distinct_saturates_to_full_population():
+    assert np.array_equal(sample_distinct(spawned_rng(0, 0), 5, 9), np.arange(5))
+    assert np.array_equal(sample_distinct(spawned_rng(0, 0), 5, 5), np.arange(5))
+
+
+# -- shard sources ------------------------------------------------------------
+def test_sampled_shards_deterministic_sorted_distinct():
+    source = SampledShards(train_size=500, samples_per_worker=40, seed=11)
+    for worker_id in (0, 1, 999_999):
+        shard = source.shard_indices(worker_id)
+        again = source.shard_indices(worker_id)
+        assert np.array_equal(shard, again)
+        assert shard.shape == (40,)
+        assert len(set(shard.tolist())) == 40
+        assert np.array_equal(shard, np.sort(shard))
+        assert source.num_samples(worker_id) == 40
+    assert not np.array_equal(source.shard_indices(0), source.shard_indices(1))
+
+
+def test_sampled_shards_clamped_to_train_size():
+    source = SampledShards(train_size=10, samples_per_worker=50, seed=0)
+    assert np.array_equal(source.shard_indices(3), np.arange(10))
+
+
+def test_partition_shards_match_partitioner_verbatim():
+    import types
+
+    targets = _targets()
+    shards = partition_dataset(types.SimpleNamespace(targets=targets),
+                               num_workers=6, non_iid_level=2.0, seed=5)
+    source = PartitionShards(shards)
+    assert len(source) == 6
+    for worker_id, shard in enumerate(shards):
+        assert np.array_equal(source.shard_indices(worker_id), shard)
+        assert source.num_samples(worker_id) == len(shard)
+
+
+# -- registry -----------------------------------------------------------------
+def _registry(num_workers=50, shard_size=8, seed=11):
+    targets = _targets()
+    source = SampledShards(len(targets), samples_per_worker=20, seed=seed)
+    return WorkerRegistry(num_workers, 4, targets, source, shard_size=shard_size), targets
+
+
+def test_registry_label_rows_match_direct_computation():
+    registry, targets = _registry()
+    for worker_id in (0, 7, 49):
+        expected = label_distribution(
+            targets, registry.shard_indices(worker_id), 4
+        )
+        row = registry.label_distributions(np.array([worker_id]))[0]
+        assert np.array_equal(row, expected)
+
+
+def test_registry_builds_label_rows_lazily():
+    registry, _ = _registry(num_workers=64, shard_size=8)
+    assert registry.built_label_shards == 0
+    registry.label_distributions(np.array([0]))
+    assert registry.built_label_shards == 1
+    # A row in a far shard allocates that shard only.
+    registry.label_distributions(np.array([63]))
+    assert registry.built_label_shards == 2
+
+
+def test_registry_full_matrix_matches_row_queries():
+    registry, _ = _registry(num_workers=10)
+    full = registry.label_distributions()
+    rows = registry.label_distributions(np.arange(10))
+    assert np.array_equal(full, rows)
+
+
+def test_registry_state_roundtrip_is_sparse():
+    registry, _ = _registry()
+    registry.store_worker_state(3, 2, {"cursor": 7})
+    registry.store_worker_state(17, 1, {"cursor": 1})
+    state = registry.state_dict()
+    assert set(state["participation"]) == {"3", "17"}
+    fresh, _ = _registry()
+    fresh.load_state_dict(state)
+    assert fresh.participation_count(3) == 2
+    assert fresh.participation_count(17) == 1
+    assert fresh.participation_count(0) == 0
+    assert fresh.loader_state(3) == {"cursor": 7}
+    assert fresh.loader_state(0) is None
+    assert np.array_equal(fresh.participation_counts(),
+                          registry.participation_counts())
+
+
+def test_registry_rejects_population_mismatch_and_bad_ids():
+    registry, _ = _registry(num_workers=50)
+    other, _ = _registry(num_workers=10)
+    with pytest.raises(ValueError, match="50 workers"):
+        other.load_state_dict(registry.state_dict())
+    with pytest.raises(IndexError):
+        registry.shard_indices(50)
+    with pytest.raises(IndexError):
+        registry.participation_count(-1)
+
+
+# -- delta cache --------------------------------------------------------------
+def _state(value):
+    return {"w": np.full((3,), float(value)), "b": np.full((2,), float(value))}
+
+
+def test_delta_cache_reconstructs_exactly():
+    cache = DeltaCache(capacity=4)
+    reference = _state(1.0)
+    cache.put(7, _state(3.5), reference)
+    rebuilt = cache.reconstruct(7, reference)
+    assert rebuilt is not None
+    for key, value in _state(3.5).items():
+        assert np.array_equal(rebuilt[key], value)
+    assert cache.reconstruct(8, reference) is None
+    assert cache.take_round_counts() == (1, 1)
+    assert cache.take_round_counts() == (0, 0)
+
+
+def test_delta_cache_evicts_least_recently_used():
+    cache = DeltaCache(capacity=2)
+    reference = _state(0.0)
+    cache.put(1, _state(1.0), reference)
+    cache.put(2, _state(2.0), reference)
+    assert cache.reconstruct(1, reference) is not None  # 1 becomes MRU
+    cache.put(3, _state(3.0), reference)                # evicts 2
+    assert cache.reconstruct(2, reference) is None
+    assert cache.reconstruct(1, reference) is not None
+    assert cache.reconstruct(3, reference) is not None
+    assert len(cache) == 2
+
+
+def test_delta_cache_state_roundtrip_preserves_entries_and_counters():
+    cache = DeltaCache(capacity=3)
+    reference = _state(1.0)
+    cache.put(1, _state(2.0), reference)
+    cache.put(2, _state(4.0), reference)
+    cache.reconstruct(1, reference)
+    cache.reconstruct(9, reference)
+    fresh = DeltaCache(capacity=3)
+    fresh.load_state_dict(cache.state_dict())
+    assert len(fresh) == 2
+    assert fresh.hits == cache.hits and fresh.misses == cache.misses
+    rebuilt = fresh.reconstruct(2, reference)
+    for key, value in _state(4.0).items():
+        assert np.array_equal(rebuilt[key], value)
