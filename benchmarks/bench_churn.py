@@ -1,0 +1,115 @@
+"""Elastic rounds under churn: dropout cost and first-k-of-n round time.
+
+The paper's testbed keeps all 80 devices alive for every round; real
+cross-device deployments do not.  :mod:`repro.core.elastic` makes rounds
+elastic -- over-selection, first-k-of-n aggregation at a straggler
+deadline, and stale rejoins -- and this benchmark measures the two claims
+that subsystem makes:
+
+* **Dropout is cheap when over-selected.**  The dropout sweep runs the
+  same experiment at per-round dropout 0 / 0.1 / 0.3 with over-selection
+  1.25 and reports final accuracy and the realised churn, next to the
+  exact (elasticity off) run.
+* **First-k-of-n beats wait-for-all under stragglers.**  With a straggler
+  deadline, the simulated round duration is capped at a multiple of the
+  cohort's median worker time instead of its maximum, so the slowest
+  device no longer sets the round clock.
+
+``BENCH_CHURN`` is not consulted here -- this benchmark *is* the elastic
+path; the env knob exists to run every other benchmark under churn.
+"""
+
+from repro.api.session import Session
+from repro.experiments.figures import figure_config
+from repro.experiments.reporting import format_table
+from repro.metrics.summary import (
+    final_accuracy,
+    mean_dropout_rate,
+    mean_effective_cohort,
+)
+
+from benchmarks.common import bench_overrides, run_once, smoke_mode
+
+#: Per-round dropout probabilities of the sweep (0 = neutral elasticity).
+DROPOUT_RATES = (0.0, 0.1, 0.3)
+OVER_SELECT = 1.25
+
+
+def _churn_config(**overrides):
+    # Deliberately off the saturation plateau (high skew, small LR, few
+    # local steps): at the suite's default scale every run reaches 1.0
+    # accuracy and the dropout cost would be invisible.
+    params = bench_overrides()
+    # BENCH_CHURN applies to every *other* benchmark; this one sweeps the
+    # elastic knobs itself, against a genuinely exact baseline.
+    for key in ("elastic", "dropout_rate", "over_select_factor"):
+        params.pop(key, None)
+    params.update(
+        non_iid_level=8.0, learning_rate=0.02, local_iterations=2,
+        **overrides,
+    )
+    return figure_config("blobs", "mergesfl", **params)
+
+
+def _run(config):
+    with Session.from_config(config) as session:
+        return session.run()
+
+
+def _dropout_sweep() -> list[dict]:
+    rows = [{"mode": "exact", "history": _run(_churn_config())}]
+    for rate in DROPOUT_RATES:
+        config = _churn_config(
+            elastic=True, dropout_rate=rate,
+            over_select_factor=OVER_SELECT if rate else 1.0,
+            rejoin_staleness_bound=2 if rate else 0,
+        )
+        rows.append({"mode": f"dropout {rate:.1f}", "history": _run(config)})
+    return rows
+
+
+def test_dropout_sweep(benchmark):
+    rows = run_once(benchmark, _dropout_sweep)
+    print()
+    print(format_table(
+        ["mode", "final_acc", "dropout", "cohort", "sim_time_s"],
+        [[row["mode"],
+          f"{final_accuracy(row['history']):.3f}",
+          f"{mean_dropout_rate(row['history']):.2f}",
+          f"{mean_effective_cohort(row['history']):.1f}",
+          f"{row['history'].records[-1].sim_time:.3f}"] for row in rows],
+        title=f"Dropout sweep at over-selection {OVER_SELECT}",
+    ))
+    exact = final_accuracy(rows[0]["history"])
+    neutral = final_accuracy(rows[1]["history"])
+    # Neutral elasticity is the exact protocol.
+    assert neutral == exact
+    if not smoke_mode():
+        # Over-selection keeps the lossy runs within a learning tolerance
+        # of the exact one even at 30% per-round dropout.
+        for row in rows[2:]:
+            assert final_accuracy(row["history"]) >= exact - 0.15
+
+
+def _round_times() -> dict[str, float]:
+    wait_all = _run(_churn_config())
+    first_k = _run(_churn_config(elastic=True, straggler_deadline=1.5))
+    return {
+        "wait_for_all_s": wait_all.records[-1].sim_time,
+        "first_k_of_n_s": first_k.records[-1].sim_time,
+    }
+
+
+def test_first_k_of_n_beats_wait_for_all(benchmark):
+    times = run_once(benchmark, _round_times)
+    print()
+    print(format_table(
+        ["policy", "total_sim_time_s"],
+        [["wait for all", f"{times['wait_for_all_s']:.3f}"],
+         ["first-k-of-n (deadline 1.5x median)",
+          f"{times['first_k_of_n_s']:.3f}"]],
+        title="Simulated run time: straggler deadline vs synchronous",
+    ))
+    # The deadline caps every round at 1.5x the cohort median, so the
+    # simulated clock must come in under the wait-for-all run's.
+    assert times["first_k_of_n_s"] < times["wait_for_all_s"]

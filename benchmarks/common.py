@@ -40,6 +40,12 @@ each other through a shared dict):
 * ``BENCH_PRESET=name`` -- point the scalability benchmark at a
   :mod:`repro.study.presets` study (e.g. ``paper-scalability`` for the
   paper's 100/200/400-worker axis) instead of the scaled-down default.
+* ``BENCH_CHURN=rate`` -- run every benchmark under elastic rounds (see
+  :mod:`repro.core.elastic`) with that per-round dropout probability and
+  over-selection 1.25.  Like ``BENCH_STALENESS``, this is a measured
+  relaxation: deterministic for a fixed seed, but a different trajectory
+  than the exact synchronous runs (``BENCH_CHURN=0`` keeps elasticity on
+  with zero churn, which *is* bit-exact).
 """
 
 from __future__ import annotations
@@ -98,6 +104,17 @@ def bench_preset() -> str | None:
     return os.environ.get("BENCH_PRESET") or None
 
 
+def bench_churn_rate() -> float | None:
+    """Dropout rate requested through ``BENCH_CHURN`` (``None`` = off).
+
+    ``BENCH_CHURN=0`` is distinct from unset: it enables elastic rounds
+    with zero churn, the neutral mode that must stay bit-exact with the
+    synchronous protocol.
+    """
+    value = os.environ.get("BENCH_CHURN")
+    return None if value is None or value == "" else float(value)
+
+
 def bench_overrides() -> dict:
     """The suite's config overrides, built fresh from the environment.
 
@@ -122,6 +139,12 @@ def bench_overrides() -> dict:
         # An explicit BENCH_PIPELINE wins; otherwise a bound implies the
         # staleness scheduler (a bound under sync/pipelined is inert).
         overrides.setdefault("pipeline", "staleness")
+    churn = bench_churn_rate()
+    if churn is not None:
+        overrides["elastic"] = True
+        overrides["dropout_rate"] = churn
+        if churn > 0:
+            overrides["over_select_factor"] = 1.25
     return overrides
 
 

@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.elastic import ElasticController
     from repro.parallel.base import Executor
 
 from repro.api.registry import ALGORITHMS, MODELS
@@ -74,12 +75,25 @@ class ExperimentComponents:
     #: stores a :class:`~repro.population.pool.LazyWorkerPool` here and
     #: leaves ``workers`` empty.
     pool: "WorkerPool | None" = None
+    #: Round-elasticity controller shared by whichever engine the algorithm
+    #: builds.  ``None`` means :meth:`elastic_controller` builds one from
+    #: the configuration on first use (itself ``None`` when
+    #: ``config.elastic`` is off, which keeps rounds synchronous).
+    elastic: "ElasticController | None" = None
 
     def worker_pool(self) -> "WorkerPool":
         """The population pool, wrapping the eager worker list if needed."""
         if self.pool is None:
             self.pool = EagerWorkerPool(self.workers)
         return self.pool
+
+    def elastic_controller(self) -> "ElasticController | None":
+        """The elasticity controller, built from the config on first use."""
+        if self.elastic is None:
+            from repro.core.elastic import build_elastic_controller
+
+            self.elastic = build_elastic_controller(self.config)
+        return self.elastic
 
 
 def build_model_for(config: ExperimentConfig, data: TrainTestSplit) -> Sequential:

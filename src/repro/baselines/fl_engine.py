@@ -21,8 +21,14 @@ import numpy as np
 
 from repro.api.algorithm import Algorithm
 from repro.config import ExperimentConfig
+from repro.core.elastic import (
+    ElasticController,
+    ElasticRound,
+    build_elastic_controller,
+)
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
+from repro.exceptions import ExecutorDeathError
 from repro.metrics.history import History, RoundRecord
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.models import estimate_forward_flops
@@ -38,7 +44,10 @@ from repro.parallel.pipeline import FullRoundOps, PipelineScheduler, build_pipel
 from repro.parallel.serial import SerialExecutor
 from repro.population.pool import WorkerPool, as_worker_pool
 from repro.simulation.cluster import Cluster, LazyCluster
-from repro.simulation.timing import average_waiting_time, round_duration
+from repro.simulation.timing import (
+    average_waiting_time,
+    elastic_round_duration,
+)
 from repro.simulation.traffic import TrafficMeter
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawned_rng
@@ -74,6 +83,7 @@ class FLTrainingEngine(Algorithm):
         selection: FLSelectionStrategy,
         executor: Executor | None = None,
         pipeline: PipelineScheduler | None = None,
+        elastic: ElasticController | None = None,
     ) -> None:
         self.config = config
         self.model = model.clone()
@@ -83,6 +93,11 @@ class FLTrainingEngine(Algorithm):
         self.selection = selection
         self.executor = executor if executor is not None else SerialExecutor()
         self.pipeline = pipeline if pipeline is not None else build_pipeline(config)
+        #: Round elasticity (over-selection, first-k-of-n, rejoin); ``None``
+        #: keeps the historical synchronous code paths untouched.
+        self._elastic = (
+            elastic if elastic is not None else build_elastic_controller(config)
+        )
 
         self.loss_fn = CrossEntropyLoss()
         self.traffic = TrafficMeter()
@@ -141,6 +156,9 @@ class FLTrainingEngine(Algorithm):
             "traffic": self.traffic.state_dict(),
             "cluster": self.cluster.state_dict(),
             "workers": self.pool.workers_state(),
+            "elastic": (
+                self._elastic.state_dict() if self._elastic is not None else None
+            ),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -154,32 +172,22 @@ class FLTrainingEngine(Algorithm):
         load_module_extra_state(self.model, state["model_extra"])
         self.traffic.load_state_dict(state["traffic"])
         self.cluster.load_state_dict(state["cluster"])
+        if self._elastic is not None and state.get("elastic") is not None:
+            self._elastic.load_state_dict(state["elastic"])
 
     # -- internals -------------------------------------------------------------
     def _run_round(self, round_index: int) -> None:
         config = self.config
         selected, selected_workers = self._stage_plan(round_index)
+        # Elastic rounds draw their churn once, up front, against the
+        # planned cohort; a death-recovery re-run reuses the same draw.
+        elastic_state: ElasticRound | None = None
+        if self._elastic is not None:
+            elastic_state = self._elastic.begin_round(
+                round_index, selected, self._durations_for(selected)
+            )
         losses: list[float] = []
         accounting: dict = {}
-
-        def train() -> list[dict[str, np.ndarray]]:
-            # LOCAL_STEP: full-model training on every selected worker.
-            return self.executor.train_full(
-                selected_workers,
-                self.model,
-                self.loss_fn,
-                iterations=config.local_iterations,
-                batch_size=config.base_batch_size,
-                learning_rate=self._current_lr,
-            )
-
-        def aggregate(states: list[dict[str, np.ndarray]]) -> None:
-            weights = []
-            for worker, state in zip(selected_workers, states):
-                weights.append(float(worker.num_samples))
-                worker.participation_count += 1
-                losses.append(self._local_loss(state))
-            self.model.load_state_dict(average_state_dicts(states, weights))
 
         def account() -> None:
             # ACCOUNT: simulated time and traffic; bound into the ops so
@@ -187,20 +195,71 @@ class FLTrainingEngine(Algorithm):
             # engine invokes it again defensively below).
             if accounting:
                 return
-            duration, waiting = self._account_time_and_traffic(selected)
+            duration, waiting = self._account_time_and_traffic(
+                selected, elastic_state
+            )
             self._clock += duration
             accounting["duration"] = duration
             accounting["waiting"] = waiting
 
-        self.pipeline.run_full_round(
-            FullRoundOps(
+        def make_ops(ids: list[int], workers: list[SplitWorker]) -> FullRoundOps:
+            def train() -> list[dict[str, np.ndarray]]:
+                # LOCAL_STEP: full-model training on every selected worker.
+                return self.executor.train_full(
+                    workers,
+                    self.model,
+                    self.loss_fn,
+                    iterations=config.local_iterations,
+                    batch_size=config.base_batch_size,
+                    learning_rate=self._current_lr,
+                )
+
+            def aggregate(states: list[dict[str, np.ndarray]]) -> None:
+                weights = []
+                for worker in workers:
+                    weights.append(float(worker.num_samples))
+                    worker.participation_count += 1
+                if elastic_state is None:
+                    for state in states:
+                        losses.append(self._local_loss(state))
+                    self.model.load_state_dict(
+                        average_state_dicts(states, weights)
+                    )
+                    return
+                resolved = self._elastic.apply_aggregate(
+                    elastic_state, ids, states, weights, self.model.state_dict()
+                )
+                # A missing reply carries no loss observation either.
+                completed = set(elastic_state.completed)
+                for worker, state in zip(workers, states):
+                    if worker.worker_id in completed:
+                        losses.append(self._local_loss(state))
+                if resolved is None:
+                    # Below the cohort quorum: the round leaves the global
+                    # model unchanged.
+                    return
+                final_states, final_weights = resolved
+                self.model.load_state_dict(
+                    average_state_dicts(final_states, final_weights)
+                )
+
+            return FullRoundOps(
                 executor=self.executor,
-                workers=selected_workers,
+                workers=workers,
                 train=train,
                 aggregate=aggregate,
                 account=account,
             )
-        )
+
+        try:
+            self.pipeline.run_full_round(make_ops(selected, selected_workers))
+        except ExecutorDeathError as error:
+            if elastic_state is None:
+                raise
+            self._recover_round(
+                selected, selected_workers, elastic_state, error, make_ops,
+                round_index,
+            )
         account()
         # Round over: fold the cohort's mutable state back into the pool
         # (a no-op for eager populations, the release point for lazy ones).
@@ -209,6 +268,16 @@ class FLTrainingEngine(Algorithm):
 
         duration, waiting = accounting["duration"], accounting["waiting"]
         accuracy, test_loss = self._evaluate()
+        if elastic_state is not None:
+            elastic_kwargs = {
+                "dropped_ids": [int(w) for w in elastic_state.dropped],
+                "completed_ids": [int(w) for w in elastic_state.completed],
+                "rejoined_ids": [int(w) for w in elastic_state.rejoined],
+                "dropout_rate": elastic_state.dropout_rate,
+                "effective_cohort": elastic_state.effective_cohort,
+            }
+        else:
+            elastic_kwargs = {"effective_cohort": len(selected)}
         self.history.append(
             RoundRecord(
                 round_index=round_index,
@@ -224,6 +293,7 @@ class FLTrainingEngine(Algorithm):
                 selected_ids=[int(w) for w in selected],
                 cache_hits=int(population_stats.get("cache_hits", 0)),
                 cache_misses=int(population_stats.get("cache_misses", 0)),
+                **elastic_kwargs,
             )
         )
         self._current_lr *= config.lr_decay
@@ -254,7 +324,55 @@ class FLTrainingEngine(Algorithm):
             raise RuntimeError("FL selection strategy selected no workers")
         if candidates is not None:
             selected = [int(candidates[local]) for local in selected]
+        if self._elastic is not None:
+            selected = self._elastic.over_select_ids(
+                selected, self.pool, candidates
+            )
         return selected, self.pool.checkout(selected)
+
+    def _recover_round(
+        self,
+        selected: list[int],
+        selected_workers: list[SplitWorker],
+        elastic_state: ElasticRound,
+        error: ExecutorDeathError,
+        make_ops,
+        round_index: int,
+    ) -> None:
+        """Re-run a round whose executor process died, with the survivors.
+
+        Mirrors the split engine's recovery: the dirty pool is torn down
+        (a fresh one spawns lazily), the lost workers become dropouts, and
+        the round restarts with the survivors when enough of the planned
+        cohort remains -- otherwise it yields no update but the session
+        lives on.  A second death in the re-run propagates.
+        """
+        lost = sorted(
+            {int(worker_id) for worker_id in error.worker_ids}
+            & {int(worker_id) for worker_id in selected}
+        )
+        if not lost:
+            raise error
+        logger.warning(
+            "FL round %d: executor death lost workers %s; re-planning with "
+            "the survivors", round_index, lost,
+        )
+        self.executor.close()
+        self._elastic.record_death(elastic_state, lost)
+        lost_set = set(lost)
+        survivors = [
+            int(worker_id) for worker_id in selected
+            if int(worker_id) not in lost_set
+        ]
+        if len(survivors) < self._elastic.min_cohort(len(elastic_state.planned)):
+            elastic_state.no_update = True
+            elastic_state.completed = []
+            return
+        survivor_workers = [
+            worker for worker in selected_workers
+            if worker.worker_id not in lost_set
+        ]
+        self.pipeline.run_full_round(make_ops(survivors, survivor_workers))
 
     def _local_loss(self, state: dict[str, np.ndarray]) -> float:
         """Training loss of a locally updated model on a small probe batch."""
@@ -284,10 +402,20 @@ class FLTrainingEngine(Algorithm):
             durations.append(compute + transfer)
         return np.asarray(durations)
 
-    def _account_time_and_traffic(self, selected: list[int]) -> tuple[float, float]:
+    def _account_time_and_traffic(
+        self,
+        selected: list[int],
+        elastic_state: "ElasticRound | None" = None,
+    ) -> tuple[float, float]:
         durations = self._durations_for(selected)
         self.traffic.add_model_exchange(self.model_bytes, num_workers=len(selected))
-        return round_duration(durations), average_waiting_time(durations)
+        deadline = (
+            elastic_state.churn.deadline if elastic_state is not None else None
+        )
+        return (
+            elastic_round_duration(durations, deadline),
+            average_waiting_time(durations),
+        )
 
     def _evaluate(self) -> tuple[float, float]:
         """Accuracy and loss of the global model on the test split."""

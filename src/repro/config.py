@@ -102,6 +102,31 @@ class ExperimentConfig:
     #: participants); ``0`` disables delta caching.
     population_cache: int = 64
 
+    # Elastic rounds ---------------------------------------------------------
+    #: Master switch for elastic fault-tolerant rounds (see
+    #: :mod:`repro.simulation.churn` and :mod:`repro.core.elastic`).  When
+    #: ``False`` (the default) every selected worker is assumed to reply and
+    #: trajectories are bit-exact with historical runs; the knobs below then
+    #: must stay at their neutral defaults.
+    elastic: bool = False
+    #: Per-worker per-round probability of dropping (never replying).
+    dropout_rate: float = 0.0
+    #: Over-selection factor ``f``: the engines select ``ceil(f * K)``
+    #: workers so the round still meets its cohort floor under churn.
+    over_select_factor: float = 1.0
+    #: Minimum fraction of the selected cohort that must reply for the
+    #: round's aggregate to be applied; below it the round yields no update
+    #: (the session survives and continues with the next round).
+    min_cohort_fraction: float = 0.5
+    #: Aggregation deadline as a multiple of the cohort's median planned
+    #: duration: the server aggregates first-k-of-n at the deadline instead
+    #: of waiting for the slowest worker.  ``0`` disables the deadline.
+    straggler_deadline: float = 0.0
+    #: How many rounds a missing worker's late update may lag before it is
+    #: discarded instead of folded back into the aggregate.  ``0`` discards
+    #: every late update (missing workers never rejoin).
+    rejoin_staleness_bound: int = 0
+
     # Execution --------------------------------------------------------------
     #: How the per-worker compute of each round is executed: ``"serial"``,
     #: ``"batched"`` (vectorized over the worker axis) or ``"process"``
@@ -246,6 +271,41 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"population_cache must be non-negative, "
                 f"got {self.population_cache}"
+            )
+        if not 0.0 <= self.dropout_rate <= 1.0:
+            raise ConfigurationError(
+                f"dropout_rate must be in [0, 1], got {self.dropout_rate}"
+            )
+        if self.over_select_factor < 1.0:
+            raise ConfigurationError(
+                f"over_select_factor must be >= 1, got {self.over_select_factor}"
+            )
+        if not 0.0 < self.min_cohort_fraction <= 1.0:
+            raise ConfigurationError(
+                f"min_cohort_fraction must be in (0, 1], "
+                f"got {self.min_cohort_fraction}"
+            )
+        if self.straggler_deadline < 0:
+            raise ConfigurationError(
+                f"straggler_deadline must be non-negative, "
+                f"got {self.straggler_deadline}"
+            )
+        if (self.rejoin_staleness_bound < 0
+                or self.rejoin_staleness_bound != int(self.rejoin_staleness_bound)):
+            raise ConfigurationError(
+                f"rejoin_staleness_bound must be a non-negative integer, "
+                f"got {self.rejoin_staleness_bound}"
+            )
+        if not self.elastic and (
+            self.dropout_rate > 0
+            or self.over_select_factor > 1.0
+            or self.straggler_deadline > 0
+            or self.rejoin_staleness_bound > 0
+        ):
+            raise ConfigurationError(
+                "dropout_rate/over_select_factor/straggler_deadline/"
+                "rejoin_staleness_bound require elastic=True; with "
+                "elastic=False they would be silently ignored"
             )
         if self.population == "eager" and self.population_candidates > 0:
             raise ConfigurationError(

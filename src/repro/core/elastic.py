@@ -1,0 +1,300 @@
+"""Elastic rounds: over-selection, first-k-of-n aggregation and rejoin.
+
+The synchronous engines assume every selected worker returns its update;
+under churn that either stalls the round (stragglers) or fails it
+(dropouts, dead executor processes).  The :class:`ElasticController` makes
+rounds *elastic* instead:
+
+* **over-selection** -- the planned cohort is padded to
+  ``ceil(over_select_factor * K)`` workers (lowest participation first),
+  so the expected number of survivors still matches the plan;
+* **first-k-of-n aggregation** -- at the deadline the server aggregates
+  whatever arrived; a round only yields no update when fewer than
+  ``min_cohort_fraction`` of the planned cohort completed;
+* **rejoin** -- a missing worker's late update is folded into a later
+  round's aggregate (as ``current_global + cached_delta``, via a
+  :class:`~repro.population.cache.DeltaCache`) as long as its staleness
+  stays within ``rejoin_staleness_bound`` rounds.
+
+Which workers drop or straggle each round comes from the deterministic
+:class:`~repro.simulation.churn.ChurnModel`; engine-level recovery from a
+dead executor process reports real losses through
+:meth:`ElasticController.record_death`.  The controller is pure parent-side
+state and checkpoints with the engine, so elastic runs resume bit-exactly.
+
+With ``config.elastic`` false, :func:`build_elastic_controller` returns
+``None`` and the engines take their historical code paths unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.population.cache import DeltaCache
+from repro.simulation.churn import ChurnModel, RoundChurn
+
+#: Delta-cache capacity used for rejoin folding when the experiment does
+#: not configure a population cache (``population_cache == 0``).
+DEFAULT_REJOIN_CACHE = 64
+
+
+@dataclass
+class ElasticRound:
+    """Per-round elastic bookkeeping threaded through the stage bodies.
+
+    Attributes:
+        round_index: The round this state belongs to.
+        planned: The (possibly over-selected) cohort the round started with.
+        churn: The round's simulated churn draw.
+        dropped: Workers whose update missed the round -- simulated churn
+            plus any real executor deaths reported during the round.
+        completed: Workers whose update made the round's aggregate.
+        rejoined: Workers whose *earlier* update was folded in this round.
+        folded: Whether rejoin folding already ran (it runs once per round
+            even when a policy aggregates every local iteration).
+        no_update: Whether the round fell below the cohort quorum and left
+            the global bottom model unchanged.
+    """
+
+    round_index: int
+    planned: list[int]
+    churn: RoundChurn
+    dropped: list[int] = field(default_factory=list)
+    completed: list[int] = field(default_factory=list)
+    rejoined: list[int] = field(default_factory=list)
+    folded: bool = False
+    no_update: bool = False
+
+    @property
+    def dropout_rate(self) -> float:
+        """Fraction of the planned cohort whose update missed the round."""
+        if not self.planned:
+            return 0.0
+        return len(self.dropped) / len(self.planned)
+
+    @property
+    def effective_cohort(self) -> int:
+        """Number of updates in the round's aggregate (completed + rejoined)."""
+        return len(self.completed) + len(self.rejoined)
+
+
+class ElasticController:
+    """Round elasticity shared by the split and full-model engines."""
+
+    def __init__(self, config) -> None:
+        self.over_select_factor = float(config.over_select_factor)
+        self.min_cohort_fraction = float(config.min_cohort_fraction)
+        self.rejoin_staleness_bound = int(config.rejoin_staleness_bound)
+        self.churn = ChurnModel(
+            dropout_rate=config.dropout_rate,
+            straggler_deadline=config.straggler_deadline,
+            rejoin_staleness_bound=config.rejoin_staleness_bound,
+            seed=config.seed,
+        )
+        capacity = (
+            config.population_cache
+            if config.population_cache > 0
+            else DEFAULT_REJOIN_CACHE
+        )
+        #: Deltas of every cohort member against the round's install-time
+        #: global model; this is what reconstructs a rejoining worker's
+        #: late update against the *current* global.  Separate from any
+        #: lazy-population cache so population hit/miss metrics stay put.
+        self.cache = DeltaCache(capacity)
+        #: Missing workers awaiting rejoin:
+        #: ``{worker_id: {"origin", "arrival", "weight"}}``.
+        self.pending: dict[int, dict[str, float]] = {}
+
+    # -- planning -------------------------------------------------------------
+    def min_cohort(self, planned_count: int) -> int:
+        """Smallest completed cohort that still updates the global model."""
+        return max(1, math.ceil(self.min_cohort_fraction * planned_count))
+
+    def _backups(self, selected, pool, candidates, extra: int) -> list[int]:
+        """Backup worker ids: lowest participation first, then lowest id."""
+        if candidates is not None:
+            universe = np.asarray(candidates, dtype=np.int64)
+        else:
+            universe = np.arange(len(pool), dtype=np.int64)
+        chosen = {int(worker_id) for worker_id in selected}
+        available = np.asarray(
+            [wid for wid in universe if int(wid) not in chosen], dtype=np.int64
+        )
+        if available.size == 0:
+            return []
+        counts = pool.participation_counts(available)
+        order = np.lexsort((available, counts))
+        return [int(available[index]) for index in order[:extra]]
+
+    def over_select(self, plan, pool, candidates, base_batch_size: int):
+        """Pad a split-round plan to ``ceil(f * K)`` workers.
+
+        Backups train at the base batch size (the policy never planned
+        them, so there is no regulated size to reuse).  At factor 1.0 the
+        plan is returned untouched, keeping neutral elasticity bit-exact.
+        """
+        from repro.core.controller import RoundPlan
+
+        target = math.ceil(self.over_select_factor * len(plan.selected))
+        extra = target - len(plan.selected)
+        if extra <= 0:
+            return plan
+        backups = self._backups(plan.selected, pool, candidates, extra)
+        if not backups:
+            return plan
+        batch_sizes = dict(plan.batch_sizes)
+        for worker_id in backups:
+            batch_sizes[worker_id] = int(base_batch_size)
+        return RoundPlan(
+            selected=sorted(list(plan.selected) + backups),
+            batch_sizes=batch_sizes,
+            merged_kl=plan.merged_kl,
+            info=dict(plan.info, over_selected=backups),
+        )
+
+    def over_select_ids(self, selected, pool, candidates) -> list[int]:
+        """Pad an FL-round id list to ``ceil(f * K)`` workers."""
+        selected = [int(worker_id) for worker_id in selected]
+        target = math.ceil(self.over_select_factor * len(selected))
+        extra = target - len(selected)
+        if extra <= 0:
+            return selected
+        return sorted(selected + self._backups(selected, pool, candidates, extra))
+
+    # -- round lifecycle ------------------------------------------------------
+    def begin_round(
+        self, round_index: int, planned_ids, durations
+    ) -> ElasticRound:
+        """Draw the round's churn once, against the planned cohort.
+
+        Called exactly once per round -- a death-recovery re-run reuses the
+        same state, so the churn draw (and hence the trajectory of every
+        healthy worker) does not depend on whether a process died.
+        """
+        ids = [int(worker_id) for worker_id in planned_ids]
+        churn = self.churn.round_churn(round_index, ids, durations)
+        return ElasticRound(
+            round_index=round_index,
+            planned=ids,
+            churn=churn,
+            dropped=list(churn.missing),
+        )
+
+    def record_death(self, round_state: ElasticRound, worker_ids) -> None:
+        """Mark workers lost to a dead executor process as dropped."""
+        known = set(round_state.dropped)
+        for worker_id in worker_ids:
+            worker_id = int(worker_id)
+            if worker_id not in known:
+                round_state.dropped.append(worker_id)
+                known.add(worker_id)
+        round_state.dropped.sort()
+
+    def apply_aggregate(
+        self,
+        round_state: ElasticRound,
+        worker_ids,
+        states,
+        weights,
+        reference,
+    ):
+        """First-k-of-n filter plus rejoin folding for one aggregation.
+
+        Returns the ``(states, weights)`` actually entering the aggregate,
+        or ``None`` when the completed cohort misses the quorum (the round
+        then leaves the global model unchanged; pending rejoins are kept
+        for a later round).  Every cohort member's state -- including the
+        missing ones, whose local compute still happened in simulation --
+        is cached as a delta so a later rejoin can be reconstructed.
+        """
+        worker_ids = [int(worker_id) for worker_id in worker_ids]
+        dropped = set(round_state.dropped)
+        completed, kept_states, kept_weights = [], [], []
+        for worker_id, state, weight in zip(worker_ids, states, weights):
+            self.cache.put(worker_id, state, reference)
+            if worker_id in dropped:
+                continue
+            completed.append(worker_id)
+            kept_states.append(state)
+            kept_weights.append(weight)
+        round_state.completed = completed
+        # A completed update supersedes any older pending rejoin.
+        for worker_id in completed:
+            self.pending.pop(worker_id, None)
+        delays = round_state.churn.rejoin_delays
+        for worker_id, weight in zip(worker_ids, weights):
+            if worker_id in dropped and worker_id in delays:
+                self.pending[worker_id] = {
+                    "origin": round_state.round_index,
+                    "arrival": round_state.round_index + delays[worker_id],
+                    "weight": float(weight),
+                }
+        if len(completed) < self.min_cohort(len(round_state.planned)):
+            round_state.no_update = True
+            return None
+        extra_states, extra_weights = self._fold_rejoins(round_state, reference)
+        return kept_states + extra_states, kept_weights + extra_weights
+
+    def _fold_rejoins(self, round_state: ElasticRound, reference):
+        """Consume arrived rejoins once per round; discard the too-stale."""
+        if round_state.folded:
+            return [], []
+        round_state.folded = True
+        states, weights, rejoined = [], [], []
+        for worker_id in sorted(self.pending):
+            entry = self.pending[worker_id]
+            if entry["arrival"] > round_state.round_index:
+                continue
+            del self.pending[worker_id]
+            staleness = round_state.round_index - entry["origin"]
+            if staleness > self.rejoin_staleness_bound:
+                continue
+            state = self.cache.reconstruct(worker_id, reference)
+            if state is None:
+                # The delta was evicted before the worker rejoined; there
+                # is nothing meaningful left to fold in.
+                continue
+            states.append(state)
+            weights.append(float(entry["weight"]))
+            rejoined.append(worker_id)
+        round_state.rejoined = rejoined
+        return states, weights
+
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Pending rejoins plus the rejoin delta cache."""
+        return {
+            "pending": [
+                [
+                    int(worker_id),
+                    int(entry["origin"]),
+                    int(entry["arrival"]),
+                    float(entry["weight"]),
+                ]
+                for worker_id, entry in sorted(self.pending.items())
+            ],
+            "cache": self.cache.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.pending = {
+            int(worker_id): {
+                "origin": int(origin),
+                "arrival": int(arrival),
+                "weight": float(weight),
+            }
+            for worker_id, origin, arrival, weight in state.get("pending", [])
+        }
+        if state.get("cache") is not None:
+            self.cache.load_state_dict(state["cache"])
+
+
+def build_elastic_controller(config) -> ElasticController | None:
+    """An :class:`ElasticController` when ``config.elastic``, else ``None``."""
+    if not getattr(config, "elastic", False):
+        return None
+    return ElasticController(config)

@@ -37,10 +37,15 @@ import numpy as np
 from repro.api.algorithm import Algorithm
 from repro.config import ExperimentConfig
 from repro.core.controller import ControlContext, RoundPlan
+from repro.core.elastic import (
+    ElasticController,
+    ElasticRound,
+    build_elastic_controller,
+)
 from repro.core.server import SplitServer
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ExecutorDeathError
 from repro.metrics.history import History, RoundRecord
 from repro.nn.models import estimate_forward_flops
 from repro.nn.module import Sequential
@@ -57,7 +62,10 @@ from repro.parallel.serial import SerialExecutor
 from repro.population.pool import WorkerPool, as_worker_pool
 from repro.simulation.cluster import Cluster, LazyCluster
 from repro.simulation.estimator import BandwidthEstimator, WorkerStateEstimator
-from repro.simulation.timing import average_waiting_time, round_duration
+from repro.simulation.timing import (
+    average_waiting_time,
+    elastic_round_duration,
+)
 from repro.simulation.traffic import TrafficMeter, feature_bytes
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawned_rng
@@ -106,6 +114,7 @@ class SplitTrainingEngine(Algorithm):
         bandwidth_budget_override: float | None = None,
         executor: Executor | None = None,
         pipeline: PipelineScheduler | None = None,
+        elastic: ElasticController | None = None,
     ) -> None:
         if split is None:
             raise ConfigurationError(
@@ -121,6 +130,11 @@ class SplitTrainingEngine(Algorithm):
         self.policy = policy
         self.executor = executor if executor is not None else SerialExecutor()
         self.pipeline = pipeline if pipeline is not None else build_pipeline(config)
+        #: Round elasticity (over-selection, first-k-of-n, rejoin); ``None``
+        #: keeps the historical synchronous code paths untouched.
+        self._elastic = (
+            elastic if elastic is not None else build_elastic_controller(config)
+        )
 
         self.server = SplitServer(
             bottom_template=split.bottom,
@@ -232,6 +246,9 @@ class SplitTrainingEngine(Algorithm):
             "traffic": self.traffic.state_dict(),
             "cluster": self.cluster.state_dict(),
             "workers": self.pool.workers_state(),
+            "elastic": (
+                self._elastic.state_dict() if self._elastic is not None else None
+            ),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -253,6 +270,8 @@ class SplitTrainingEngine(Algorithm):
         self.bandwidth_estimator.load_state_dict(state["bandwidth_estimator"])
         self.traffic.load_state_dict(state["traffic"])
         self.cluster.load_state_dict(state["cluster"])
+        if self._elastic is not None and state.get("elastic") is not None:
+            self._elastic.load_state_dict(state["elastic"])
 
     # -- round mechanics ---------------------------------------------------------
     def _observe_states(self, candidates: np.ndarray | None = None) -> None:
@@ -296,6 +315,13 @@ class SplitTrainingEngine(Algorithm):
     def _run_round(self, round_index: int) -> None:
         config = self.config
         plan, selected_workers = self._stage_plan(round_index)
+        # Elastic rounds draw their churn once, up front, against the
+        # planned cohort; a death-recovery re-run reuses the same draw.
+        elastic_state: ElasticRound | None = None
+        if self._elastic is not None:
+            elastic_state = self._elastic.begin_round(
+                round_index, plan.selected, self._worker_durations(plan)
+            )
         accounting: dict = {}
 
         def account() -> None:
@@ -309,7 +335,9 @@ class SplitTrainingEngine(Algorithm):
                 return
             for worker in selected_workers:
                 worker.participation_count += 1
-            duration, waiting = self._account_time_and_traffic(plan)
+            duration, waiting = self._account_time_and_traffic(
+                plan, elastic_state
+            )
             self._clock += duration
             self.bandwidth_estimator.observe(
                 self.cluster.current_budget_mbps * self._budget_scale
@@ -319,11 +347,21 @@ class SplitTrainingEngine(Algorithm):
 
         # INSTALL .. AGGREGATE run under the configured scheduler; tau local
         # iterations of split training (end-of-round aggregation is Eq. 17).
-        losses = self.pipeline.run_split_round(
-            self._round_ops(plan, selected_workers, round_index, account),
-            config.local_iterations,
-            self.policy.aggregate_every_iteration,
-        )
+        try:
+            losses = self.pipeline.run_split_round(
+                self._round_ops(
+                    plan, selected_workers, round_index, account, elastic_state
+                ),
+                config.local_iterations,
+                self.policy.aggregate_every_iteration,
+            )
+        except ExecutorDeathError as error:
+            if elastic_state is None:
+                raise
+            losses = self._recover_round(
+                plan, selected_workers, round_index, account, elastic_state,
+                error,
+            )
         account()
         # Round over: fold the cohort's mutable state back into the pool
         # (a no-op for eager populations, the release point for lazy ones).
@@ -336,6 +374,16 @@ class SplitTrainingEngine(Algorithm):
         accuracy, test_loss = self.server.evaluate(
             self.data.test.data, self.data.test.targets, config.eval_batch_size
         )
+        if elastic_state is not None:
+            elastic_kwargs = {
+                "dropped_ids": [int(w) for w in elastic_state.dropped],
+                "completed_ids": [int(w) for w in elastic_state.completed],
+                "rejoined_ids": [int(w) for w in elastic_state.rejoined],
+                "dropout_rate": elastic_state.dropout_rate,
+                "effective_cohort": elastic_state.effective_cohort,
+            }
+        else:
+            elastic_kwargs = {"effective_cohort": len(plan.selected)}
         self.history.append(
             RoundRecord(
                 round_index=round_index,
@@ -353,6 +401,7 @@ class SplitTrainingEngine(Algorithm):
                 selected_ids=[int(w) for w in plan.selected],
                 cache_hits=int(population_stats.get("cache_hits", 0)),
                 cache_misses=int(population_stats.get("cache_misses", 0)),
+                **elastic_kwargs,
             )
         )
         self._current_lr *= config.lr_decay
@@ -377,6 +426,10 @@ class SplitTrainingEngine(Algorithm):
         plan = self.policy.plan_round(context)
         if candidates is not None:
             plan = plan.remapped(candidates)
+        if self._elastic is not None:
+            plan = self._elastic.over_select(
+                plan, self.pool, candidates, self.config.base_batch_size
+            )
         return plan
 
     def _prefetch_plan(self, round_index: int) -> None:
@@ -406,12 +459,79 @@ class SplitTrainingEngine(Algorithm):
         self.server.set_learning_rate(self._top_lr(plan))
         return plan, self.pool.checkout(plan.selected)
 
+    def _recover_round(
+        self,
+        plan: RoundPlan,
+        selected_workers: list[SplitWorker],
+        round_index: int,
+        account,
+        elastic_state: ElasticRound,
+        error: ExecutorDeathError,
+    ) -> list[float]:
+        """Re-run a round whose executor process died, with the survivors.
+
+        The dead process takes its workers' in-flight state with it: the
+        dirty pool is torn down (a fresh one spawns lazily on the next
+        dispatch), the lost workers are recorded as dropped, and -- when
+        enough of the planned cohort survives -- the round restarts from
+        INSTALL with a survivor-only plan.  A second death in the re-run
+        propagates.  With too few survivors the round yields no update but
+        the session lives on.
+        """
+        lost = sorted(
+            {int(worker_id) for worker_id in error.worker_ids}
+            & {int(worker_id) for worker_id in plan.selected}
+        )
+        if not lost:
+            # The death carried no attributable workers (e.g. it struck
+            # before assignment); nothing to re-plan around.
+            raise error
+        logger.warning(
+            "round %d: executor death lost workers %s; re-planning with "
+            "the survivors", round_index, lost,
+        )
+        # Sibling processes of a dead child hold untrustworthy protocol
+        # state; tear the pool down and let the next dispatch respawn it.
+        self.executor.close()
+        self._elastic.record_death(elastic_state, lost)
+        lost_set = set(lost)
+        survivors = [
+            int(worker_id) for worker_id in plan.selected
+            if int(worker_id) not in lost_set
+        ]
+        if len(survivors) < self._elastic.min_cohort(len(elastic_state.planned)):
+            elastic_state.no_update = True
+            elastic_state.completed = []
+            return []
+        survivor_plan = RoundPlan(
+            selected=survivors,
+            batch_sizes={
+                worker_id: plan.batch_sizes[worker_id]
+                for worker_id in survivors
+            },
+            merged_kl=plan.merged_kl,
+            info=dict(plan.info, replanned_after_death=lost),
+        )
+        survivor_workers = [
+            worker for worker in selected_workers
+            if worker.worker_id not in lost_set
+        ]
+        return self.pipeline.run_split_round(
+            self._round_ops(
+                survivor_plan, survivor_workers, round_index, account,
+                elastic_state,
+            ),
+            self.config.local_iterations,
+            self.policy.aggregate_every_iteration,
+        )
+
     def _round_ops(
         self,
         plan: RoundPlan,
         selected_workers: list[SplitWorker],
         round_index: int,
         account,
+        elastic_state: "ElasticRound | None" = None,
     ) -> SplitRoundOps:
         """Bind this round's stage bodies for the pipeline scheduler."""
         worker_ids = [worker.worker_id for worker in selected_workers]
@@ -436,12 +556,14 @@ class SplitTrainingEngine(Algorithm):
             batch_sizes=[plan.batch_sizes[worker_id] for worker_id in worker_ids],
             install=lambda: self._install_bottoms(plan, selected_workers),
             update_top=update_top,
-            aggregate=lambda: self._aggregate(plan, selected_workers),
+            aggregate=lambda: self._aggregate(
+                plan, selected_workers, elastic_state
+            ),
             install_nowait=lambda: self._install_bottoms(
                 plan, selected_workers, nowait=True
             ),
             finish_aggregate=lambda states: self._aggregate_states(
-                plan, selected_workers, states
+                plan, selected_workers, states, elastic_state
             ),
             account=account,
             prefetch_plan=lambda: self._prefetch_plan(round_index + 1),
@@ -461,10 +583,18 @@ class SplitTrainingEngine(Algorithm):
         install = self.executor.install_nowait if nowait else self.executor.install
         install(selected_workers, self.server.global_bottom, learning_rates)
 
-    def _aggregate(self, plan: RoundPlan, selected_workers: list[SplitWorker]) -> None:
+    def _aggregate(
+        self,
+        plan: RoundPlan,
+        selected_workers: list[SplitWorker],
+        elastic_state: "ElasticRound | None" = None,
+    ) -> None:
         """Aggregate bottom models with batch-size-proportional weights (Eq. 17)."""
         self._aggregate_states(
-            plan, selected_workers, self.executor.bottom_states(selected_workers)
+            plan,
+            selected_workers,
+            self.executor.bottom_states(selected_workers),
+            elastic_state,
         )
 
     def _aggregate_states(
@@ -472,6 +602,7 @@ class SplitTrainingEngine(Algorithm):
         plan: RoundPlan,
         selected_workers: list[SplitWorker],
         states: list[dict[str, np.ndarray]],
+        elastic_state: "ElasticRound | None" = None,
     ) -> None:
         """The weight-averaging half of AGGREGATE, given collected states."""
         weights = [float(plan.batch_sizes[w.worker_id]) for w in selected_workers]
@@ -479,10 +610,25 @@ class SplitTrainingEngine(Algorithm):
             # Capture each worker's delta against the round's install-time
             # global bottom (still unchanged here) for the lazy pool's
             # DeltaCache.  Observation only: the next install overwrites
-            # worker bottoms with the global model either way.
+            # worker bottoms with the global model either way.  The full
+            # cohort is observed even under churn -- a dropped worker's
+            # local compute happened; only its upload missed the round.
             self.pool.observe_bottom_states(
                 selected_workers, states, self.server.global_bottom.state_dict()
             )
+        if elastic_state is not None:
+            resolved = self._elastic.apply_aggregate(
+                elastic_state,
+                [worker.worker_id for worker in selected_workers],
+                states,
+                weights,
+                self.server.global_bottom.state_dict(),
+            )
+            if resolved is None:
+                # Below the cohort quorum: the round leaves the global
+                # bottom model unchanged.
+                return
+            states, weights = resolved
         self.server.aggregate_bottoms(states, weights)
 
     def _scaled_lr(self, batch_size: int) -> float:
@@ -507,13 +653,18 @@ class SplitTrainingEngine(Algorithm):
         scale = float(np.clip(scale, *TOP_LR_SCALE_BOUNDS))
         return self._current_lr * scale
 
-    def _account_time_and_traffic(self, plan: RoundPlan) -> tuple[float, float]:
-        """Charge simulated time and network traffic for the round."""
+    def _worker_durations(self, plan: RoundPlan) -> np.ndarray:
+        """Planned round duration of each selected worker, in plan order.
+
+        Reads the round's cluster state without mutating anything, so the
+        same numbers come out whether it runs at the start of the round
+        (the churn draw) or inside the accounting stage.
+        """
         config = self.config
-        durations = []
         aggregations = (
             config.local_iterations if self.policy.aggregate_every_iteration else 1
         )
+        durations = []
         for worker_id in plan.selected:
             device = self.cluster[worker_id]
             mu = device.compute_time_per_sample(self.bottom_flops)
@@ -524,11 +675,29 @@ class SplitTrainingEngine(Algorithm):
                 self.bottom_model_bytes
             )
             durations.append(compute_comm + model_moves)
+        return np.asarray(durations)
+
+    def _account_time_and_traffic(
+        self, plan: RoundPlan, elastic_state: "ElasticRound | None" = None
+    ) -> tuple[float, float]:
+        """Charge simulated time and network traffic for the round."""
+        config = self.config
+        aggregations = (
+            config.local_iterations if self.policy.aggregate_every_iteration else 1
+        )
+        durations = self._worker_durations(plan)
+        for worker_id in plan.selected:
+            batch = plan.batch_sizes[worker_id]
             # Traffic: features up + gradients down for every iteration, plus
             # bottom-model exchange once (or once per iteration for SplitFed).
             self.traffic.add_feature_exchange(
                 config.local_iterations * batch * self.feature_exchange_bytes
             )
             self.traffic.add_model_exchange(self.bottom_model_bytes * aggregations)
-        durations = np.asarray(durations)
-        return round_duration(durations), average_waiting_time(durations)
+        deadline = (
+            elastic_state.churn.deadline if elastic_state is not None else None
+        )
+        return (
+            elastic_round_duration(durations, deadline),
+            average_waiting_time(durations),
+        )

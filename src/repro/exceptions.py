@@ -29,6 +29,20 @@ class TransportError(ReproError):
     """An inter-process feature transport failed (corrupt frame, dead peer)."""
 
 
+class ExecutorDeathError(ReproError, RuntimeError):
+    """A pooled executor process died with work in flight.
+
+    Subclasses :class:`RuntimeError` so callers matching the historical
+    ``"died"`` message keep working; additionally carries the worker ids
+    that were homed on the dead process, which is what lets an elastic
+    engine re-plan the round with the survivors instead of failing it.
+    """
+
+    def __init__(self, message: str, worker_ids=()) -> None:
+        super().__init__(message)
+        self.worker_ids = [int(worker_id) for worker_id in worker_ids]
+
+
 class CallbackError(ReproError):
     """A session event callback raised; the message names the callback."""
 

@@ -34,6 +34,17 @@ class RoundRecord:
             (``0`` for eager populations and disabled caches).
         cache_misses: Materialisations that fell back to the plain global
             model this round (FedAvg-install semantics).
+        dropped_ids: Workers whose update missed the round -- simulated
+            dropouts and stragglers plus any real executor deaths
+            (empty when elasticity is off).
+        completed_ids: Workers whose update made the round's aggregate
+            (empty when elasticity is off).
+        rejoined_ids: Workers whose earlier missing update was folded into
+            this round's aggregate within the rejoin staleness bound.
+        dropout_rate: Fraction of the planned cohort that missed the round.
+        effective_cohort: Number of updates in the round's aggregate
+            (completed + rejoined; equals ``num_selected`` when
+            elasticity is off).
     """
 
     round_index: int
@@ -51,6 +62,11 @@ class RoundRecord:
     selected_ids: list[int] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    dropped_ids: list[int] = field(default_factory=list)
+    completed_ids: list[int] = field(default_factory=list)
+    rejoined_ids: list[int] = field(default_factory=list)
+    dropout_rate: float = 0.0
+    effective_cohort: int = 0
 
 
 @dataclass

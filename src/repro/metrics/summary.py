@@ -106,6 +106,31 @@ def mean_effective_staleness(history: History) -> float:
     return float(np.mean([r.effective_staleness for r in history.records]))
 
 
+def mean_dropout_rate(history: History) -> float:
+    """Average per-round dropout rate (0.0 for non-elastic runs)."""
+    if not history.records:
+        return 0.0
+    return float(np.mean([record.dropout_rate for record in history.records]))
+
+
+def mean_effective_cohort(history: History) -> float:
+    """Average number of updates entering the per-round aggregate.
+
+    Records written before elasticity existed (or by non-elastic runs of
+    older versions) carry ``effective_cohort == 0``; those fall back to
+    ``num_selected``, which is what the synchronous engines aggregated.
+    """
+    if not history.records:
+        return 0.0
+    return float(
+        np.mean([
+            record.effective_cohort if record.effective_cohort > 0
+            else record.num_selected
+            for record in history.records
+        ])
+    )
+
+
 def schedule_divergence(relaxed: History, exact: History) -> dict:
     """Convergence delta of a relaxed schedule against its exact reference.
 

@@ -75,7 +75,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.exceptions import TransportError
+from repro.exceptions import ExecutorDeathError, TransportError
 from repro.utils.mp import get_mp_context
 from repro.parallel.base import Executor
 from repro.parallel.transport import ChildConnector, PipeTransport, Transport
@@ -257,7 +257,7 @@ class _Child:
     """
 
     __slots__ = ("process", "endpoint", "noreply_sent", "noreply_acked",
-                 "_request_snapshots")
+                 "_request_snapshots", "dead")
 
     def __init__(self, process, endpoint) -> None:
         self.process = process
@@ -265,6 +265,10 @@ class _Child:
         self.noreply_sent = 0
         self.noreply_acked = 0
         self._request_snapshots: deque[int] = deque()
+        #: Set when an exchange detects the process died; a dead channel is
+        #: never read again (its pending replies will not arrive) and the
+        #: process is terminated instead of gracefully closed.
+        self.dead = False
 
     def record_send(self, expects_reply: bool) -> None:
         if expects_reply:
@@ -378,11 +382,23 @@ class ProcessExecutor(Executor):
     def close(self) -> None:
         if self._children is None:
             return
+        # Once any process died, the dirty siblings' protocol state cannot
+        # be trusted either: a child may be blocked mid-reply on a channel
+        # nobody will read again and would never process a graceful close.
+        # Terminate those promptly instead of waiting out the join timeout.
+        pool_dead = any(
+            child.dead or not child.process.is_alive()
+            for child in self._children
+        )
         for child in self._children:
+            if (child.dead or not child.process.is_alive()
+                    or (pool_dead and child.dirty)):
+                child.process.terminate()
+                continue
             try:
                 child.endpoint.send(("close", None))
             except (BrokenPipeError, OSError, TransportError):
-                pass
+                child.process.terminate()
         for child in self._children:
             child.process.join(timeout=5.0)
             if child.process.is_alive():  # pragma: no cover - defensive cleanup
@@ -390,6 +406,7 @@ class ProcessExecutor(Executor):
                 child.process.join(timeout=5.0)
             child.endpoint.close(unlink=True)
         self._children = None
+        self._assignment = {}
         self._home.clear()
         self._shard_shipped.clear()
         self._completions.clear()
@@ -452,14 +469,23 @@ class ProcessExecutor(Executor):
         if messages:
             self._broadcast(messages)
 
+    def _workers_on(self, index: int) -> list[int]:
+        """Worker ids of the current round homed on one pool process."""
+        return sorted(
+            worker_id for worker_id, child_index in self._assignment.items()
+            if child_index == index
+        )
+
     def _send(self, index: int, message: tuple, expects_reply: bool) -> None:
         children = self._ensure_pool()
         child = children[index]
         try:
             child.endpoint.send(message)
         except (BrokenPipeError, OSError, TransportError) as error:
-            raise RuntimeError(
-                f"executor process {index} (pid {child.process.pid}) died"
+            child.dead = True
+            raise ExecutorDeathError(
+                f"executor process {index} (pid {child.process.pid}) died",
+                worker_ids=self._workers_on(index),
             ) from error
         child.record_send(expects_reply)
 
@@ -469,8 +495,10 @@ class ProcessExecutor(Executor):
         try:
             status, payload = child.endpoint.recv()
         except (EOFError, OSError, TransportError) as error:
-            raise RuntimeError(
-                f"executor process {index} (pid {child.process.pid}) died"
+            child.dead = True
+            raise ExecutorDeathError(
+                f"executor process {index} (pid {child.process.pid}) died",
+                worker_ids=self._workers_on(index),
             ) from (None if isinstance(error, EOFError) else error)
         child.record_reply()
         if status == "error":
@@ -493,19 +521,31 @@ class ProcessExecutor(Executor):
         return shards
 
     # -- split training -------------------------------------------------------
-    def _consume_abandoned_replies(self) -> None:
+    def _consume_abandoned_replies(self, tolerate_death: bool = False) -> None:
         """Discard replies a failed round left between dispatch and collect.
 
         The completion queue's replies must be consumed before any new
         request, or every later reply would pair with the wrong command.
         As in collect_forward, each entry is popped before receiving: the
         reply slots are spent even when _recv raises.
+
+        With ``tolerate_death`` the drain keeps going past dead children
+        (their channel is dirty and will never produce the reply) instead
+        of re-raising: a checkpoint after a child death must not hang on
+        replies that cannot arrive.  Genuine remote errors ("error"-status
+        replies from live children) still raise either way.
         """
         self._staged_labels.clear()
         while self._completions:
             __, indices = self._completions.popleft()
             for index in indices:
-                self._recv(index)
+                if tolerate_death and self._children[index].dead:
+                    continue
+                try:
+                    self._recv(index)
+                except ExecutorDeathError:
+                    if not tolerate_death:
+                        raise
 
     def _install_messages(self, workers, learning_rates, bottom, command: str):
         """Assign workers, ship fresh shards, build per-child install messages."""
@@ -644,11 +684,17 @@ class ProcessExecutor(Executor):
         """
         if self._children is None:
             return
-        self._consume_abandoned_replies()
+        self._consume_abandoned_replies(tolerate_death=True)
         for index, child in enumerate(self._children):
-            if child.dirty:
-                self._send(index, ("ping", None), expects_reply=True)
-                self._recv(index)
+            if child.dirty and not child.dead:
+                try:
+                    self._send(index, ("ping", None), expects_reply=True)
+                    self._recv(index)
+                except ExecutorDeathError:
+                    # The child died with commands in flight; there is
+                    # nothing to wait for and all checkpointable state is
+                    # parent-side, so draining the survivors suffices.
+                    continue
 
     # -- relaxed dispatch (see repro.parallel.pipeline) -----------------------
     def install_nowait(self, workers, bottom, learning_rates) -> None:

@@ -15,6 +15,10 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.utils.logging import get_logger
+
+logger = get_logger("population.cache")
+
 
 class DeltaCache:
     """LRU cache of per-worker bottom-model deltas against the global model."""
@@ -86,7 +90,22 @@ class DeltaCache:
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore contents captured by :meth:`state_dict`."""
+        """Restore contents captured by :meth:`state_dict`.
+
+        The checkpointed ``capacity`` wins over the configured one: a resume
+        at a different capacity would otherwise silently trim the warm cache
+        (or leave headroom the original run never had) and change the
+        hit/miss trajectory, breaking bit-exact resume.
+        """
+        capacity = int(state.get("capacity", self.capacity))
+        if capacity != self.capacity:
+            logger.warning(
+                "delta cache capacity mismatch: checkpoint has %d, "
+                "configured %d; restoring the checkpointed capacity",
+                capacity,
+                self.capacity,
+            )
+            self.capacity = capacity
         self._deltas = OrderedDict(
             (
                 int(wid),

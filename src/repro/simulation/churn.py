@@ -1,0 +1,134 @@
+"""Per-round worker churn: dropouts, stragglers and rejoin delays.
+
+MergeSFL's round model assumes every selected worker returns its local
+update; at edge scale, dropouts and stragglers are the norm.  The
+:class:`ChurnModel` makes churn a first-class simulation input: given a
+round's selected cohort and their planned durations (from
+:mod:`repro.simulation.timing`), it decides deterministically
+
+* which workers *drop* (crash or go offline before replying),
+* which workers *straggle* past the round's aggregation deadline (a
+  multiple of the cohort's median planned duration), and
+* after how many rounds each missing worker's late update *rejoins* the
+  server (bounded by ``rejoin_staleness_bound``).
+
+Every decision is drawn from ``spawned_rng(seed + CHURN_SEED_OFFSET,
+round_index)``, so churn is reproducible per round, independent of the
+executor, and does not perturb any other RNG stream (the trajectory with
+``dropout_rate=0`` and no deadline is bit-exact with churn disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import spawned_rng
+
+#: Seed offset of the per-round churn streams, separating them from the
+#: engine round streams (9173 / 40617), worker streams (1000+), candidate
+#: sampling (77003) and sampled shards (614657).
+CHURN_SEED_OFFSET = 52361
+
+
+@dataclass
+class RoundChurn:
+    """One round's churn outcome.
+
+    Attributes:
+        deadline: Absolute aggregation deadline in simulated seconds, or
+            ``None`` when the server waits for the slowest worker.
+        dropped: Worker ids that never reply this round.
+        stragglers: Worker ids whose planned duration exceeds the deadline
+            (they finish, but too late for the round's aggregate).
+        rejoin_delays: Mapping from missing worker id to the number of
+            rounds after which its late update reaches the server; ids
+            absent from the mapping never rejoin.
+    """
+
+    deadline: float | None = None
+    dropped: list[int] = field(default_factory=list)
+    stragglers: list[int] = field(default_factory=list)
+    rejoin_delays: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def missing(self) -> list[int]:
+        """Every worker whose reply misses the round (dropped + stragglers)."""
+        return list(self.dropped) + list(self.stragglers)
+
+
+class ChurnModel:
+    """Deterministic per-round dropout/straggler/rejoin decisions."""
+
+    def __init__(
+        self,
+        dropout_rate: float = 0.0,
+        straggler_deadline: float = 0.0,
+        rejoin_staleness_bound: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= dropout_rate <= 1.0:
+            raise ValueError(
+                f"dropout_rate must be in [0, 1], got {dropout_rate}"
+            )
+        if straggler_deadline < 0:
+            raise ValueError(
+                f"straggler_deadline must be non-negative, "
+                f"got {straggler_deadline}"
+            )
+        if rejoin_staleness_bound < 0:
+            raise ValueError(
+                f"rejoin_staleness_bound must be non-negative, "
+                f"got {rejoin_staleness_bound}"
+            )
+        self.dropout_rate = float(dropout_rate)
+        self.straggler_deadline = float(straggler_deadline)
+        self.rejoin_staleness_bound = int(rejoin_staleness_bound)
+        self._seed = seed + CHURN_SEED_OFFSET
+
+    def round_churn(
+        self,
+        round_index: int,
+        worker_ids,
+        durations: np.ndarray,
+    ) -> RoundChurn:
+        """Draw the round's churn for a cohort and its planned durations.
+
+        ``durations`` is aligned with ``worker_ids`` (one planned round
+        duration per selected worker).  The deadline is
+        ``straggler_deadline`` times the cohort's *median* planned duration
+        -- relative to the cohort, so the same multiplier is meaningful
+        across batch-size plans; ``straggler_deadline == 0`` disables the
+        deadline (wait-for-all).  Dropped workers draw a rejoin delay
+        uniformly in ``[1, rejoin_staleness_bound]``; a straggler's reply
+        arrives just after the deadline, i.e. with delay 1.
+        """
+        rng = spawned_rng(self._seed, round_index)
+        ids = [int(worker_id) for worker_id in worker_ids]
+        draws = rng.random(len(ids))
+        dropped = [wid for wid, u in zip(ids, draws) if u < self.dropout_rate]
+        deadline: float | None = None
+        stragglers: list[int] = []
+        if self.straggler_deadline > 0 and ids:
+            planned = np.asarray(durations, dtype=np.float64)
+            deadline = float(self.straggler_deadline * np.median(planned))
+            dropped_set = set(dropped)
+            stragglers = [
+                wid for wid, duration in zip(ids, planned)
+                if duration > deadline and wid not in dropped_set
+            ]
+        rejoin_delays: dict[int, int] = {}
+        if self.rejoin_staleness_bound > 0:
+            for wid in dropped:
+                rejoin_delays[wid] = int(
+                    rng.integers(1, self.rejoin_staleness_bound + 1)
+                )
+            for wid in stragglers:
+                rejoin_delays[wid] = 1
+        return RoundChurn(
+            deadline=deadline,
+            dropped=dropped,
+            stragglers=stragglers,
+            rejoin_delays=rejoin_delays,
+        )

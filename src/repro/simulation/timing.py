@@ -39,6 +39,24 @@ def round_duration(worker_durations: np.ndarray) -> float:
     return float(durations.max())
 
 
+def elastic_round_duration(
+    worker_durations: np.ndarray, deadline: float | None = None
+) -> float:
+    """Completion time of an elastic round: first-k-of-n at the deadline.
+
+    Without a deadline this is :func:`round_duration` (the server waits for
+    the slowest selected worker); with one, the server stops waiting at the
+    deadline and aggregates whatever arrived, so the round never runs
+    longer than the deadline itself.
+    """
+    full = round_duration(worker_durations)
+    if deadline is None:
+        return full
+    if deadline < 0:
+        raise ValueError("deadline must be non-negative")
+    return float(min(full, deadline))
+
+
 def average_waiting_time(worker_durations: np.ndarray) -> float:
     """Average idle time across workers in a synchronous round (Eq. 8)."""
     durations = np.asarray(worker_durations, dtype=np.float64)

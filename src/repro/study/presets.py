@@ -49,6 +49,12 @@ PAPER_POPULATION_SCALES = (1_000, 100_000, 1_000_000)
 #: A smaller population axis for dry-running the preset plumbing.
 SMOKE_POPULATION_SCALES = (500, 5_000)
 
+#: Per-round dropout axis of the churn sweeps (0 = neutral elasticity).
+PAPER_CHURN_RATES = (0.0, 0.1, 0.3)
+
+#: A shorter axis for dry-running the churn preset plumbing.
+SMOKE_CHURN_RATES = (0.0, 0.3)
+
 
 def scalability_study(
     dataset: str = "cifar10",
@@ -110,6 +116,36 @@ def population_study(
     return Study.grid(name, base, axes={"num_workers": scales})
 
 
+def churn_study(
+    dataset: str = "cifar10",
+    rates: tuple[float, ...] = PAPER_CHURN_RATES,
+    algorithm: str = "mergesfl",
+    non_iid_level: float = 0.0,
+    name: str | None = None,
+    **overrides,
+) -> Study:
+    """A ``dropout_rate`` grid over elastic rounds (:mod:`repro.core.elastic`).
+
+    Every trial runs with elasticity on -- over-selection 1.25 and a
+    two-round rejoin staleness bound unless overridden -- and the axis
+    sweeps the per-round dropout probability, so the study measures the
+    accuracy cost of churn under the recovery machinery (the rate-0.0 trial
+    isolates the over-selection padding with zero churn).
+    """
+    from repro.experiments.figures import figure_config
+
+    overrides = {k: v for k, v in overrides.items() if k != "dropout_rate"}
+    overrides.setdefault("elastic", True)
+    overrides.setdefault("over_select_factor", 1.25)
+    overrides.setdefault("rejoin_staleness_bound", 2)
+    base = figure_config(
+        dataset, algorithm, non_iid_level, dropout_rate=rates[0], **overrides
+    )
+    if name is None:
+        name = f"{dataset}-churn-{'-'.join(str(r) for r in rates)}"
+    return Study.grid(name, base, axes={"dropout_rate": rates})
+
+
 def _paper_scalability(**overrides) -> Study:
     return scalability_study(scales=PAPER_WORKER_SCALES,
                              name="paper-scalability", **overrides)
@@ -135,6 +171,16 @@ def _smoke_population(**overrides) -> Study:
                             name="smoke-population", **overrides)
 
 
+def _paper_churn(**overrides) -> Study:
+    return churn_study(rates=PAPER_CHURN_RATES, non_iid_level=10.0,
+                       name="paper-churn", **overrides)
+
+
+def _smoke_churn(**overrides) -> Study:
+    return churn_study(dataset="blobs", rates=SMOKE_CHURN_RATES,
+                       name="smoke-churn", **overrides)
+
+
 #: Name -> study builder; builders accept config overrides.
 PRESETS: dict[str, Callable[..., Study]] = {
     "paper-scalability": _paper_scalability,
@@ -142,6 +188,8 @@ PRESETS: dict[str, Callable[..., Study]] = {
     "smoke-scalability": _smoke_scalability,
     "paper-population": _paper_population,
     "smoke-population": _smoke_population,
+    "paper-churn": _paper_churn,
+    "smoke-churn": _smoke_churn,
 }
 
 

@@ -1,0 +1,273 @@
+"""ElasticController unit behaviour: over-selection, quorum, rejoin."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig
+from repro.core.controller import RoundPlan
+from repro.core.elastic import (
+    DEFAULT_REJOIN_CACHE,
+    ElasticController,
+    build_elastic_controller,
+)
+
+
+def _controller(**overrides) -> ElasticController:
+    params = dict(elastic=True, seed=3)
+    params.update(overrides)
+    return ElasticController(ExperimentConfig(**params))
+
+
+class _FakePool:
+    """Planning-column stub: participation counts and a population size."""
+
+    def __init__(self, counts):
+        self._counts = np.asarray(counts, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def participation_counts(self, ids=None):
+        if ids is None:
+            return self._counts
+        return self._counts[np.asarray(ids, dtype=np.int64)]
+
+
+def _state(value: float) -> dict:
+    return {"w": np.full(2, value, dtype=np.float64)}
+
+
+REFERENCE = _state(0.0)
+
+
+class TestBuild:
+    def test_disabled_config_builds_nothing(self):
+        assert build_elastic_controller(ExperimentConfig()) is None
+
+    def test_enabled_config_builds_a_controller(self):
+        controller = build_elastic_controller(
+            ExperimentConfig(elastic=True, dropout_rate=0.25)
+        )
+        assert isinstance(controller, ElasticController)
+        assert controller.churn.dropout_rate == 0.25
+
+    def test_cache_capacity_follows_population_cache(self):
+        assert _controller().cache.capacity == DEFAULT_REJOIN_CACHE
+        assert _controller(population_cache=5).cache.capacity == 5
+
+
+class TestOverSelection:
+    def test_factor_one_returns_the_plan_untouched(self):
+        plan = RoundPlan(selected=[0, 2], batch_sizes={0: 8, 2: 8})
+        controller = _controller(over_select_factor=1.0)
+        assert controller.over_select(plan, _FakePool([0] * 4), None, 8) is plan
+
+    def test_backups_prefer_low_participation_then_low_id(self):
+        plan = RoundPlan(selected=[0, 1], batch_sizes={0: 8, 1: 16})
+        pool = _FakePool([5, 5, 3, 1, 3, 0])
+        padded = _controller(over_select_factor=2.0).over_select(
+            plan, pool, None, 8
+        )
+        # Two extra workers: counts 0 (id 5) then 1 (id 3).
+        assert padded.selected == [0, 1, 3, 5]
+        assert padded.batch_sizes == {0: 8, 1: 16, 3: 8, 5: 8}
+        assert padded.info["over_selected"] == [5, 3]
+        assert padded.merged_kl == plan.merged_kl
+
+    def test_participation_tie_breaks_on_lowest_id(self):
+        plan = RoundPlan(selected=[0], batch_sizes={0: 8})
+        padded = _controller(over_select_factor=3.0).over_select(
+            plan, _FakePool([9, 2, 2, 2]), None, 8
+        )
+        assert padded.info["over_selected"] == [1, 2]
+
+    def test_backups_exhaust_at_the_population(self):
+        plan = RoundPlan(selected=[0, 1, 2], batch_sizes={0: 8, 1: 8, 2: 8})
+        padded = _controller(over_select_factor=4.0).over_select(
+            plan, _FakePool([0] * 4), None, 8
+        )
+        assert padded.selected == [0, 1, 2, 3]
+
+    def test_no_available_backup_keeps_the_plan(self):
+        plan = RoundPlan(selected=[0, 1], batch_sizes={0: 8, 1: 8})
+        controller = _controller(over_select_factor=2.0)
+        assert controller.over_select(plan, _FakePool([0, 0]), None, 8) is plan
+
+    def test_candidates_bound_the_backup_universe(self):
+        plan = RoundPlan(selected=[4], batch_sizes={4: 8})
+        padded = _controller(over_select_factor=2.0).over_select(
+            plan, _FakePool([0] * 10), np.array([2, 4, 9]), 8
+        )
+        assert padded.selected == [2, 4]
+
+    def test_over_select_ids_matches_the_plan_variant(self):
+        controller = _controller(over_select_factor=1.5)
+        pool = _FakePool([3, 0, 0, 0])
+        assert controller.over_select_ids([0, 2], pool, None) == [0, 1, 2]
+        # ceil(1.0 * k) == k: no padding at a neutral factor.
+        neutral = _controller(over_select_factor=1.0)
+        assert neutral.over_select_ids([0], _FakePool([0, 0]), None) == [0]
+
+
+class TestApplyAggregate:
+    def test_missing_workers_are_filtered_out(self):
+        controller = _controller(dropout_rate=0.5)
+        round_state = controller.begin_round(0, [0, 1, 2], np.ones(3))
+        round_state.dropped = [1]
+        resolved = controller.apply_aggregate(
+            round_state, [0, 1, 2],
+            [_state(1.0), _state(2.0), _state(3.0)], [8.0, 8.0, 8.0],
+            REFERENCE,
+        )
+        states, weights = resolved
+        assert [s["w"][0] for s in states] == [1.0, 3.0]
+        assert weights == [8.0, 8.0]
+        assert round_state.completed == [0, 2]
+        assert round_state.effective_cohort == 2
+        assert round_state.dropout_rate == pytest.approx(1 / 3)
+
+    def test_below_quorum_yields_no_update(self):
+        controller = _controller(min_cohort_fraction=0.75)
+        round_state = controller.begin_round(0, [0, 1, 2, 3], np.ones(4))
+        round_state.dropped = [0, 1]
+        resolved = controller.apply_aggregate(
+            round_state, [0, 1, 2, 3], [_state(i) for i in range(4)],
+            [8.0] * 4, REFERENCE,
+        )
+        assert resolved is None
+        assert round_state.no_update
+        assert round_state.effective_cohort == 2  # completed, not aggregated
+
+    def test_every_cohort_member_is_cached(self):
+        controller = _controller(dropout_rate=0.5)
+        round_state = controller.begin_round(0, [0, 1], np.ones(2))
+        round_state.dropped = [1]
+        controller.apply_aggregate(
+            round_state, [0, 1], [_state(1.0), _state(2.0)], [8.0, 8.0],
+            REFERENCE,
+        )
+        assert 0 in controller.cache and 1 in controller.cache
+
+    def _drop_and_aggregate(self, controller, round_index, delay):
+        """One round where worker 9 (of [8, 9]) drops with a rejoin delay."""
+        round_state = controller.begin_round(round_index, [8, 9], np.ones(2))
+        round_state.dropped = [9]
+        round_state.churn.rejoin_delays = {9: delay}
+        return controller.apply_aggregate(
+            round_state, [8, 9], [_state(1.0), _state(4.0)], [8.0, 2.0],
+            REFERENCE,
+        )
+
+    def _healthy_round(self, controller, round_index, ids=(8,)):
+        round_state = controller.begin_round(
+            round_index, list(ids), np.ones(len(ids))
+        )
+        round_state.dropped = []  # pin the churn draw: everyone completes
+        resolved = controller.apply_aggregate(
+            round_state, list(ids), [_state(1.0)] * len(ids),
+            [8.0] * len(ids), REFERENCE,
+        )
+        return round_state, resolved
+
+    def test_rejoin_folds_the_cached_delta_at_its_arrival_round(self):
+        controller = _controller(dropout_rate=0.5, rejoin_staleness_bound=2)
+        self._drop_and_aggregate(controller, 0, delay=2)
+        __, early = self._healthy_round(controller, 1)
+        assert len(early[0]) == 1  # not arrived yet
+        round_state, resolved = self._healthy_round(controller, 2)
+        states, weights = resolved
+        assert round_state.rejoined == [9]
+        assert round_state.effective_cohort == 2
+        # Reconstructed as reference + (state - origin reference) = 4.0.
+        assert states[-1]["w"][0] == pytest.approx(4.0)
+        assert weights[-1] == 2.0
+        assert 9 not in controller.pending
+
+    def test_rejoin_exactly_at_the_staleness_bound_still_folds(self):
+        controller = _controller(dropout_rate=0.5, rejoin_staleness_bound=3)
+        self._drop_and_aggregate(controller, 0, delay=3)
+        round_state, resolved = self._healthy_round(controller, 3)
+        assert round_state.rejoined == [9]
+        assert len(resolved[0]) == 2
+
+    def test_rejoin_past_the_bound_is_discarded(self):
+        # The update arrives at round 1, but quorum failures starve every
+        # aggregate until round 4 -- staleness 4 > bound 3.
+        controller = _controller(
+            dropout_rate=0.5, rejoin_staleness_bound=3,
+            min_cohort_fraction=1.0,
+        )
+        self._drop_and_aggregate(controller, 0, delay=1)
+        assert 9 in controller.pending
+        round_state, resolved = self._healthy_round(controller, 4)
+        assert round_state.rejoined == []
+        assert len(resolved[0]) == 1
+        assert 9 not in controller.pending  # consumed, not retried
+
+    def test_completion_supersedes_a_pending_rejoin(self):
+        controller = _controller(dropout_rate=0.5, rejoin_staleness_bound=3)
+        self._drop_and_aggregate(controller, 0, delay=2)
+        # Worker 9 completes round 1 itself: the stale update is obsolete.
+        round_state, __ = self._healthy_round(controller, 1, ids=(9,))
+        assert 9 not in controller.pending
+        later, __ = self._healthy_round(controller, 2)
+        assert later.rejoined == []
+
+    def test_evicted_delta_cannot_rejoin(self):
+        controller = _controller(
+            dropout_rate=0.5, rejoin_staleness_bound=3, population_cache=1,
+        )
+        self._drop_and_aggregate(controller, 0, delay=1)  # evicts 9's delta
+        round_state, resolved = self._healthy_round(controller, 1)
+        assert round_state.rejoined == []
+        assert len(resolved[0]) == 1
+
+    def test_folding_runs_once_per_round(self):
+        # SplitFed aggregates every local iteration; the rejoin must fold
+        # into the first aggregate only.
+        controller = _controller(dropout_rate=0.5, rejoin_staleness_bound=2)
+        self._drop_and_aggregate(controller, 0, delay=1)
+        round_state = controller.begin_round(1, [8], np.ones(1))
+        first = controller.apply_aggregate(
+            round_state, [8], [_state(1.0)], [8.0], REFERENCE
+        )
+        second = controller.apply_aggregate(
+            round_state, [8], [_state(1.0)], [8.0], REFERENCE
+        )
+        assert len(first[0]) == 2
+        assert len(second[0]) == 1
+
+
+class TestDeathsAndQuorum:
+    def test_record_death_merges_and_sorts(self):
+        controller = _controller()
+        round_state = controller.begin_round(0, [0, 1, 2, 3], np.ones(4))
+        round_state.dropped = [3]
+        controller.record_death(round_state, [1, 3, 1])
+        assert round_state.dropped == [1, 3]
+
+    def test_min_cohort_never_drops_to_zero(self):
+        controller = _controller(min_cohort_fraction=0.5)
+        assert controller.min_cohort(1) == 1
+        assert controller.min_cohort(4) == 2
+        assert controller.min_cohort(5) == 3
+
+
+class TestCheckpointing:
+    def test_state_round_trips(self):
+        controller = _controller(dropout_rate=0.5, rejoin_staleness_bound=3)
+        round_state = controller.begin_round(0, [0, 1], np.ones(2))
+        round_state.dropped = [1]
+        round_state.churn.rejoin_delays = {1: 2}
+        controller.apply_aggregate(
+            round_state, [0, 1], [_state(1.0), _state(2.0)], [8.0, 4.0],
+            REFERENCE,
+        )
+        restored = _controller(dropout_rate=0.5, rejoin_staleness_bound=3)
+        restored.load_state_dict(controller.state_dict())
+        assert restored.pending == controller.pending
+        assert len(restored.cache) == len(controller.cache)
+        rebuilt = restored.cache.reconstruct(1, REFERENCE)
+        assert rebuilt["w"][0] == pytest.approx(2.0)

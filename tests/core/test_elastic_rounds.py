@@ -1,0 +1,414 @@
+"""Elastic rounds end to end: neutrality, dropout, rejoin, death recovery.
+
+The contract, in increasing strength:
+
+* elasticity *off* is the seed behaviour (pinned by the whole existing
+  suite) and *neutral* elasticity (``elastic=True`` with every knob at its
+  default) is bit-exact with it -- the only difference is the
+  ``completed_ids`` bookkeeping column;
+* real dropout is a *different*, deterministic trajectory whose final
+  accuracy stays within a pinned epsilon of the exact run (the staleness
+  suite's convergence-regression pattern);
+* a round losing every worker yields no model update but the session
+  survives; late workers rejoin within ``rejoin_staleness_bound``;
+* a dead executor process is recovered at the engine level: the round is
+  re-planned with the survivors (or skipped below quorum) instead of
+  failing the run -- with elasticity off it still fails loudly;
+* elastic runs checkpoint/resume bit-exactly, pending rejoins included.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.config import ExperimentConfig
+from repro.metrics.summary import (
+    mean_dropout_rate,
+    mean_effective_cohort,
+    schedule_divergence,
+)
+
+#: Pinned tolerance of the dropout convergence regression: dropout 0.3 with
+#: over-selection 1.25 may cost at most this much final accuracy on the
+#: seed config below.  Measured headroom on this container: 0.0.
+CONVERGENCE_EPSILON = 0.05
+
+#: Record fields that differ between an elastic-off and a *neutral* elastic
+#: run by construction: neutral elasticity still logs who completed.
+NEUTRAL_BOOKKEEPING = ("completed_ids",)
+
+
+def _config(**overrides) -> ExperimentConfig:
+    params = dict(
+        algorithm="mergesfl",
+        dataset="blobs",
+        model="mlp",
+        num_workers=5,
+        num_rounds=3,
+        local_iterations=3,
+        non_iid_level=2.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=300,
+        test_samples=80,
+        learning_rate=0.1,
+        momentum=0.9,
+        weight_decay=1e-4,
+        seed=3,
+        extras={"executor_processes": 2},
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _lazy_config(**overrides) -> ExperimentConfig:
+    """A rotating-cohort population: candidate pools make rejoins real."""
+    params = dict(
+        num_workers=12,
+        num_rounds=6,
+        population="lazy",
+        population_cache=8,
+        population_candidates=5,
+        elastic=True,
+        dropout_rate=0.4,
+        over_select_factor=1.5,
+        rejoin_staleness_bound=3,
+    )
+    params.update(overrides)
+    return _config(**params)
+
+
+def _run(config: ExperimentConfig):
+    with Session.from_config(config) as session:
+        history = session.run()
+        return (
+            [dataclasses.asdict(record) for record in history.records],
+            session.global_model().state_dict(),
+        )
+
+
+def _assert_bit_equal(reference, candidate, label, ignore=()):
+    ref_records, ref_state = reference
+    records, state = candidate
+    assert len(records) == len(ref_records), label
+    for ref_record, record in zip(ref_records, records):
+        stripped_ref = {k: v for k, v in ref_record.items() if k not in ignore}
+        stripped = {k: v for k, v in record.items() if k not in ignore}
+        assert stripped == stripped_ref, label
+    assert set(state) == set(ref_state)
+    for key in ref_state:
+        assert np.array_equal(state[key], ref_state[key]), f"{label}: {key}"
+
+
+# -- neutrality ----------------------------------------------------------------
+
+class TestNeutralElasticity:
+    @pytest.mark.parametrize("algorithm", ["mergesfl", "splitfed", "fedavg"])
+    def test_neutral_knobs_are_bit_exact_serial(self, algorithm):
+        reference = _run(_config(algorithm=algorithm))
+        candidate = _run(_config(algorithm=algorithm, elastic=True))
+        _assert_bit_equal(
+            reference, candidate, f"{algorithm}/neutral-elastic",
+            ignore=NEUTRAL_BOOKKEEPING,
+        )
+
+    def test_neutral_knobs_are_bit_exact_on_process_executor(self):
+        reference = _run(_config(executor="process", transport="shm"))
+        candidate = _run(
+            _config(executor="process", transport="shm", elastic=True)
+        )
+        _assert_bit_equal(
+            reference, candidate, "process/neutral-elastic",
+            ignore=NEUTRAL_BOOKKEEPING,
+        )
+
+    def test_neutral_knobs_are_bit_exact_on_lazy_population(self):
+        base = dict(
+            num_workers=12, num_rounds=4, population="lazy",
+            population_cache=8, population_candidates=5,
+        )
+        reference = _run(_config(**base))
+        candidate = _run(_config(elastic=True, **base))
+        _assert_bit_equal(
+            reference, candidate, "lazy/neutral-elastic",
+            ignore=NEUTRAL_BOOKKEEPING,
+        )
+
+    def test_neutral_records_carry_the_completed_cohort(self):
+        records, __ = _run(_config(elastic=True))
+        for record in records:
+            assert record["completed_ids"] == record["selected_ids"]
+            assert record["effective_cohort"] == record["num_selected"]
+            assert record["dropped_ids"] == []
+            assert record["dropout_rate"] == 0.0
+
+    def test_elastic_off_records_effective_cohort(self):
+        records, __ = _run(_config())
+        for record in records:
+            assert record["effective_cohort"] == record["num_selected"]
+            assert record["completed_ids"] == []
+
+    def test_elastic_knobs_require_the_elastic_flag(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="elastic=True"):
+            _config(dropout_rate=0.3)
+
+
+# -- lossy modes ---------------------------------------------------------------
+
+class TestDropout:
+    def test_dropout_is_deterministic(self):
+        config = _config(elastic=True, dropout_rate=0.3, over_select_factor=1.25)
+        _assert_bit_equal(_run(config), _run(config), "dropout-determinism")
+
+    def test_dropout_actually_drops_and_filters_the_aggregate(self):
+        records, __ = _run(
+            _config(elastic=True, dropout_rate=0.4, num_rounds=4)
+        )
+        assert any(record["dropped_ids"] for record in records)
+        for record in records:
+            assert sorted(
+                record["completed_ids"] + record["dropped_ids"]
+            ) == record["selected_ids"]
+            assert record["effective_cohort"] == len(record["completed_ids"])
+
+    @pytest.mark.parametrize("algorithm", ["mergesfl", "fedavg"])
+    def test_dropout_converges_within_epsilon(self, algorithm):
+        def seed_config(**overrides):
+            return _config(
+                algorithm=algorithm, num_rounds=4, non_iid_level=10.0,
+                train_samples=200, test_samples=100, learning_rate=0.02,
+                lr_decay=0.97, seed=11, **overrides,
+            )
+
+        with Session.from_config(seed_config()) as session:
+            exact = session.run()
+        with Session.from_config(seed_config(
+            elastic=True, dropout_rate=0.3, over_select_factor=1.25,
+        )) as session:
+            lossy = session.run()
+        assert mean_dropout_rate(lossy) > 0.0  # churn active
+        divergence = schedule_divergence(lossy, exact)
+        assert divergence["final"] <= CONVERGENCE_EPSILON
+        assert divergence["max"] <= 2 * CONVERGENCE_EPSILON
+
+    def test_straggler_deadline_shortens_rounds(self):
+        base, __ = _run(_config())
+        capped, __ = _run(_config(elastic=True, straggler_deadline=1.1))
+        assert sum(r["duration"] for r in capped) < sum(
+            r["duration"] for r in base
+        )
+        for record in capped:
+            assert record["duration"] <= max(r["duration"] for r in base)
+
+
+class TestTotalDropout:
+    """Every selected worker drops: no update, but the session survives."""
+
+    @pytest.mark.parametrize("algorithm", ["mergesfl", "splitfed"])
+    def test_split_round_survives_losing_everyone(self, algorithm):
+        config = _config(algorithm=algorithm, elastic=True, dropout_rate=1.0,
+                         num_rounds=2)
+        with Session.from_config(config) as session:
+            engine = session.algorithm.engine
+            before = {
+                key: value.copy() for key, value in
+                engine.server.global_bottom.state_dict().items()
+            }
+            history = session.run()
+            after = engine.server.global_bottom.state_dict()
+        assert len(history) == 2
+        for record in history.records:
+            assert record.completed_ids == []
+            assert record.effective_cohort == 0
+            assert record.dropout_rate == 1.0
+        # The bottom model never aggregated anything.
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+    def test_fl_round_survives_losing_everyone(self):
+        config = _config(algorithm="fedavg", elastic=True, dropout_rate=1.0,
+                         num_rounds=2)
+        with Session.from_config(config) as session:
+            before = session.global_model().state_dict()
+            history = session.run()
+            after = session.global_model().state_dict()
+        assert all(r.effective_cohort == 0 for r in history.records)
+        assert all(r.train_loss == 0.0 for r in history.records)
+        for key in before:
+            assert np.array_equal(before[key], after[key])
+
+
+class TestRejoin:
+    def test_missing_workers_rejoin_within_the_bound(self):
+        records, __ = _run(_lazy_config())
+        rejoined = [r for r in records if r["rejoined_ids"]]
+        assert rejoined, "no worker ever rejoined; the scenario is vacuous"
+        for record in rejoined:
+            # A rejoin adds updates beyond the completed cohort.
+            assert record["effective_cohort"] > len(record["completed_ids"])
+            assert not set(record["rejoined_ids"]) & set(record["completed_ids"])
+
+    def test_rejoins_require_a_positive_bound(self):
+        records, __ = _run(_lazy_config(rejoin_staleness_bound=0))
+        assert all(r["rejoined_ids"] == [] for r in records)
+
+    def test_over_selection_keeps_dropped_deltas_in_the_pool_cache(self):
+        """Satellite: over-selected lazy rounds cache *every* cohort
+        member's delta -- dropped workers included -- so a later checkout
+        of a dropped worker is still a cache hit."""
+        with Session.from_config(_lazy_config(num_rounds=1)) as session:
+            session.run()
+            engine = session.algorithm.engine
+            record = engine.history.records[0]
+            assert record.dropped_ids
+            for worker_id in record.dropped_ids:
+                assert worker_id in engine.pool.cache
+
+    def test_over_selection_pads_a_constrained_plan(self):
+        overrides = dict(
+            num_workers=8, bandwidth_budget_mbps=0.5,
+            extras={"auto_budget": False},
+        )
+        base, __ = _run(_config(**overrides))
+        padded, __ = _run(_config(
+            elastic=True, over_select_factor=1.5, **overrides,
+        ))
+        assert all(
+            p["num_selected"] > b["num_selected"]
+            for p, b in zip(padded, base)
+        )
+
+
+# -- engine-level death recovery -----------------------------------------------
+
+class TestDeathRecovery:
+    @staticmethod
+    def _kill_first_child(session) -> None:
+        executor = session.algorithm.engine.executor
+        child = executor._children[0]
+        child.process.kill()
+        child.process.join(timeout=5.0)
+
+    def test_elastic_round_recovers_from_a_dead_child(self):
+        config = _config(
+            executor="process", elastic=True, min_cohort_fraction=0.2,
+            num_rounds=3,
+        )
+        with Session.from_config(config) as session:
+            session.run(1)
+            self._kill_first_child(session)
+            history = session.run()
+        assert len(history) == 3
+        recovered = history.records[1]
+        assert recovered.dropped_ids, "the death was not recorded as dropout"
+        assert recovered.completed_ids, "the survivors did not finish the round"
+        assert set(recovered.dropped_ids) | set(recovered.completed_ids) == set(
+            recovered.selected_ids
+        )
+        # The round after the recovery runs on a fresh pool, at full health.
+        assert history.records[2].dropped_ids == []
+
+    def test_fl_round_recovers_from_a_dead_child(self):
+        config = _config(
+            algorithm="fedavg", executor="process", elastic=True,
+            min_cohort_fraction=0.2, num_rounds=3,
+        )
+        with Session.from_config(config) as session:
+            session.run(1)
+            self._kill_first_child(session)
+            history = session.run()
+        assert len(history) == 3
+        assert history.records[1].dropped_ids
+        assert history.records[1].completed_ids
+
+    def test_below_quorum_death_yields_no_update_but_survives(self):
+        config = _config(
+            executor="process", elastic=True, min_cohort_fraction=1.0,
+            num_rounds=2,
+        )
+        with Session.from_config(config) as session:
+            session.run(1)
+            self._kill_first_child(session)
+            history = session.run()
+        assert len(history) == 2
+        assert history.records[1].effective_cohort == 0
+        assert history.records[1].completed_ids == []
+
+    def test_without_elasticity_a_dead_child_still_fails_loudly(self):
+        with Session.from_config(
+            _config(executor="process", num_rounds=2)
+        ) as session:
+            session.run(1)
+            self._kill_first_child(session)
+            with pytest.raises(RuntimeError, match="died"):
+                session.run()
+
+
+# -- checkpoint / resume -------------------------------------------------------
+
+class TestElasticCheckpointing:
+    def test_resume_mid_run_is_bit_exact_with_pending_rejoins(self, tmp_path):
+        config = _lazy_config()
+        path = tmp_path / "elastic.ckpt.json"
+        with Session.from_config(config) as session:
+            session.run(2)
+            state = session.state_dict()
+            assert state["algorithm"]["elastic"]["pending"], (
+                "no pending rejoin at the checkpoint; the scenario is vacuous"
+            )
+            session.save_checkpoint(path)
+        with Session.load_checkpoint(path) as resumed:
+            assert resumed.config.elastic
+            resumed.run()
+            candidate = (
+                [dataclasses.asdict(r) for r in resumed.history.records],
+                resumed.global_model().state_dict(),
+            )
+        _assert_bit_equal(_run(config), candidate, "elastic resume")
+
+    def test_eager_dropout_resume_is_bit_exact(self, tmp_path):
+        config = _config(
+            elastic=True, dropout_rate=0.3, over_select_factor=1.25,
+            rejoin_staleness_bound=2, num_rounds=4,
+        )
+        path = tmp_path / "dropout.ckpt.json"
+        with Session.from_config(config) as session:
+            session.run(2)
+            session.save_checkpoint(path)
+        with Session.load_checkpoint(path) as resumed:
+            resumed.run()
+            candidate = (
+                [dataclasses.asdict(r) for r in resumed.history.records],
+                resumed.global_model().state_dict(),
+            )
+        _assert_bit_equal(_run(config), candidate, "dropout resume")
+
+
+# -- metrics -------------------------------------------------------------------
+
+class TestElasticMetrics:
+    def test_summary_metrics_reflect_the_run(self):
+        with Session.from_config(
+            _config(elastic=True, dropout_rate=0.4, num_rounds=4)
+        ) as session:
+            history = session.run()
+        assert 0.0 < mean_dropout_rate(history) < 1.0
+        assert mean_effective_cohort(history) < 5.0
+
+    def test_effective_cohort_falls_back_for_old_records(self):
+        from repro.metrics.history import History, RoundRecord
+
+        history = History()
+        history.append(RoundRecord(
+            round_index=0, sim_time=1.0, duration=1.0, waiting_time=0.0,
+            traffic_mb=0.0, train_loss=0.0, test_loss=0.0, test_accuracy=0.5,
+            num_selected=7, total_batch=56,
+        ))
+        assert mean_effective_cohort(history) == 7.0
+        assert mean_dropout_rate(history) == 0.0

@@ -62,12 +62,16 @@ def _serial_reference(algorithm: str):
     return _REFERENCES[algorithm]
 
 
-def _assert_bit_equal(reference, candidate, label: str) -> None:
+def _assert_bit_equal(reference, candidate, label: str, ignore=()) -> None:
     ref_records, ref_state = reference
     records, state = candidate
     assert len(records) == len(ref_records)
     for ref_record, record in zip(ref_records, records):
-        assert dataclasses.asdict(record) == dataclasses.asdict(ref_record), label
+        ref_dict = {k: v for k, v in dataclasses.asdict(ref_record).items()
+                    if k not in ignore}
+        dict_ = {k: v for k, v in dataclasses.asdict(record).items()
+                 if k not in ignore}
+        assert dict_ == ref_dict, label
     assert set(state) == set(ref_state)
     for key in ref_state:
         assert np.array_equal(state[key], ref_state[key]), f"{label}: {key}"
@@ -107,6 +111,27 @@ def test_executors_bit_exact(algorithm, executor, transport, pipeline):
     )
     _assert_bit_equal(
         reference, candidate, f"{algorithm}/{executor}/{transport}/{pipeline}"
+    )
+
+
+@pytest.mark.parametrize("executor,transport,pipeline", [
+    ("serial", "pipe", "sync"),
+    ("process", "shm", "pipelined"),
+], ids=["serial/sync", "process/shm/pipelined"])
+@pytest.mark.parametrize("algorithm", ["mergesfl", "splitfed", "fedavg"])
+def test_neutral_elasticity_bit_exact(algorithm, executor, transport, pipeline):
+    """``elastic=True`` with every knob at its default is still the exact
+    protocol on every backend: zero dropout, no deadline, no over-selection.
+    Only the ``completed_ids`` bookkeeping column distinguishes the records."""
+    reference = _serial_reference(algorithm)
+    candidate = _run(_config(
+        executor, algorithm, transport=transport, pipeline=pipeline,
+        elastic=True,
+    ))
+    _assert_bit_equal(
+        reference, candidate,
+        f"{algorithm}/{executor}/{pipeline}/neutral-elastic",
+        ignore=("completed_ids",),
     )
 
 

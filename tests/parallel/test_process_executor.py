@@ -334,3 +334,71 @@ class TestWorkerDeath:
                 executor.collect_forward(workers)
         finally:
             executor.close()
+
+    def test_death_error_names_the_lost_workers(self, transport):
+        from repro.exceptions import ExecutorDeathError
+
+        workers = _make_workers()
+        executor = ProcessExecutor(processes=1, transport=transport)
+        try:
+            executor.install(workers, _bottom(), [0.1, 0.1])
+            child = executor._children[0]
+            child.process.kill()
+            child.process.join(timeout=5.0)
+            with pytest.raises(ExecutorDeathError) as excinfo:
+                executor.forward(workers, [8, 8])
+            assert excinfo.value.worker_ids == [0, 1]
+        finally:
+            executor.close()
+
+    def test_drain_and_checkpoint_after_death_do_not_hang(self, transport):
+        """The satellite regression: a dead child with work in flight used
+        to make ``drain()`` block on a reply that would never come (and
+        ``close()`` wait on a wedged queue).  Both must now return promptly
+        so the engine can checkpoint after recovering the round."""
+        workers = _make_workers()
+        executor = ProcessExecutor(processes=1, transport=transport)
+        try:
+            executor.install(workers, _bottom(), [0.1, 0.1])
+            executor.stage_forward(workers, [8, 8])
+            executor.launch_forward(workers)   # replies now in flight
+            child = executor._children[0]
+            child.process.kill()
+            child.process.join(timeout=5.0)
+            executor.drain()                   # must not raise or hang
+            executor.drain()                   # idempotent on a dead pool
+        finally:
+            executor.close()                   # must not hang either
+        assert executor._children is None
+
+    def test_close_terminates_a_dirty_dead_pool_promptly(self, transport):
+        workers = _make_workers()
+        executor = ProcessExecutor(processes=2, transport=transport)
+        executor.install(workers, _bottom(), [0.1, 0.1])
+        executor.stage_forward(workers, [8, 8])
+        executor.launch_forward(workers)
+        executor._children[0].process.kill()
+        executor._children[0].process.join(timeout=5.0)
+        executor.close()
+        assert executor._children is None
+        assert executor._assignment == {}
+
+    def test_pool_respawns_after_a_death_recovery_close(self, transport):
+        """After ``close()`` buries a dead pool, the next call lazily
+        respawns children and reships shards -- the engine-level recovery
+        path depends on this."""
+        workers = _make_workers()
+        executor = ProcessExecutor(processes=1, transport=transport)
+        try:
+            executor.install(workers, _bottom(), [0.1, 0.1])
+            child = executor._children[0]
+            child.process.kill()
+            child.process.join(timeout=5.0)
+            with pytest.raises(RuntimeError, match="died"):
+                executor.forward(workers, [8, 8])
+            executor.close()
+            executor.install(workers, _bottom(), [0.1, 0.1])
+            features, __ = executor.forward(workers, [8, 8])
+            assert features[0].shape == (8, 16)
+        finally:
+            executor.close()

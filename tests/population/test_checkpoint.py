@@ -63,6 +63,28 @@ def test_checkpoint_resume_with_warm_cache_is_bit_exact(tmp_path):
     _assert_identical(resumed, reference)
 
 
+def test_warm_resume_at_smaller_configured_capacity_is_bit_exact(caplog):
+    """Pin of the capacity-mismatch fix at the session level: restoring a
+    checkpoint into a session configured with a *smaller* delta cache must
+    warn, keep the checkpointed capacity, and reproduce the uninterrupted
+    run's cache hits exactly."""
+    reference = Session.from_config(_config())
+    reference.run()
+    assert sum(r.cache_hits for r in reference.history.records) > 0
+
+    session = Session.from_config(_config())
+    session.run(2)
+    state = session.state_dict()
+
+    resumed = Session.from_config(_config(population_cache=4))
+    with caplog.at_level("WARNING"):
+        resumed.algorithm.load_state_dict(state["algorithm"])
+    assert "capacity mismatch" in caplog.text
+    assert resumed.algorithm.engine.pool.cache.capacity == 8
+    resumed.run()
+    _assert_identical(resumed, reference)
+
+
 def test_checkpoint_resume_with_candidate_pool(tmp_path):
     config = _config(num_workers=40, population_candidates=8, num_rounds=4)
     reference = Session.from_config(config)

@@ -180,3 +180,40 @@ def test_delta_cache_state_roundtrip_preserves_entries_and_counters():
     rebuilt = fresh.reconstruct(2, reference)
     for key, value in _state(4.0).items():
         assert np.array_equal(rebuilt[key], value)
+
+
+def test_delta_cache_restore_keeps_the_checkpointed_capacity(caplog):
+    """The capacity-mismatch bug: a resume at a smaller configured capacity
+    used to keep the new capacity but *all* checkpointed entries, so the
+    restored cache held more deltas than it could ever evict consistently.
+    The checkpointed capacity must win (with a warning), preserving the
+    hit/miss trajectory of the original run."""
+    cache = DeltaCache(capacity=4)
+    reference = _state(0.0)
+    for worker_id in range(4):
+        cache.put(worker_id, _state(worker_id + 1.0), reference)
+
+    shrunk = DeltaCache(capacity=2)
+    with caplog.at_level("WARNING"):
+        shrunk.load_state_dict(cache.state_dict())
+    assert "capacity mismatch" in caplog.text
+    assert shrunk.capacity == 4
+    assert len(shrunk) == 4
+    for worker_id in range(4):
+        assert shrunk.reconstruct(worker_id, reference) is not None
+
+    grown = DeltaCache(capacity=16)
+    grown.load_state_dict(cache.state_dict())
+    assert grown.capacity == 4
+    grown.put(9, _state(9.0), reference)  # evicts at the restored capacity
+    assert len(grown) == 4
+
+
+def test_delta_cache_restore_matching_capacity_stays_silent(caplog):
+    cache = DeltaCache(capacity=3)
+    cache.put(1, _state(2.0), _state(0.0))
+    fresh = DeltaCache(capacity=3)
+    with caplog.at_level("WARNING"):
+        fresh.load_state_dict(cache.state_dict())
+    assert "capacity mismatch" not in caplog.text
+    assert fresh.capacity == 3

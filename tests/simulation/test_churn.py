@@ -1,0 +1,118 @@
+"""ChurnModel: determinism, rate extremes, deadlines, rejoin delays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.churn import CHURN_SEED_OFFSET, ChurnModel, RoundChurn
+
+IDS = [3, 7, 11, 20, 42]
+DURATIONS = np.array([1.0, 2.0, 3.0, 4.0, 10.0])
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_dropout_rate_range(self, rate):
+        with pytest.raises(ValueError, match="dropout_rate"):
+            ChurnModel(dropout_rate=rate)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="straggler_deadline"):
+            ChurnModel(straggler_deadline=-1.0)
+
+    def test_negative_rejoin_bound_rejected(self):
+        with pytest.raises(ValueError, match="rejoin_staleness_bound"):
+            ChurnModel(rejoin_staleness_bound=-1)
+
+
+class TestDeterminism:
+    def test_same_round_same_draw(self):
+        model = ChurnModel(dropout_rate=0.5, rejoin_staleness_bound=3, seed=9)
+        first = model.round_churn(4, IDS, DURATIONS)
+        second = ChurnModel(
+            dropout_rate=0.5, rejoin_staleness_bound=3, seed=9
+        ).round_churn(4, IDS, DURATIONS)
+        assert first.dropped == second.dropped
+        assert first.rejoin_delays == second.rejoin_delays
+
+    def test_rounds_draw_independent_streams(self):
+        model = ChurnModel(dropout_rate=0.5, seed=9)
+        draws = [model.round_churn(r, IDS, DURATIONS).dropped for r in range(20)]
+        assert len({tuple(d) for d in draws}) > 1
+
+    def test_seed_offset_separates_streams(self):
+        # The churn stream must not collide with the engine round streams.
+        assert CHURN_SEED_OFFSET not in (9173, 40617, 77003, 614657)
+
+
+class TestDropouts:
+    def test_rate_zero_drops_nobody(self):
+        churn = ChurnModel(dropout_rate=0.0, seed=1).round_churn(0, IDS, DURATIONS)
+        assert churn.dropped == []
+        assert churn.deadline is None
+        assert churn.rejoin_delays == {}
+
+    def test_rate_one_drops_everyone(self):
+        churn = ChurnModel(dropout_rate=1.0, seed=1).round_churn(0, IDS, DURATIONS)
+        assert churn.dropped == IDS
+
+    def test_intermediate_rate_drops_roughly_that_fraction(self):
+        model = ChurnModel(dropout_rate=0.3, seed=5)
+        ids = list(range(100))
+        durations = np.ones(100)
+        total = sum(
+            len(model.round_churn(r, ids, durations).dropped) for r in range(20)
+        )
+        assert 0.2 < total / 2000 < 0.4
+
+
+class TestStragglers:
+    def test_deadline_is_a_median_multiple(self):
+        churn = ChurnModel(straggler_deadline=1.5, seed=1).round_churn(
+            0, IDS, DURATIONS
+        )
+        assert churn.deadline == pytest.approx(1.5 * 3.0)
+        # Only the 10.0s worker exceeds 4.5s.
+        assert churn.stragglers == [42]
+
+    def test_disabled_deadline_means_wait_for_all(self):
+        churn = ChurnModel(straggler_deadline=0.0, seed=1).round_churn(
+            0, IDS, DURATIONS
+        )
+        assert churn.deadline is None
+        assert churn.stragglers == []
+
+    def test_dropped_workers_are_not_double_counted(self):
+        churn = ChurnModel(
+            dropout_rate=1.0, straggler_deadline=1.0, seed=1
+        ).round_churn(0, IDS, DURATIONS)
+        assert churn.dropped == IDS
+        assert churn.stragglers == []
+        assert churn.missing == IDS
+
+
+class TestRejoinDelays:
+    def test_dropped_delays_stay_within_the_bound(self):
+        model = ChurnModel(dropout_rate=0.6, rejoin_staleness_bound=3, seed=2)
+        for round_index in range(10):
+            churn = model.round_churn(round_index, IDS, DURATIONS)
+            assert set(churn.rejoin_delays) == set(churn.missing)
+            for delay in churn.rejoin_delays.values():
+                assert 1 <= delay <= 3
+
+    def test_stragglers_rejoin_next_round(self):
+        churn = ChurnModel(
+            straggler_deadline=1.5, rejoin_staleness_bound=3, seed=2
+        ).round_churn(0, IDS, DURATIONS)
+        assert churn.rejoin_delays == {42: 1}
+
+    def test_bound_zero_means_nobody_rejoins(self):
+        churn = ChurnModel(dropout_rate=1.0, seed=2).round_churn(
+            0, IDS, DURATIONS
+        )
+        assert churn.rejoin_delays == {}
+
+    def test_missing_concatenates_dropped_then_stragglers(self):
+        churn = RoundChurn(dropped=[1, 2], stragglers=[9])
+        assert churn.missing == [1, 2, 9]

@@ -45,7 +45,35 @@ class TestScalabilityStudy:
 
     def test_registry_is_complete(self):
         assert {"paper-scalability", "paper-scalability-noniid",
-                "smoke-scalability"} <= set(PRESETS)
+                "smoke-scalability", "paper-churn",
+                "smoke-churn"} <= set(PRESETS)
+
+
+class TestChurnStudy:
+    def test_paper_preset_sweeps_the_dropout_axis(self):
+        from repro.study.presets import PAPER_CHURN_RATES
+
+        study = get_preset("paper-churn")
+        assert [t.config.dropout_rate for t in study] == list(PAPER_CHURN_RATES)
+        for trial in study:
+            assert trial.config.elastic
+            assert trial.config.over_select_factor == 1.25
+            assert trial.config.rejoin_staleness_bound == 2
+            assert trial.tags["dropout_rate"] == trial.config.dropout_rate
+
+    def test_smoke_preset_runs_end_to_end(self):
+        from repro.study import StudyRunner
+        from repro.study.presets import churn_study
+
+        study = churn_study(
+            dataset="blobs", rates=(0.0, 0.5), num_workers=4, num_rounds=2,
+            local_iterations=1, train_samples=60, test_samples=30,
+            max_batch_size=8, base_batch_size=4,
+        )
+        histories = StudyRunner(study).histories()
+        assert len(histories) == 2
+        lossy = histories[study.trials[1].name]
+        assert any(record.dropped_ids for record in lossy.records)
 
 
 class TestPresetExecution:
