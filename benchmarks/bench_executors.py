@@ -39,8 +39,9 @@ MATRIX = (
 def _config(executor: str, transport: str = "pipe", pipeline: str = "sync",
             **overrides) -> ExperimentConfig:
     params = bench_overrides()
-    # This benchmark sweeps the execution axes itself.
-    for key in ("executor", "transport", "pipeline"):
+    # This benchmark sweeps the execution axes itself, and a lossy codec
+    # would break the bit-exactness the table asserts.
+    for key in ("executor", "transport", "pipeline", "codec"):
         params.pop(key, None)
     if not smoke_mode():
         params.update(num_workers=16, num_rounds=3, local_iterations=5,
@@ -68,7 +69,14 @@ def _timed_run(executor: str, transport: str = "pipe", pipeline: str = "sync",
 
 
 def _records(history) -> list[dict]:
-    return [dataclasses.asdict(record) for record in history.records]
+    from repro.metrics.history import WIRE_FIELDS
+
+    # Wire tallies measure the execution topology, not the trajectory.
+    return [
+        {k: v for k, v in dataclasses.asdict(record).items()
+         if k not in WIRE_FIELDS}
+        for record in history.records
+    ]
 
 
 def test_executor_matrix_speedup_and_bit_exactness(benchmark):

@@ -36,13 +36,21 @@ def _echo_child(connector) -> None:
                 break
             if message is None:
                 break
-            endpoint.send(message)
+            # Encode the way back too, like the executor's feature replies.
+            endpoint.send(message, klass="features")
     finally:
         endpoint.close()
 
 
-def _throughput(transport, payload_shape, repeats: int) -> float:
-    """Round-trip payload megabytes per second through one echo child."""
+def _throughput(transport, payload_shape, repeats: int,
+                codec: str | None = None) -> tuple[float, float]:
+    """Round-trip one echo child; return (logical MB/s, compression ratio).
+
+    The throughput is *logical* megabytes per second -- the dense payload
+    the caller handed over -- so codec rows are comparable: a codec helps
+    exactly when shrinking the wire beats the encode/decode cost.  The
+    ratio comes from the endpoint's own wire tally.
+    """
     context = multiprocessing.get_context(
         "fork" if "fork" in multiprocessing.get_all_start_methods() else None
     )
@@ -54,22 +62,29 @@ def _throughput(transport, payload_shape, repeats: int) -> float:
                for worker in range(4)}
     megabytes = sum(array.nbytes for array in payload.values()) / 1e6
     try:
-        endpoint.send(payload)  # warm-up (page faults, pickling caches)
+        endpoint.send(payload, klass="features")  # warm-up
         endpoint.recv()
+        wire_before = endpoint.bytes_on_wire
+        logical_before = endpoint.logical_bytes
         start = time.perf_counter()
         for __ in range(repeats):
-            endpoint.send(payload)
+            endpoint.send(payload, klass="features")
             received = endpoint.recv()
         elapsed = time.perf_counter() - start
-        assert np.array_equal(received[0], payload[0])
-        endpoint.send(None)
+        wire = endpoint.bytes_on_wire - wire_before
+        logical = endpoint.logical_bytes - logical_before
+        if codec in (None, "none"):
+            assert np.array_equal(received[0], payload[0])
+        else:
+            assert received[0].shape == payload[0].shape
+        endpoint.send(None, count=False)
     finally:
         process.join(timeout=5.0)
         if process.is_alive():  # pragma: no cover - defensive cleanup
             process.terminate()
         endpoint.close(unlink=True)
     # Payload crosses twice per round trip (up + echoed back down).
-    return 2.0 * megabytes * repeats / elapsed
+    return 2.0 * megabytes * repeats / elapsed, logical / wire
 
 
 def test_transport_throughput(benchmark):
@@ -82,7 +97,7 @@ def test_transport_throughput(benchmark):
         results = {}
         for shape in shapes:
             for transport in (PipeTransport(), SharedMemoryTransport()):
-                results[(transport.name, shape)] = _throughput(
+                results[(transport.name, shape)], __ = _throughput(
                     transport, shape, repeats
                 )
         return results
@@ -104,3 +119,37 @@ def test_transport_throughput(benchmark):
         title="transport round-trip throughput, 4 workers/message",
     ))
     assert all(value > 0 for value in results.values())
+
+
+def test_codec_wire_compression(benchmark):
+    """Codec matrix over one feature-sized payload: logical throughput and
+    logical-bytes-per-wire-byte, read off the endpoint's own tally."""
+    from repro.api.registry import CODECS
+    from repro.parallel.codec import CodecPolicy
+
+    repeats = 5 if smoke_mode() else 50
+    shape = (16, 3, 32, 32)
+    codecs = ("none", "fp16", "bf16", "int8", "topk")
+
+    def run() -> dict:
+        results = {}
+        for name in codecs:
+            policy = (None if name == "none"
+                      else CodecPolicy({"features": CODECS.get(name)()}))
+            results[name] = _throughput(
+                SharedMemoryTransport(codec=policy), shape, repeats, codec=name
+            )
+        return results
+
+    results = run_once(benchmark, run)
+    print()
+    print(format_table(
+        ["codec", "logical MB/s", "logical/wire"],
+        [[name, f"{mbs:.0f}", f"{ratio:.2f}x"]
+         for name, (mbs, ratio) in results.items()],
+        title=f"shm transport, {'x'.join(map(str, shape))} float64 features",
+    ))
+    assert results["none"][1] == 1.0
+    assert results["fp16"][1] >= 3.9   # 16 of 64 bits, ~4x
+    assert results["int8"][1] >= 2.0   # acceptance floor; ~8x measured
+    assert results["topk"][1] >= 2.0   # ~12 bytes kept per 80 dropped

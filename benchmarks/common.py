@@ -37,6 +37,11 @@ each other through a shared dict):
   (see :mod:`repro.population`).  ``lazy`` registers workers as metadata
   rows and materialises only each round's cohort; bit-exact against
   ``eager``, so this only changes memory and wall-clock.
+* ``BENCH_CODEC=none|fp16|bf16|int8|topk`` -- select the transport codec
+  (see :mod:`repro.parallel.codec`) compressing features and gradients on
+  the wire.  Only meaningful with ``BENCH_EXECUTOR=process`` (in-process
+  executors have no wire).  ``none`` is bit-exact; the lossy codecs are
+  deterministic but measured relaxations, like ``BENCH_STALENESS``.
 * ``BENCH_PRESET=name`` -- point the scalability benchmark at a
   :mod:`repro.study.presets` study (e.g. ``paper-scalability`` for the
   paper's 100/200/400-worker axis) instead of the scaled-down default.
@@ -129,7 +134,8 @@ def bench_overrides() -> dict:
     for env, key in (("BENCH_EXECUTOR", "executor"),
                      ("BENCH_TRANSPORT", "transport"),
                      ("BENCH_PIPELINE", "pipeline"),
-                     ("BENCH_POPULATION", "population")):
+                     ("BENCH_POPULATION", "population"),
+                     ("BENCH_CODEC", "codec")):
         value = os.environ.get(env)
         if value:
             overrides[key] = value

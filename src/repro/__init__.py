@@ -15,7 +15,8 @@ Regulation.  This package provides:
   and the motivation/ablation variants.
 * ``repro.api`` -- the extension and execution API: plugin registries
   (``@register_algorithm`` / ``@register_dataset`` / ``@register_model`` /
-  ``@register_policy`` / ``@register_executor``), the unified
+  ``@register_policy`` / ``@register_executor`` / ``@register_codec``),
+  the unified
   :class:`~repro.api.algorithm.Algorithm` interface, and the steppable,
   checkpointable :class:`~repro.api.session.Session`.
 * ``repro.parallel`` -- interchangeable, bit-exact execution backends for
@@ -48,6 +49,7 @@ from repro.config import ExperimentConfig
 from repro.api.algorithm import Algorithm
 from repro.api.registry import (
     ALGORITHMS,
+    CODECS,
     DATASETS,
     EXECUTORS,
     MODELS,
@@ -55,6 +57,7 @@ from repro.api.registry import (
     POLICIES,
     TRANSPORTS,
     register_algorithm,
+    register_codec,
     register_dataset,
     register_executor,
     register_model,
@@ -76,6 +79,7 @@ __all__ = [
     "StudyRunner",
     "StudyStore",
     "ALGORITHMS",
+    "CODECS",
     "DATASETS",
     "EXECUTORS",
     "MODELS",
@@ -83,6 +87,7 @@ __all__ = [
     "POLICIES",
     "TRANSPORTS",
     "register_algorithm",
+    "register_codec",
     "register_dataset",
     "register_executor",
     "register_model",

@@ -246,6 +246,9 @@ PIPELINES = Registry("pipeline", populate=_load_builtins)
 #: Inter-process feature transports: factories ``(config) -> Transport``
 #: (see ``repro.parallel.transport``).
 TRANSPORTS = Registry("transport", populate=_load_builtins)
+#: Payload codecs for the feature transport: :class:`~repro.parallel.codec.Codec`
+#: subclasses keyed by name (see ``repro.parallel.codec``).
+CODECS = Registry("codec", populate=_load_builtins)
 
 register_algorithm = ALGORITHMS.register
 register_dataset = DATASETS.register
@@ -254,3 +257,4 @@ register_policy = POLICIES.register
 register_executor = EXECUTORS.register
 register_pipeline = PIPELINES.register
 register_transport = TRANSPORTS.register
+register_codec = CODECS.register

@@ -153,6 +153,17 @@ class ExperimentConfig:
     #: (shared-memory ring buffers, headers only over the pipe); see
     #: :mod:`repro.parallel.transport`.  Ignored by in-process executors.
     transport: str = "pipe"
+    #: Transport payload codec for the feature/gradient arrays crossing the
+    #: process boundary: ``"none"`` (bit-exact passthrough, the default),
+    #: ``"fp16"``/``"bf16"`` (half-precision casts), ``"int8"`` (per-tensor
+    #: affine quantization) or ``"topk"`` (sparsification with error
+    #: feedback); see :mod:`repro.parallel.codec`.
+    #: ``extras["codec_policy"]`` assigns codecs per payload class
+    #: (``features``/``gradients``/``weights``) and
+    #: ``extras["codec_topk_ratio"]`` tunes the top-k kept fraction.
+    #: Ignored by in-process executors.  Lossy codecs are deterministic,
+    #: transport-independent relaxations of the exact trajectory.
+    codec: str = "none"
 
     # Reproducibility --------------------------------------------------------
     seed: int = 0
@@ -173,6 +184,7 @@ class ExperimentConfig:
         """
         from repro.api.registry import (
             ALGORITHMS,
+            CODECS,
             DATASETS,
             EXECUTORS,
             MODELS,
@@ -192,6 +204,25 @@ class ExperimentConfig:
             raise ConfigurationError(PIPELINES.unknown_message(self.pipeline))
         if self.transport not in TRANSPORTS:
             raise ConfigurationError(TRANSPORTS.unknown_message(self.transport))
+        if self.codec not in CODECS:
+            raise ConfigurationError(CODECS.unknown_message(self.codec))
+        policy_overrides = self.extras.get("codec_policy")
+        if policy_overrides is not None:
+            from repro.parallel.codec import PAYLOAD_CLASSES
+
+            if not isinstance(policy_overrides, dict):
+                raise ConfigurationError(
+                    f"extras['codec_policy'] must be a dict of payload class "
+                    f"-> codec name, got {policy_overrides!r}"
+                )
+            for klass, name in policy_overrides.items():
+                if klass not in PAYLOAD_CLASSES:
+                    raise ConfigurationError(
+                        f"extras['codec_policy'] has unknown payload class "
+                        f"{klass!r} (known: {', '.join(PAYLOAD_CLASSES)})"
+                    )
+                if name not in CODECS:
+                    raise ConfigurationError(CODECS.unknown_message(name))
         positive_fields = {
             "num_workers": self.num_workers,
             "num_rounds": self.num_rounds,

@@ -46,7 +46,7 @@ from repro.core.server import SplitServer
 from repro.core.worker import SplitWorker
 from repro.data.dataset import TrainTestSplit
 from repro.exceptions import ConfigurationError, ExecutorDeathError
-from repro.metrics.history import History, RoundRecord
+from repro.metrics.history import History, RoundRecord, wire_round_delta
 from repro.nn.models import estimate_forward_flops
 from repro.nn.module import Sequential
 from repro.nn.serialization import model_size_bytes
@@ -249,6 +249,7 @@ class SplitTrainingEngine(Algorithm):
             "elastic": (
                 self._elastic.state_dict() if self._elastic is not None else None
             ),
+            "codec": self.executor.codec_state(),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -272,6 +273,7 @@ class SplitTrainingEngine(Algorithm):
         self.cluster.load_state_dict(state["cluster"])
         if self._elastic is not None and state.get("elastic") is not None:
             self._elastic.load_state_dict(state["elastic"])
+        self.executor.load_codec_state(state.get("codec"))
 
     # -- round mechanics ---------------------------------------------------------
     def _observe_states(self, candidates: np.ndarray | None = None) -> None:
@@ -314,6 +316,7 @@ class SplitTrainingEngine(Algorithm):
 
     def _run_round(self, round_index: int) -> None:
         config = self.config
+        wire_before = self.executor.transport_stats()
         plan, selected_workers = self._stage_plan(round_index)
         # Elastic rounds draw their churn once, up front, against the
         # planned cohort; a death-recovery re-run reuses the same draw.
@@ -384,6 +387,9 @@ class SplitTrainingEngine(Algorithm):
             }
         else:
             elastic_kwargs = {"effective_cohort": len(plan.selected)}
+        wire, logical, ratio = wire_round_delta(
+            wire_before, self.executor.transport_stats()
+        )
         self.history.append(
             RoundRecord(
                 round_index=round_index,
@@ -401,6 +407,9 @@ class SplitTrainingEngine(Algorithm):
                 selected_ids=[int(w) for w in plan.selected],
                 cache_hits=int(population_stats.get("cache_hits", 0)),
                 cache_misses=int(population_stats.get("cache_misses", 0)),
+                bytes_on_wire=wire,
+                logical_bytes=logical,
+                compression_ratio=ratio,
                 **elastic_kwargs,
             )
         )

@@ -45,6 +45,13 @@ class RoundRecord:
         effective_cohort: Number of updates in the round's aggregate
             (completed + rejoined; equals ``num_selected`` when
             elasticity is off).
+        bytes_on_wire: Array-payload bytes that actually crossed the
+            executor's process boundary this round (both directions,
+            post-codec; ``0`` for in-process executors).
+        logical_bytes: Dense bytes those payloads represent pre-codec;
+            equals ``bytes_on_wire`` at ``codec="none"``.
+        compression_ratio: ``logical_bytes / bytes_on_wire`` for the round
+            (``0.0`` when nothing crossed a process boundary).
     """
 
     round_index: int
@@ -67,6 +74,31 @@ class RoundRecord:
     rejoined_ids: list[int] = field(default_factory=list)
     dropout_rate: float = 0.0
     effective_cohort: int = 0
+    bytes_on_wire: int = 0
+    logical_bytes: int = 0
+    compression_ratio: float = 0.0
+
+
+#: :class:`RoundRecord` fields that measure transport wire traffic.  They
+#: depend on the execution *topology* (executor, transport, schedule), not
+#: on the training trajectory, so cross-topology equivalence checks compare
+#: records with these stripped while everything else stays bit-exact.
+WIRE_FIELDS = ("bytes_on_wire", "logical_bytes", "compression_ratio")
+
+
+def wire_round_delta(before: dict | None, after: dict | None
+                     ) -> tuple[int, int, float]:
+    """Per-round ``(bytes_on_wire, logical_bytes, compression_ratio)``.
+
+    Computed from two executor ``transport_stats()`` snapshots (monotonic
+    counters, or ``None`` for in-process executors, which yields zeros).
+    """
+    if before is None or after is None:
+        return 0, 0, 0.0
+    wire = int(after["bytes_on_wire"]) - int(before["bytes_on_wire"])
+    logical = int(after["logical_bytes"]) - int(before["logical_bytes"])
+    ratio = (logical / wire) if wire > 0 else 0.0
+    return wire, logical, ratio
 
 
 @dataclass

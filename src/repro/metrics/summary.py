@@ -131,6 +131,29 @@ def mean_effective_cohort(history: History) -> float:
     )
 
 
+def total_bytes_on_wire(history: History) -> int:
+    """Array-payload bytes that crossed process boundaries over the run."""
+    return int(sum(record.bytes_on_wire for record in history.records))
+
+
+def total_logical_bytes(history: History) -> int:
+    """Dense pre-codec bytes those wire payloads represent over the run."""
+    return int(sum(record.logical_bytes for record in history.records))
+
+
+def mean_compression_ratio(history: History) -> float:
+    """Logical-to-wire byte ratio over the whole run.
+
+    ``1.0`` at ``codec="none"`` on a process executor, ``> 1`` under a
+    compressing codec, and ``0.0`` when nothing crossed a process boundary
+    (in-process executors, empty histories).
+    """
+    wire = total_bytes_on_wire(history)
+    if wire == 0:
+        return 0.0
+    return total_logical_bytes(history) / wire
+
+
 def schedule_divergence(relaxed: History, exact: History) -> dict:
     """Convergence delta of a relaxed schedule against its exact reference.
 

@@ -27,15 +27,32 @@ Two further axes compose with the executor choice:
   :mod:`repro.parallel.transport`) moves tensors across the process
   executor's process boundary -- ``pipe`` pickles them, ``shm`` ships them
   through shared-memory ring buffers (``extras["transport_capacity"]``
-  tunes the per-direction ring size).
+  tunes the per-direction ring size);
+* the **transport codec** (``config.codec``, :mod:`repro.parallel.codec`)
+  compresses the feature/gradient arrays crossing either transport --
+  ``none`` (the default) is a bit-exact passthrough, ``fp16``/``bf16``/
+  ``int8``/``topk`` trade precision for wire bytes, with
+  ``extras["codec_policy"]`` assigning different codecs per payload class
+  and ``extras["codec_topk_ratio"]`` tuning sparsification.
 
-Every combination is bit-exact with every other; these are purely
-speed/topology knobs.
+Every combination at ``codec="none"`` is bit-exact with every other; lossy
+codecs are deterministic, transport-independent relaxations pinned by
+convergence-tolerance regressions.
 """
 
-from repro.api.registry import register_executor, register_pipeline, register_transport
+from repro.api.registry import (
+    register_executor,
+    register_pipeline,
+    register_transport,
+)
 from repro.parallel.base import Executor
 from repro.parallel.batched import BatchedExecutor
+from repro.parallel.codec import (
+    CODECS,
+    Codec,
+    CodecPolicy,
+    build_codec_policy,
+)
 from repro.parallel.pipeline import (
     ArtifactKind,
     ArtifactRef,
@@ -66,6 +83,9 @@ __all__ = [
     "ArtifactRef",
     "BatchedExecutor",
     "BoundedStalenessScheduler",
+    "CODECS",
+    "Codec",
+    "CodecPolicy",
     "Executor",
     "FullRoundOps",
     "InflightQueue",
@@ -80,6 +100,7 @@ __all__ = [
     "SplitRoundOps",
     "StageSpec",
     "Transport",
+    "build_codec_policy",
     "build_executor",
     "build_pipeline",
     "build_transport",
@@ -110,14 +131,15 @@ def _build_process(config) -> ProcessExecutor:
 
 @register_transport("pipe", description="pickle whole messages over a pipe")
 def _build_pipe_transport(config) -> PipeTransport:
-    return PipeTransport()
+    return PipeTransport(codec=build_codec_policy(config))
 
 
 @register_transport("shm", description="arrays via shared-memory ring buffers")
 def _build_shm_transport(config) -> SharedMemoryTransport:
     capacity = config.extras.get("transport_capacity")
     return SharedMemoryTransport(
-        capacity=int(capacity) if capacity is not None else DEFAULT_RING_CAPACITY
+        capacity=int(capacity) if capacity is not None else DEFAULT_RING_CAPACITY,
+        codec=build_codec_policy(config),
     )
 
 

@@ -139,6 +139,28 @@ class Executor(abc.ABC):
     def close(self) -> None:
         """Release backend resources (worker processes, pools); idempotent."""
 
+    # -- transport accounting and codec state ---------------------------------
+    def transport_stats(self) -> dict[str, int] | None:
+        """Cumulative wire traffic, or ``None`` for in-process backends.
+
+        Backends that move payloads across a process boundary return
+        ``{"bytes_on_wire": ..., "logical_bytes": ...}`` monotonic
+        counters; engines record per-round deltas in
+        :class:`~repro.metrics.history.RoundRecord`.
+        """
+        return None
+
+    def codec_state(self) -> dict | None:
+        """Checkpointable codec state (error-feedback residuals), if any.
+
+        ``None`` means the backend carries no stateful transport codec and
+        the engine checkpoint stays unchanged.
+        """
+        return None
+
+    def load_codec_state(self, state: dict | None) -> None:
+        """Restore :meth:`codec_state`; a no-op for backends without one."""
+
     def __enter__(self) -> "Executor":
         return self
 

@@ -78,6 +78,7 @@ import numpy as np
 from repro.exceptions import ExecutorDeathError, TransportError
 from repro.utils.mp import get_mp_context
 from repro.parallel.base import Executor
+from repro.parallel.codec import FEATURES, GRADIENTS, WEIGHTS, decode_key
 from repro.parallel.transport import ChildConnector, PipeTransport, Transport
 from repro.utils.logging import get_logger
 
@@ -91,6 +92,21 @@ DEFAULT_MAX_PROCESSES = 8
 #: raise is *deferred* to the next replying command's reply slot so the
 #: one-reply-per-request pairing the parent relies on is never broken.
 _NO_REPLY_COMMANDS = frozenset({"stage", "backward_nowait", "install_nowait"})
+
+#: Payload class of each parent->child command's bulk arrays, for the
+#: transport codec policy.  Untagged commands (staged indices, installs,
+#: shard shipping) always travel raw.
+_SEND_CLASS = {
+    "backward": GRADIENTS,
+    "backward_nowait": GRADIENTS,
+    "fused_step": GRADIENTS,
+}
+
+#: Commands whose traffic is excluded from the wire-byte counters: shard
+#: shipping happens once per pool lifetime and codec-state exchanges only
+#: at checkpoints, so counting either would make per-round byte deltas
+#: depend on pool restarts and checkpoint cadence.
+_UNCOUNTED_COMMANDS = frozenset({"load_shard", "codec_load", "codec_state"})
 
 
 def _child_main(connector: ChildConnector) -> None:
@@ -175,7 +191,8 @@ def _child_main(connector: ChildConnector) -> None:
                 elif command == "forward":
                     staged.update(payload)
                     endpoint.send(
-                        ("ok", {wid: run_forward(wid) for wid in payload})
+                        ("ok", {wid: run_forward(wid) for wid in payload}),
+                        klass=FEATURES,
                     )
                 elif command == "stage":
                     # Mini-batches for the *next* forward; no reply, the
@@ -183,7 +200,8 @@ def _child_main(connector: ChildConnector) -> None:
                     staged.update(payload)
                 elif command == "forward_staged":
                     endpoint.send(
-                        ("ok", {wid: run_forward(wid) for wid in payload})
+                        ("ok", {wid: run_forward(wid) for wid in payload}),
+                        klass=FEATURES,
                     )
                 elif command == "fused_step":
                     # Backward + SGD step for the pending iteration, then
@@ -191,7 +209,8 @@ def _child_main(connector: ChildConnector) -> None:
                     for worker_id, gradient in payload.items():
                         run_backward(worker_id, gradient)
                     endpoint.send(
-                        ("ok", {wid: run_forward(wid) for wid in payload})
+                        ("ok", {wid: run_forward(wid) for wid in payload}),
+                        klass=FEATURES,
                     )
                 elif command == "backward":
                     for worker_id, gradient in payload.items():
@@ -205,9 +224,19 @@ def _child_main(connector: ChildConnector) -> None:
                         ("ok", {
                             worker_id: bottoms[worker_id]["model"].state_dict()
                             for worker_id in payload
-                        })
+                        }),
+                        klass=WEIGHTS,
                     )
                 elif command == "ping":
+                    endpoint.send(("ok", None))
+                elif command == "codec_state":
+                    # Error-feedback residuals of this child's codecs, for
+                    # checkpointing; uncounted so per-round byte deltas do
+                    # not depend on checkpoint cadence.
+                    endpoint.send(("ok", endpoint.codec_state_dict()),
+                                  count=False)
+                elif command == "codec_load":
+                    endpoint.codec_load(payload)
                     endpoint.send(("ok", None))
                 elif command == "train_full":
                     model, loss_fn, iterations, tasks = payload
@@ -233,7 +262,7 @@ def _child_main(connector: ChildConnector) -> None:
                             local.backward(loss_fn.backward())
                             optimizer.step()
                         states[worker_id] = local.state_dict()
-                    endpoint.send(("ok", states))
+                    endpoint.send(("ok", states), klass=WEIGHTS)
                 else:
                     raise RuntimeError(f"unknown executor command {command!r}")
             except Exception:  # noqa: BLE001 - forwarded to the parent
@@ -318,6 +347,14 @@ class ProcessExecutor(Executor):
         self._completions: deque[tuple[str, tuple[int, ...]]] = deque()
         #: Labels of staged mini-batches, one entry per stage_forward call.
         self._staged_labels: deque[dict[int, np.ndarray]] = deque()
+        #: Wire/logical byte totals of endpoints already closed, so
+        #: :meth:`transport_stats` stays monotonic across pool restarts.
+        self._retired_wire = 0
+        self._retired_logical = 0
+        #: Codec residuals restored from a checkpoint but not yet shipped
+        #: to the child that will host their worker (serialized keys; see
+        #: :meth:`load_codec_state`).
+        self._pending_codec: dict[str, np.ndarray] = {}
 
     @property
     def supports_pipelining(self) -> bool:
@@ -404,6 +441,8 @@ class ProcessExecutor(Executor):
             if child.process.is_alive():  # pragma: no cover - defensive cleanup
                 child.process.terminate()
                 child.process.join(timeout=5.0)
+            self._retired_wire += child.endpoint.bytes_on_wire
+            self._retired_logical += child.endpoint.logical_bytes
             child.endpoint.close(unlink=True)
         self._children = None
         self._assignment = {}
@@ -479,8 +518,13 @@ class ProcessExecutor(Executor):
     def _send(self, index: int, message: tuple, expects_reply: bool) -> None:
         children = self._ensure_pool()
         child = children[index]
+        command = message[0]
         try:
-            child.endpoint.send(message)
+            child.endpoint.send(
+                message,
+                klass=_SEND_CLASS.get(command),
+                count=command not in _UNCOUNTED_COMMANDS,
+            )
         except (BrokenPipeError, OSError, TransportError) as error:
             child.dead = True
             raise ExecutorDeathError(
@@ -489,11 +533,11 @@ class ProcessExecutor(Executor):
             ) from error
         child.record_send(expects_reply)
 
-    def _recv(self, index: int):
+    def _recv(self, index: int, count: bool = True):
         children = self._ensure_pool()
         child = children[index]
         try:
-            status, payload = child.endpoint.recv()
+            status, payload = child.endpoint.recv(count=count)
         except (EOFError, OSError, TransportError) as error:
             child.dead = True
             raise ExecutorDeathError(
@@ -547,10 +591,32 @@ class ProcessExecutor(Executor):
                     if not tolerate_death:
                         raise
 
+    def _ship_codec_state(self, shards: dict[int, dict]) -> None:
+        """Deliver restored codec residuals to the children hosting them.
+
+        Residual keys carry the worker id as their second segment, so each
+        pending entry is shipped exactly once, to the child its worker was
+        just assigned to, before that child's first post-resume encode.
+        """
+        if not self._pending_codec:
+            return
+        messages = {}
+        for index, shard in shards.items():
+            payload = {}
+            for key in list(self._pending_codec):
+                parts = decode_key(key)
+                if len(parts) > 1 and parts[1] in shard:
+                    payload[key] = self._pending_codec.pop(key)
+            if payload:
+                messages[index] = ("codec_load", payload)
+        if messages:
+            self._broadcast(messages)
+
     def _install_messages(self, workers, learning_rates, bottom, command: str):
         """Assign workers, ship fresh shards, build per-child install messages."""
         shards = self._assign(workers)
         self._ship_shards(shards)
+        self._ship_codec_state(shards)
         lr_of = {
             worker.worker_id: lr for worker, lr in zip(workers, learning_rates)
         }
@@ -746,6 +812,73 @@ class ProcessExecutor(Executor):
         for index in indices:
             states_of.update(self._recv(index))
         return [states_of[worker.worker_id] for worker in workers]
+
+    # -- transport accounting and codec state ---------------------------------
+    def transport_stats(self) -> dict[str, int]:
+        """Cumulative array-payload bytes moved across the process boundary.
+
+        Sums both directions over every channel of the pool, including
+        channels already retired by a pool restart, so engines can take
+        per-round deltas.  One-time shard shipping and checkpoint codec
+        exchanges are excluded (see ``_UNCOUNTED_COMMANDS``), which keeps
+        the deltas identical across pool sizes, transports and
+        checkpoint/resume.
+        """
+        wire = self._retired_wire
+        logical = self._retired_logical
+        if self._children is not None:
+            for child in self._children:
+                wire += child.endpoint.bytes_on_wire
+                logical += child.endpoint.logical_bytes
+        return {"bytes_on_wire": wire, "logical_bytes": logical}
+
+    def codec_state(self) -> dict | None:
+        """Collect every error-feedback residual for checkpointing.
+
+        Merges the parent policy's residuals (gradient-side keys), the
+        children's (feature/weight-side keys, disjoint because worker
+        homes are sticky) and any restored-but-unshipped entries.  Returns
+        ``None`` when the transport has no stateful codec, so checkpoints
+        stay unchanged for every other configuration.  Residuals held by a
+        child that died are necessarily absent (reset), matching the
+        engine's recovery semantics.
+        """
+        policy = self._transport.codec
+        if policy is None or not policy.stateful:
+            return None
+        self.drain()
+        state: dict[str, np.ndarray] = dict(self._pending_codec)
+        state.update(policy.state_dict())
+        if self._children is not None:
+            for index, child in enumerate(self._children):
+                if child.dead:
+                    continue
+                try:
+                    self._send(index, ("codec_state", None), expects_reply=True)
+                    state.update(self._recv(index, count=False))
+                except ExecutorDeathError:
+                    continue
+        return state
+
+    def load_codec_state(self, state: dict | None) -> None:
+        """Restore checkpointed codec residuals (inverse of :meth:`codec_state`).
+
+        Gradient-side keys go straight into the shared parent policy;
+        feature/weight-side keys are parked in ``_pending_codec`` and
+        shipped to each worker's hosting child at the next install, before
+        that child's first post-resume encode.
+        """
+        policy = self._transport.codec
+        if policy is None or not policy.stateful:
+            return
+        parent_state: dict[str, np.ndarray] = {}
+        self._pending_codec = {}
+        for key, value in (state or {}).items():
+            if decode_key(key)[0] == GRADIENTS:
+                parent_state[key] = value
+            else:
+                self._pending_codec[key] = value
+        policy.load_state_dict(parent_state, merge=False)
 
     # -- full-model (FL) training ---------------------------------------------
     def train_full(self, workers, model, loss_fn, iterations, batch_size, learning_rate):

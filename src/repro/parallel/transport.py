@@ -23,6 +23,15 @@ control message, so a desynchronised or corrupted ring fails loudly with
 :class:`~repro.exceptions.TransportError` instead of silently reading
 garbage into the training state.
 
+Either transport may additionally carry a
+:class:`~repro.parallel.codec.CodecPolicy`: senders tag messages with a
+payload class (``features`` / ``gradients`` / ``weights``) and the policy's
+codec compresses each eligible array before it is framed (ring) or pickled
+(pipe), with the codec name and metadata travelling in the frame header so
+the receiver can decode without shared state.  Both endpoints also keep
+``bytes_on_wire`` / ``logical_bytes`` counters -- on the pipe transport
+too -- so pipe-vs-shm comparisons report wire volume on both backends.
+
 Transports are registered in :data:`repro.api.registry.TRANSPORTS`
 (``"pipe"`` and ``"shm"``) and selected with
 ``ExperimentConfig(transport=...)``; see :mod:`repro.parallel`.
@@ -39,6 +48,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.exceptions import TransportError
+from repro.parallel.codec import CodecPolicy, decode_array
 from repro.utils.logging import get_logger
 
 logger = get_logger("parallel.transport")
@@ -218,15 +228,45 @@ class RingBuffer:
 
 @dataclass
 class _RingRef:
-    """Placeholder left in the control message for an array in the ring."""
+    """Placeholder left in the control message for an array in the ring.
+
+    ``shape``/``dtype`` always describe the *logical* array; ``nbytes`` is
+    what actually sits in the ring (the encoded payload size when ``codec``
+    is set), and ``meta`` carries the codec's frame metadata (e.g. the int8
+    scale/zero-point), so every frame is self-describing.
+    """
 
     index: int
     shape: tuple
     dtype: str
     nbytes: int
+    codec: str | None = None
+    meta: object = None
 
 
-def _pack(obj, arrays: list, budget: list):
+@dataclass
+class _EncodedInline:
+    """A codec-encoded array small enough to stay in the control message.
+
+    The inline-fallback threshold applies to the *encoded* size: a large
+    tensor that a codec shrinks under :data:`INLINE_FLOOR_BYTES` (top-k
+    typically does) takes the cheap inline path instead of burning ring
+    capacity on framing.
+    """
+
+    codec: str
+    payload: np.ndarray
+    shape: tuple
+    dtype: str
+    meta: object = None
+
+
+def _logical_nbytes(shape, dtype: str) -> int:
+    """Byte count of the dense logical array a frame reconstructs."""
+    return int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+
+
+def _pack(obj, arrays: list, budget: list, codec=None, stats=None, key=()):
     """Replace ring-eligible arrays in ``obj`` with :class:`_RingRef` markers.
 
     Walks dicts/lists/tuples (the executor's payload containers); anything
@@ -236,11 +276,38 @@ def _pack(obj, arrays: list, budget: list):
     control message.  Capping one message's framed bytes at the ring
     capacity is what lets :meth:`Endpoint.send` always write the payload
     *before* the control message.
+
+    When ``codec`` (a :class:`~repro.parallel.codec.Codec`) is given, each
+    eligible float array is encoded first; the inline-vs-ring decision then
+    applies to the encoded size, and arrays the codec shrinks below the
+    inline floor travel as :class:`_EncodedInline`.  ``key`` accumulates
+    the dict-key path (prefixed with the payload class) that stateful
+    codecs key their error-feedback residuals by.  ``stats`` (an object
+    with ``count_bytes(wire, logical)``) tallies payload bytes.
     """
     if isinstance(obj, np.ndarray):
+        if obj.dtype.hasobject:
+            return obj
+        if codec is not None and codec.applies_to(obj):
+            payload, meta = codec.encode(obj, key=key)
+            if stats is not None:
+                stats.count_bytes(payload.nbytes, obj.nbytes)
+            framed = payload.nbytes + _FRAME.size
+            if payload.nbytes <= INLINE_FLOOR_BYTES or framed > budget[0]:
+                return _EncodedInline(
+                    codec.name, payload, obj.shape, obj.dtype.str, meta
+                )
+            budget[0] -= framed
+            ref = _RingRef(
+                len(arrays), obj.shape, obj.dtype.str, payload.nbytes,
+                codec.name, meta,
+            )
+            arrays.append(payload)
+            return ref
+        if stats is not None:
+            stats.count_bytes(obj.nbytes, obj.nbytes)
         framed = obj.nbytes + _FRAME.size
-        if (obj.nbytes <= INLINE_FLOOR_BYTES or framed > budget[0]
-                or obj.dtype.hasobject):
+        if obj.nbytes <= INLINE_FLOOR_BYTES or framed > budget[0]:
             return obj
         budget[0] -= framed
         flat = np.ascontiguousarray(obj)
@@ -248,24 +315,56 @@ def _pack(obj, arrays: list, budget: list):
         arrays.append(flat.reshape(-1).view(np.uint8))
         return ref
     if isinstance(obj, dict):
-        return {key: _pack(value, arrays, budget) for key, value in obj.items()}
+        return {
+            k: _pack(v, arrays, budget, codec, stats, key + (k,))
+            for k, v in obj.items()
+        }
     if isinstance(obj, tuple):
-        return tuple(_pack(value, arrays, budget) for value in obj)
+        return tuple(_pack(v, arrays, budget, codec, stats, key) for v in obj)
     if isinstance(obj, list):
-        return [_pack(value, arrays, budget) for value in obj]
+        return [_pack(v, arrays, budget, codec, stats, key) for v in obj]
     return obj
 
 
-def _unpack(obj, arrays: list):
-    """Inverse of :func:`_pack`: splice ring arrays back into the payload."""
+def _measure(obj, stats) -> None:
+    """Count-only walk for paths that move the message as-is (pipe, raw)."""
+    if isinstance(obj, np.ndarray):
+        if not obj.dtype.hasobject:
+            stats.count_bytes(obj.nbytes, obj.nbytes)
+    elif isinstance(obj, dict):
+        for value in obj.values():
+            _measure(value, stats)
+    elif isinstance(obj, (list, tuple)):
+        for value in obj:
+            _measure(value, stats)
+
+
+def _unpack(obj, arrays: list, stats=None):
+    """Inverse of :func:`_pack`: splice ring arrays back into the payload,
+    decode inline-encoded frames, and tally received payload bytes."""
     if isinstance(obj, _RingRef):
+        if stats is not None:
+            logical = (_logical_nbytes(obj.shape, obj.dtype)
+                       if obj.codec is not None else obj.nbytes)
+            stats.count_bytes(obj.nbytes, logical)
         return arrays[obj.index]
+    if isinstance(obj, _EncodedInline):
+        if stats is not None:
+            stats.count_bytes(
+                obj.payload.nbytes, _logical_nbytes(obj.shape, obj.dtype)
+            )
+        return decode_array(obj.codec, obj.payload, obj.shape, obj.dtype,
+                            obj.meta)
+    if isinstance(obj, np.ndarray):
+        if stats is not None and not obj.dtype.hasobject:
+            stats.count_bytes(obj.nbytes, obj.nbytes)
+        return obj
     if isinstance(obj, dict):
-        return {key: _unpack(value, arrays) for key, value in obj.items()}
+        return {key: _unpack(value, arrays, stats) for key, value in obj.items()}
     if isinstance(obj, tuple):
-        return tuple(_unpack(value, arrays) for value in obj)
+        return tuple(_unpack(value, arrays, stats) for value in obj)
     if isinstance(obj, list):
-        return [_unpack(value, arrays) for value in obj]
+        return [_unpack(value, arrays, stats) for value in obj]
     return obj
 
 
@@ -278,26 +377,77 @@ class Endpoint:
     ring); :meth:`recv` reassembles them.  ``peer_check`` may be set to a
     callable that raises when the peer is known dead, so blocked ring
     operations fail fast instead of timing out.
+
+    ``codec`` attaches a :class:`~repro.parallel.codec.CodecPolicy`: senders
+    tag each message with its payload class (``send(msg, klass="features")``)
+    and the class's codec encodes eligible arrays before framing or
+    pickling; the receiver decodes from the self-describing frames.  With no
+    policy the wire format is byte-identical to the historical one.
+
+    Every endpoint tallies ``bytes_on_wire`` / ``logical_bytes`` over the
+    array payloads it sends *and* receives (``count=False`` exempts
+    one-time traffic such as shard shipping, keeping per-round deltas
+    comparable across pool restarts).  Pickle framing overhead of the
+    control messages is not counted on either transport.
     """
 
     def __init__(self, conn, ring_out: RingBuffer | None = None,
-                 ring_in: RingBuffer | None = None) -> None:
+                 ring_in: RingBuffer | None = None,
+                 codec: CodecPolicy | None = None) -> None:
         self._conn = conn
         self._ring_out = ring_out
         self._ring_in = ring_in
+        self._codec = codec
         self._seq_out = 0
         self._seq_in = 0
+        #: Array payload bytes that actually crossed the process boundary.
+        self.bytes_on_wire = 0
+        #: Dense float/int bytes those payloads represent.
+        self.logical_bytes = 0
         #: Optional liveness probe, polled while ring operations block.
         self.peer_check = None
 
+    @property
+    def codec_policy(self) -> CodecPolicy | None:
+        """The negotiated codec policy (``None`` = raw passthrough)."""
+        return self._codec
+
+    def count_bytes(self, wire: int, logical: int) -> None:
+        """Tally one payload (called by the pack/unpack walks)."""
+        self.bytes_on_wire += int(wire)
+        self.logical_bytes += int(logical)
+
+    # -- error-feedback state --------------------------------------------------
+    def codec_state_dict(self) -> dict:
+        """Residual state of this endpoint's stateful codecs (may be empty)."""
+        if self._codec is None:
+            return {}
+        return self._codec.state_dict()
+
+    def codec_load(self, state: dict, merge: bool = True) -> None:
+        """Restore codec residuals (no-op without a policy)."""
+        if self._codec is not None and state:
+            self._codec.load_state_dict(state, merge=merge)
+
     # -- messaging ------------------------------------------------------------
-    def send(self, message) -> None:
+    def send(self, message, klass: str | None = None, count: bool = True) -> None:
+        stats = self if count else None
+        codec = self._codec.codec_for(klass) if self._codec is not None else None
+        root_key = (klass,) if klass is not None else ()
         if self._ring_out is None:
-            self._conn.send(message)
+            if codec is None:
+                if stats is not None:
+                    _measure(message, stats)
+                self._conn.send(message)
+                return
+            # Encode in place: a zero ring budget routes every encoded
+            # array through the inline (_EncodedInline) path.
+            packed = _pack(message, [], [0], codec, stats, root_key)
+            self._conn.send(packed)
             return
         arrays: list[np.ndarray] = []
         budget = [self._ring_out.capacity]
-        packed = _pack(message, arrays, budget)
+        packed = _pack(message, arrays, budget, codec, stats, root_key)
         # The payload is always written to the ring *before* the control
         # message goes through the pipe.  This is load-bearing on two
         # counts: the receiver finds the frames ready the moment the
@@ -319,9 +469,17 @@ class Endpoint:
                 self._ring_out.write(data, self.peer_check)
         self._conn.send((packed, [data.nbytes for data in arrays]))
 
-    def recv(self):
+    def recv(self, count: bool = True):
+        stats = self if count else None
         if self._ring_in is None:
-            return self._conn.recv()
+            message = self._conn.recv()
+            if self._codec is None:
+                if stats is not None:
+                    _measure(message, stats)
+                return message
+            # The peer may have inlined encoded frames; decode (and count)
+            # them on the way out.
+            return _unpack(message, [], stats)
         packed, sizes = self._conn.recv()
         arrays = []
         for expected in sizes:
@@ -336,10 +494,12 @@ class Endpoint:
                 )
             arrays.append(self._ring_in.read(nbytes, self.peer_check))
         hydrated = [
-            raw.view(np.dtype(ref.dtype)).reshape(ref.shape)
+            decode_array(ref.codec, raw, ref.shape, ref.dtype, ref.meta)
+            if ref.codec is not None
+            else raw.view(np.dtype(ref.dtype)).reshape(ref.shape)
             for raw, ref in zip(arrays, _iter_refs(packed))
         ]
-        return _unpack(packed, hydrated)
+        return _unpack(packed, hydrated, stats)
 
     # -- lifecycle ------------------------------------------------------------
     def close(self, unlink: bool = False) -> None:
@@ -385,6 +545,7 @@ class ChildConnector:
     ring_in_name: str | None = None
     ring_out_name: str | None = None
     capacity: int = DEFAULT_RING_CAPACITY
+    codec_spec: dict | None = None
 
     def connect(self) -> Endpoint:
         """Open the child side of the channel (call inside the child)."""
@@ -393,7 +554,10 @@ class ChildConnector:
             ring_in = RingBuffer.attach(self.ring_in_name, self.capacity)
         if self.ring_out_name is not None:
             ring_out = RingBuffer.attach(self.ring_out_name, self.capacity)
-        return Endpoint(self.conn, ring_out=ring_out, ring_in=ring_in)
+        codec = (CodecPolicy.from_spec(self.codec_spec)
+                 if self.codec_spec else None)
+        return Endpoint(self.conn, ring_out=ring_out, ring_in=ring_in,
+                        codec=codec)
 
 
 class Transport(abc.ABC):
@@ -409,6 +573,16 @@ class Transport(abc.ABC):
     #: process executor only offers the pipelining capability when this is
     #: ``True``.
     supports_async_bulk: bool = False
+
+    #: Codec policy applied to every channel this transport creates.  One
+    #: policy instance is shared across all parent endpoints (so a stateful
+    #: codec sees a single residual store keyed by worker id); each child
+    #: rebuilds a fresh instance from the policy's spec.
+    codec: CodecPolicy | None = None
+
+    def _codec_spec(self) -> dict | None:
+        """Child-side recipe of the policy (``None`` without one)."""
+        return self.codec.spec() if self.codec is not None else None
 
     @abc.abstractmethod
     def pair(self, context) -> tuple[Endpoint, ChildConnector]:
@@ -428,9 +602,15 @@ class PipeTransport(Transport):
 
     name = "pipe"
 
+    def __init__(self, codec: CodecPolicy | None = None) -> None:
+        self.codec = codec
+
     def pair(self, context) -> tuple[Endpoint, ChildConnector]:
         parent_conn, child_conn = context.Pipe()
-        return Endpoint(parent_conn), ChildConnector(conn=child_conn)
+        parent = Endpoint(parent_conn, codec=self.codec)
+        connector = ChildConnector(conn=child_conn,
+                                   codec_spec=self._codec_spec())
+        return parent, connector
 
 
 class SharedMemoryTransport(Transport):
@@ -439,21 +619,25 @@ class SharedMemoryTransport(Transport):
     name = "shm"
     supports_async_bulk = True
 
-    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY,
+                 codec: CodecPolicy | None = None) -> None:
         if capacity <= 0:
             raise ValueError(f"ring capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.codec = codec
 
     def pair(self, context) -> tuple[Endpoint, ChildConnector]:
         parent_conn, child_conn = context.Pipe()
         to_child = RingBuffer.create(self.capacity)
         to_parent = RingBuffer.create(self.capacity)
-        parent = Endpoint(parent_conn, ring_out=to_child, ring_in=to_parent)
+        parent = Endpoint(parent_conn, ring_out=to_child, ring_in=to_parent,
+                          codec=self.codec)
         connector = ChildConnector(
             conn=child_conn,
             ring_in_name=to_child.name,
             ring_out_name=to_parent.name,
             capacity=self.capacity,
+            codec_spec=self._codec_spec(),
         )
         logger.debug(
             "shared-memory channel: rings %s/%s, %d bytes each",

@@ -35,7 +35,13 @@ never oversubscribe the host.
 """
 
 from repro.study.callbacks import EarlyStopping, JSONLLogger, PeriodicCheckpoint, Timing
-from repro.study.presets import PRESETS, get_preset, preset_scales, scalability_study
+from repro.study.presets import (
+    PRESETS,
+    codec_study,
+    get_preset,
+    preset_scales,
+    scalability_study,
+)
 from repro.study.runner import StudyRunner, trial_process_footprint
 from repro.study.store import StudyStore, TrialResult
 from repro.study.study import Study, Trial
@@ -54,6 +60,7 @@ __all__ = [
     "get_preset",
     "preset_scales",
     "scalability_study",
+    "codec_study",
     "trial_process_footprint",
     "run_study",
 ]

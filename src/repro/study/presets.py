@@ -55,6 +55,15 @@ PAPER_CHURN_RATES = (0.0, 0.1, 0.3)
 #: A shorter axis for dry-running the churn preset plumbing.
 SMOKE_CHURN_RATES = (0.0, 0.3)
 
+#: Transport-codec axis of the codec sweeps (``none`` is the exact anchor).
+PAPER_CODECS = ("none", "fp16", "bf16", "int8", "topk")
+
+#: A shorter codec axis for dry-running the preset plumbing.
+SMOKE_CODECS = ("none", "int8")
+
+#: Split algorithms the codec sweeps cross with the codec axis.
+PAPER_CODEC_ALGORITHMS = ("mergesfl", "splitfed")
+
 
 def scalability_study(
     dataset: str = "cifar10",
@@ -146,6 +155,39 @@ def churn_study(
     return Study.grid(name, base, axes={"dropout_rate": rates})
 
 
+def codec_study(
+    dataset: str = "cifar10",
+    codecs: tuple[str, ...] = PAPER_CODECS,
+    algorithms: tuple[str, ...] = PAPER_CODEC_ALGORITHMS,
+    non_iid_level: float = 0.0,
+    name: str | None = None,
+    **overrides,
+) -> Study:
+    """A ``codec`` x ``algorithm`` grid over the feature transport.
+
+    Every trial runs on the process executor (an in-process executor has no
+    wire, so codecs would be inert) and sweeps the transport codec
+    (:mod:`repro.parallel.codec`) against the split algorithms, measuring
+    accuracy cost versus wire compression: the ``none`` column is the exact
+    anchor, and each history carries per-round ``bytes_on_wire`` /
+    ``compression_ratio`` so the trade-off is read straight off the records.
+    """
+    from repro.experiments.figures import figure_config
+
+    overrides = {k: v for k, v in overrides.items()
+                 if k not in ("codec", "algorithm")}
+    overrides.setdefault("executor", "process")
+    overrides.setdefault("transport", "shm")
+    base = figure_config(
+        dataset, algorithms[0], non_iid_level, codec=codecs[0], **overrides
+    )
+    if name is None:
+        name = f"{dataset}-codec-{'-'.join(codecs)}"
+    return Study.grid(
+        name, base, axes={"algorithm": algorithms, "codec": codecs}
+    )
+
+
 def _paper_scalability(**overrides) -> Study:
     return scalability_study(scales=PAPER_WORKER_SCALES,
                              name="paper-scalability", **overrides)
@@ -181,6 +223,16 @@ def _smoke_churn(**overrides) -> Study:
                        name="smoke-churn", **overrides)
 
 
+def _paper_codec(**overrides) -> Study:
+    return codec_study(codecs=PAPER_CODECS, name="paper-codec", **overrides)
+
+
+def _smoke_codec(**overrides) -> Study:
+    return codec_study(dataset="blobs", codecs=SMOKE_CODECS,
+                       algorithms=("mergesfl",), name="smoke-codec",
+                       **overrides)
+
+
 #: Name -> study builder; builders accept config overrides.
 PRESETS: dict[str, Callable[..., Study]] = {
     "paper-scalability": _paper_scalability,
@@ -190,6 +242,8 @@ PRESETS: dict[str, Callable[..., Study]] = {
     "smoke-population": _smoke_population,
     "paper-churn": _paper_churn,
     "smoke-churn": _smoke_churn,
+    "paper-codec": _paper_codec,
+    "smoke-codec": _smoke_codec,
 }
 
 

@@ -92,6 +92,11 @@ def _run(config: ExperimentConfig):
 
 
 def _assert_bit_equal(reference, candidate, label, ignore=()):
+    # Wire-traffic fields measure the execution topology, not the training
+    # trajectory, so cross-executor comparisons strip them.
+    from repro.metrics.history import WIRE_FIELDS
+
+    ignore = tuple(ignore) + WIRE_FIELDS
     ref_records, ref_state = reference
     records, state = candidate
     assert len(records) == len(ref_records), label

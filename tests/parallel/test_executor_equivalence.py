@@ -26,6 +26,7 @@ import pytest
 
 from repro.api.session import Session
 from repro.config import ExperimentConfig
+from repro.metrics.history import WIRE_FIELDS
 
 EXECUTORS = ("serial", "batched", "process")
 
@@ -63,6 +64,9 @@ def _serial_reference(algorithm: str):
 
 
 def _assert_bit_equal(reference, candidate, label: str, ignore=()) -> None:
+    # Wire-traffic fields measure the execution topology, not the training
+    # trajectory, so cross-executor/transport comparisons strip them.
+    ignore = tuple(ignore) + WIRE_FIELDS
     ref_records, ref_state = reference
     records, state = candidate
     assert len(records) == len(ref_records)

@@ -169,10 +169,15 @@ class TestPipelineConfig:
 def _run(config: ExperimentConfig):
     import dataclasses
 
+    from repro.metrics.history import WIRE_FIELDS
+
+    # Wire-traffic fields measure the execution topology, not the training
+    # trajectory; cross-executor/schedule comparisons strip them.
     with Session.from_config(config) as session:
         history = session.run()
         return (
-            [dataclasses.asdict(record) for record in history.records],
+            [{k: v for k, v in dataclasses.asdict(record).items()
+              if k not in WIRE_FIELDS} for record in history.records],
             session.global_model().state_dict(),
         )
 
@@ -211,8 +216,11 @@ class TestPipelinedSessions:
             assert resumed.config.pipeline == "pipelined"
             assert resumed.config.transport == "shm"
             resumed.run()
+            from repro.metrics.history import WIRE_FIELDS
+
             candidate = (
-                [__import__("dataclasses").asdict(r) for r in resumed.history.records],
+                [{k: v for k, v in __import__("dataclasses").asdict(r).items()
+                  if k not in WIRE_FIELDS} for r in resumed.history.records],
                 resumed.global_model().state_dict(),
             )
         reference = _run(_config(executor="serial"))

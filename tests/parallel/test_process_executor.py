@@ -34,7 +34,7 @@ class _ScriptedEndpoint:
             raise EOFError
         return self.script.pop(0)
 
-    def send(self, message) -> None:
+    def send(self, message, klass=None, count=True) -> None:
         self.replies.append(message)
 
     def close(self, unlink: bool = False) -> None:

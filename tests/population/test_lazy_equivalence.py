@@ -16,10 +16,12 @@ import pytest
 
 from repro.api.session import Session
 from repro.config import ExperimentConfig
+from repro.metrics.history import WIRE_FIELDS
 
 #: Fields that legitimately differ between lazy and eager runs: the delta
-#: cache is observational (reconstruction matches the engine's install).
-OBSERVATIONAL_FIELDS = {"cache_hits", "cache_misses"}
+#: cache is observational (reconstruction matches the engine's install),
+#: and wire traffic measures the execution topology, not the trajectory.
+OBSERVATIONAL_FIELDS = {"cache_hits", "cache_misses", *WIRE_FIELDS}
 
 #: (executor, transport, pipeline) rows the lazy path must match.
 VARIANTS = (

@@ -46,7 +46,7 @@ class TestScalabilityStudy:
     def test_registry_is_complete(self):
         assert {"paper-scalability", "paper-scalability-noniid",
                 "smoke-scalability", "paper-churn",
-                "smoke-churn"} <= set(PRESETS)
+                "smoke-churn", "paper-codec", "smoke-codec"} <= set(PRESETS)
 
 
 class TestChurnStudy:
@@ -74,6 +74,42 @@ class TestChurnStudy:
         assert len(histories) == 2
         lossy = histories[study.trials[1].name]
         assert any(record.dropped_ids for record in lossy.records)
+
+
+class TestCodecStudy:
+    def test_paper_preset_crosses_codec_and_algorithm(self):
+        from repro.study.presets import PAPER_CODEC_ALGORITHMS, PAPER_CODECS
+
+        study = get_preset("paper-codec")
+        assert len(study) == len(PAPER_CODECS) * len(PAPER_CODEC_ALGORITHMS)
+        combos = {(t.config.algorithm, t.config.codec) for t in study}
+        assert combos == {
+            (algorithm, codec)
+            for algorithm in PAPER_CODEC_ALGORITHMS
+            for codec in PAPER_CODECS
+        }
+        for trial in study:
+            # Codecs only matter across a process boundary.
+            assert trial.config.executor == "process"
+            assert trial.tags["codec"] == trial.config.codec
+
+    def test_smoke_preset_runs_end_to_end(self):
+        from repro.study import StudyRunner
+        from repro.study.presets import codec_study
+
+        study = codec_study(
+            dataset="blobs", codecs=("none", "int8"),
+            algorithms=("mergesfl",), num_workers=4, num_rounds=2,
+            local_iterations=1, train_samples=60, test_samples=30,
+            max_batch_size=8, base_batch_size=4,
+            extras={"executor_processes": 2},
+        )
+        histories = StudyRunner(study).histories()
+        assert len(histories) == 2
+        exact = histories["algorithm=mergesfl,codec=none"]
+        lossy = histories["algorithm=mergesfl,codec=int8"]
+        assert all(r.compression_ratio == 1.0 for r in exact.records)
+        assert all(r.compression_ratio > 1.0 for r in lossy.records)
 
 
 class TestPresetExecution:
