@@ -42,6 +42,11 @@ each other through a shared dict):
   the wire.  Only meaningful with ``BENCH_EXECUTOR=process`` (in-process
   executors have no wire).  ``none`` is bit-exact; the lossy codecs are
   deterministic but measured relaxations, like ``BENCH_STALENESS``.
+* ``BENCH_SPLITPOINT=uniform|profile|adaptive`` -- select the per-worker
+  split-point policy (see :mod:`repro.splitpoint`).  ``uniform`` is the
+  bit-exact global-cut anchor; ``profile`` and ``adaptive`` assign
+  per-worker cut depths and are deterministic, measured relaxations of the
+  exact trajectory.
 * ``BENCH_PRESET=name`` -- point the scalability benchmark at a
   :mod:`repro.study.presets` study (e.g. ``paper-scalability`` for the
   paper's 100/200/400-worker axis) instead of the scaled-down default.
@@ -135,7 +140,8 @@ def bench_overrides() -> dict:
                      ("BENCH_TRANSPORT", "transport"),
                      ("BENCH_PIPELINE", "pipeline"),
                      ("BENCH_POPULATION", "population"),
-                     ("BENCH_CODEC", "codec")):
+                     ("BENCH_CODEC", "codec"),
+                     ("BENCH_SPLITPOINT", "split_policy")):
         value = os.environ.get(env)
         if value:
             overrides[key] = value

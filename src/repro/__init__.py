@@ -55,6 +55,7 @@ from repro.api.registry import (
     MODELS,
     PIPELINES,
     POLICIES,
+    SPLIT_POLICIES,
     TRANSPORTS,
     register_algorithm,
     register_codec,
@@ -63,6 +64,7 @@ from repro.api.registry import (
     register_model,
     register_pipeline,
     register_policy,
+    register_split_policy,
     register_transport,
 )
 from repro.api.session import Session
@@ -85,6 +87,7 @@ __all__ = [
     "MODELS",
     "PIPELINES",
     "POLICIES",
+    "SPLIT_POLICIES",
     "TRANSPORTS",
     "register_algorithm",
     "register_codec",
@@ -93,5 +96,6 @@ __all__ = [
     "register_model",
     "register_pipeline",
     "register_policy",
+    "register_split_policy",
     "register_transport",
 ]

@@ -14,3 +14,4 @@ import repro.core.mergesfl  # noqa: F401
 import repro.data.synthetic  # noqa: F401
 import repro.nn.models  # noqa: F401
 import repro.parallel  # noqa: F401
+import repro.splitpoint.policies  # noqa: F401

@@ -92,7 +92,7 @@ class ExperimentComponents:
         if self.elastic is None:
             from repro.core.elastic import build_elastic_controller
 
-            self.elastic = build_elastic_controller(self.config)
+            self.elastic = build_elastic_controller(self.config, self.cluster)
         return self.elastic
 
 
@@ -233,6 +233,36 @@ def _build_lazy_population(
     )
 
 
+def resolve_split_layer(config: ExperimentConfig, model: Sequential) -> int:
+    """The global cut layer, validated against the actual model depth.
+
+    ``extras['split_index']`` overrides the model's registered default cut;
+    out-of-range overrides -- and policy depth bounds
+    (``split_depth_min``/``split_depth_max``) that exceed the model --
+    are rejected here with a :class:`ConfigurationError` at build time,
+    before any round runs, instead of surfacing mid-run as a
+    :class:`~repro.exceptions.SplitError`.
+    """
+    depth = len(model)
+    index = config.extras.get("split_index")
+    if index is None:
+        index = default_split_layer(config.model, model)
+    elif not 0 < index < depth:
+        raise ConfigurationError(
+            f"extras['split_index'] ({index}) must be in (0, {depth}) for "
+            f"model {config.model!r} ({depth} layers): the cut must leave "
+            f"at least one layer on each side"
+        )
+    for key in ("split_depth_min", "split_depth_max"):
+        bound = config.extras.get(key)
+        if bound is not None and bound > depth:
+            raise ConfigurationError(
+                f"extras[{key!r}] ({bound}) exceeds the depth of model "
+                f"{config.model!r} ({depth} layers)"
+            )
+    return index
+
+
 def build_components(config: ExperimentConfig) -> ExperimentComponents:
     """Materialise dataset, partition, model, split, cluster and workers."""
     # make_dataset honours legacy DATASET_REGISTRY dict mutations as well
@@ -278,7 +308,7 @@ def build_components(config: ExperimentConfig) -> ExperimentComponents:
         )
     model = build_model_for(config, data)
     if has_default_split(config.model):
-        split = split_model(model, default_split_layer(config.model, model))
+        split = split_model(model, resolve_split_layer(config, model))
     else:
         split = None
     # Without a split there is no feature traffic to budget against; the

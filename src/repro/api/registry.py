@@ -249,6 +249,9 @@ TRANSPORTS = Registry("transport", populate=_load_builtins)
 #: Payload codecs for the feature transport: :class:`~repro.parallel.codec.Codec`
 #: subclasses keyed by name (see ``repro.parallel.codec``).
 CODECS = Registry("codec", populate=_load_builtins)
+#: Split-point policies: per-worker cut-depth selectors
+#: (see ``repro.splitpoint``).
+SPLIT_POLICIES = Registry("split policy", populate=_load_builtins)
 
 register_algorithm = ALGORITHMS.register
 register_dataset = DATASETS.register
@@ -258,3 +261,4 @@ register_executor = EXECUTORS.register
 register_pipeline = PIPELINES.register
 register_transport = TRANSPORTS.register
 register_codec = CODECS.register
+register_split_policy = SPLIT_POLICIES.register

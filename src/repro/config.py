@@ -164,6 +164,16 @@ class ExperimentConfig:
     #: Ignored by in-process executors.  Lossy codecs are deterministic,
     #: transport-independent relaxations of the exact trajectory.
     codec: str = "none"
+    #: How per-worker split points (cut depths into the bottom model) are
+    #: chosen each round: ``"uniform"`` (every worker cuts at the global
+    #: split layer -- bit-exact with the historical behaviour), ``"profile"``
+    #: (a static depth per worker from its device class's compute/bandwidth
+    #: profile) or ``"adaptive"`` (depths re-selected every round from
+    #: observed durations and wire traffic); see :mod:`repro.splitpoint`.
+    #: ``extras["split_index"]`` overrides the global cut layer and
+    #: ``extras["split_depth_min"]``/``extras["split_depth_max"]`` bound the
+    #: candidate depths a policy may assign.
+    split_policy: str = "uniform"
 
     # Reproducibility --------------------------------------------------------
     seed: int = 0
@@ -189,6 +199,7 @@ class ExperimentConfig:
             EXECUTORS,
             MODELS,
             PIPELINES,
+            SPLIT_POLICIES,
             TRANSPORTS,
         )
 
@@ -206,6 +217,11 @@ class ExperimentConfig:
             raise ConfigurationError(TRANSPORTS.unknown_message(self.transport))
         if self.codec not in CODECS:
             raise ConfigurationError(CODECS.unknown_message(self.codec))
+        if self.split_policy not in SPLIT_POLICIES:
+            raise ConfigurationError(
+                SPLIT_POLICIES.unknown_message(self.split_policy)
+            )
+        self._validate_split_extras()
         policy_overrides = self.extras.get("codec_policy")
         if policy_overrides is not None:
             from repro.parallel.codec import PAYLOAD_CLASSES
@@ -342,6 +358,64 @@ class ExperimentConfig:
             raise ConfigurationError(
                 "population_candidates requires population='lazy'; the eager "
                 "population always plans over every registered worker"
+            )
+        class_rates = self.extras.get("device_dropout_rates")
+        if class_rates is not None:
+            if not self.elastic:
+                raise ConfigurationError(
+                    "extras['device_dropout_rates'] requires elastic=True; "
+                    "with elastic=False it would be silently ignored"
+                )
+            if not isinstance(class_rates, dict):
+                raise ConfigurationError(
+                    f"extras['device_dropout_rates'] must be a dict of device "
+                    f"class name -> dropout rate, got {class_rates!r}"
+                )
+            for name, rate in class_rates.items():
+                if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+                    raise ConfigurationError(
+                        f"extras['device_dropout_rates'][{name!r}] must be a "
+                        f"rate in [0, 1], got {rate!r}"
+                    )
+
+    def _validate_split_extras(self) -> None:
+        """Config-time checks of the split-point extras.
+
+        Bounds that need the actual model depth (e.g. ``split_index`` vs the
+        bottom model's layer count) are enforced at component-build time by
+        :mod:`repro.api.components`; here we reject values that can never be
+        valid for any model.
+        """
+        split_index = self.extras.get("split_index")
+        if split_index is not None:
+            if not isinstance(split_index, int) or isinstance(split_index, bool):
+                raise ConfigurationError(
+                    f"extras['split_index'] must be an integer cut layer, "
+                    f"got {split_index!r}"
+                )
+            if split_index <= 0:
+                raise ConfigurationError(
+                    f"extras['split_index'] must be positive (the cut must "
+                    f"leave at least one bottom layer), got {split_index}"
+                )
+        bounds = {}
+        for key in ("split_depth_min", "split_depth_max"):
+            value = self.extras.get(key)
+            if value is None:
+                continue
+            if (not isinstance(value, int) or isinstance(value, bool)
+                    or value <= 0):
+                raise ConfigurationError(
+                    f"extras[{key!r}] must be a positive integer depth, "
+                    f"got {value!r}"
+                )
+            bounds[key] = value
+        if ("split_depth_min" in bounds and "split_depth_max" in bounds
+                and bounds["split_depth_min"] > bounds["split_depth_max"]):
+            raise ConfigurationError(
+                f"extras['split_depth_min'] ({bounds['split_depth_min']}) "
+                f"must be <= extras['split_depth_max'] "
+                f"({bounds['split_depth_max']})"
             )
 
     def to_dict(self) -> dict:

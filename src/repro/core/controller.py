@@ -61,12 +61,15 @@ class RoundPlan:
         batch_sizes: Mapping from selected worker id to its batch size ``d_i``.
         merged_kl: KL divergence of the planned merged label distribution.
         info: Free-form diagnostics (selection feasibility, GA stats, ...).
+        depths: Per-worker cut depth into the bottom model, assigned by a
+            split-point policy (``None`` under the uniform global cut).
     """
 
     selected: list[int]
     batch_sizes: dict[int, int]
     merged_kl: float = 0.0
     info: dict = field(default_factory=dict)
+    depths: dict[int, int] | None = None
 
     @property
     def total_batch(self) -> int:
@@ -91,15 +94,27 @@ class RoundPlan:
             info=dict(self.info, candidate_pool=int(len(ids))),
         )
 
+    def with_depths(self, depths: dict[int, int]) -> "RoundPlan":
+        """Copy of the plan with per-worker cut depths attached."""
+        return RoundPlan(
+            selected=list(self.selected),
+            batch_sizes=dict(self.batch_sizes),
+            merged_kl=self.merged_kl,
+            info=dict(self.info),
+            depths=dict(depths),
+        )
+
     def to_dict(self) -> dict:
         """JSON-safe representation (batch-size keys become strings).
 
         Plans are normally transient, but a relaxed schedule may prefetch
         the *next* round's plan during the current round's aggregate window
         (cross-round pipelining); the engine then serialises it into the
-        checkpoint so resume stays exact.
+        checkpoint so resume stays exact.  ``depths`` appears only when a
+        split-point policy assigned them, so uniform checkpoints keep the
+        historical format.
         """
-        return {
+        payload = {
             "selected": [int(w) for w in self.selected],
             "batch_sizes": {
                 str(worker): int(batch)
@@ -108,10 +123,17 @@ class RoundPlan:
             "merged_kl": float(self.merged_kl),
             "info": dict(self.info),
         }
+        if self.depths is not None:
+            payload["depths"] = {
+                str(worker): int(depth)
+                for worker, depth in self.depths.items()
+            }
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RoundPlan":
         """Inverse of :meth:`to_dict`."""
+        depths = payload.get("depths")
         return cls(
             selected=[int(w) for w in payload["selected"]],
             batch_sizes={
@@ -120,6 +142,9 @@ class RoundPlan:
             },
             merged_kl=float(payload.get("merged_kl", 0.0)),
             info=dict(payload.get("info", {})),
+            depths=None if depths is None else {
+                int(worker): int(depth) for worker, depth in depths.items()
+            },
         )
 
 

@@ -84,12 +84,26 @@ class ElasticRound:
 class ElasticController:
     """Round elasticity shared by the split and full-model engines."""
 
-    def __init__(self, config) -> None:
+    def __init__(self, config, cluster=None) -> None:
         self.over_select_factor = float(config.over_select_factor)
         self.min_cohort_fraction = float(config.min_cohort_fraction)
         self.rejoin_staleness_bound = int(config.rejoin_staleness_bound)
+        dropout_rate = config.dropout_rate
+        class_rates = config.extras.get("device_dropout_rates")
+        if class_rates and cluster is not None:
+            # Per-device-class churn: a worker's dropout probability comes
+            # from its device profile (e.g. {"jetson_tx2": 0.3}), falling
+            # back to the scalar rate for unlisted classes.  Resolved
+            # lazily per worker id so lazy clusters only materialise the
+            # devices churn actually asks about.
+            rates = {str(name): float(rate) for name, rate in class_rates.items()}
+            base = float(config.dropout_rate)
+
+            def dropout_rate(worker_id, _cluster=cluster, _rates=rates, _base=base):
+                return _rates.get(_cluster[worker_id].profile.name, _base)
+
         self.churn = ChurnModel(
-            dropout_rate=config.dropout_rate,
+            dropout_rate=dropout_rate,
             straggler_deadline=config.straggler_deadline,
             rejoin_staleness_bound=config.rejoin_staleness_bound,
             seed=config.seed,
@@ -293,8 +307,13 @@ class ElasticController:
             self.cache.load_state_dict(state["cache"])
 
 
-def build_elastic_controller(config) -> ElasticController | None:
-    """An :class:`ElasticController` when ``config.elastic``, else ``None``."""
+def build_elastic_controller(config, cluster=None) -> ElasticController | None:
+    """An :class:`ElasticController` when ``config.elastic``, else ``None``.
+
+    ``cluster`` (when given) lets ``extras["device_dropout_rates"]`` map
+    device-class names to per-worker dropout rates; without it the scalar
+    ``config.dropout_rate`` applies uniformly.
+    """
     if not getattr(config, "elastic", False):
         return None
-    return ElasticController(config)
+    return ElasticController(config, cluster)

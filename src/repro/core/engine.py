@@ -50,7 +50,7 @@ from repro.metrics.history import History, RoundRecord, wire_round_delta
 from repro.nn.models import estimate_forward_flops
 from repro.nn.module import Sequential
 from repro.nn.serialization import model_size_bytes
-from repro.nn.split import SplitModel
+from repro.nn.split import SplitModel, candidate_split_depths
 from repro.parallel.base import Executor
 from repro.parallel.pipeline import (
     PipelineScheduler,
@@ -67,6 +67,7 @@ from repro.simulation.timing import (
     elastic_round_duration,
 )
 from repro.simulation.traffic import TrafficMeter, feature_bytes
+from repro.splitpoint import SplitContext, build_split_policy
 from repro.utils.logging import get_logger
 from repro.utils.rng import spawned_rng
 
@@ -133,7 +134,8 @@ class SplitTrainingEngine(Algorithm):
         #: Round elasticity (over-selection, first-k-of-n, rejoin); ``None``
         #: keeps the historical synchronous code paths untouched.
         self._elastic = (
-            elastic if elastic is not None else build_elastic_controller(config)
+            elastic if elastic is not None
+            else build_elastic_controller(config, cluster)
         )
 
         self.server = SplitServer(
@@ -173,6 +175,14 @@ class SplitTrainingEngine(Algorithm):
         self.bandwidth_estimator = BandwidthEstimator(initial_mbps=nominal)
         self._budget_scale = nominal / cluster.nominal_budget_mbps
 
+        #: Per-worker split-point policy; ``None`` for trivial (uniform)
+        #: policies, in which case none of the multi-depth machinery below
+        #: is built and every code path stays the historical global cut.
+        self._split_policy = build_split_policy(config)
+        self._depth_candidates: list[int] | None = None
+        if self._split_policy is not None:
+            self._build_depth_tables(input_shape)
+
         #: Root seed of the per-round RNG streams; generators are derived
         #: lazily per round index so the round count is unbounded.
         self._round_seed = config.seed + 9173
@@ -184,6 +194,31 @@ class SplitTrainingEngine(Algorithm):
         #: Planning mutates the simulated cluster and the state estimator,
         #: so the prefetched plan is part of the checkpointed state.
         self._pending_plan: tuple[int, RoundPlan] | None = None
+
+    def _build_depth_tables(self, input_shape: tuple[int, ...]) -> None:
+        """Per-depth cost tables for the split-point policy's context.
+
+        Probes a *clone* of the bottom so the forward passes (layer caches,
+        dropout RNG draws) cannot perturb the real global model.  Only runs
+        when a non-trivial policy is configured.
+        """
+        probe = self.server.global_bottom.clone()
+        candidates = candidate_split_depths(probe)
+        extras = self.config.extras
+        low = int(extras.get("split_depth_min", 1))
+        high = int(extras.get("split_depth_max", len(probe)))
+        bounded = [depth for depth in candidates if low <= depth <= high]
+        self._depth_candidates = bounded or [len(probe)]
+        self._depth_flops: dict[int, float] = {}
+        self._depth_exchange_bytes: dict[int, int] = {}
+        self._depth_model_bytes: dict[int, int] = {}
+        for depth in self._depth_candidates:
+            prefix = Sequential(probe.layers[:depth]).clone()
+            self._depth_flops[depth] = estimate_forward_flops(prefix, input_shape)
+            sample = prefix.forward(np.zeros((1, *input_shape), dtype=np.float64))
+            shape = tuple(sample.shape[1:])
+            self._depth_exchange_bytes[depth] = 2 * feature_bytes(shape, 1)
+            self._depth_model_bytes[depth] = model_size_bytes(prefix)
 
     # -- public API -----------------------------------------------------------
     @property
@@ -234,7 +269,7 @@ class SplitTrainingEngine(Algorithm):
                 "round_index": int(self._pending_plan[0]),
                 "plan": self._pending_plan[1].to_dict(),
             }
-        return {
+        state = {
             "round_index": self._round_index,
             "clock": self._clock,
             "current_lr": self._current_lr,
@@ -251,6 +286,11 @@ class SplitTrainingEngine(Algorithm):
             ),
             "codec": self.executor.codec_state(),
         }
+        if self._split_policy is not None:
+            # Present only under a non-trivial policy, so uniform
+            # checkpoints keep their historical format byte for byte.
+            state["splitpoint"] = self._split_policy.state_dict()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore training state captured by :meth:`state_dict`."""
@@ -274,6 +314,8 @@ class SplitTrainingEngine(Algorithm):
         if self._elastic is not None and state.get("elastic") is not None:
             self._elastic.load_state_dict(state["elastic"])
         self.executor.load_codec_state(state.get("codec"))
+        if self._split_policy is not None and state.get("splitpoint") is not None:
+            self._split_policy.load_state_dict(state["splitpoint"])
 
     # -- round mechanics ---------------------------------------------------------
     def _observe_states(self, candidates: np.ndarray | None = None) -> None:
@@ -347,6 +389,16 @@ class SplitTrainingEngine(Algorithm):
             )
             accounting["duration"] = duration
             accounting["waiting"] = waiting
+            if self._split_policy is not None:
+                self._split_policy.observe_durations(
+                    round_index,
+                    {
+                        int(worker_id): float(worker_duration)
+                        for worker_id, worker_duration in zip(
+                            plan.selected, self._worker_durations(plan)
+                        )
+                    },
+                )
 
         # INSTALL .. AGGREGATE run under the configured scheduler; tau local
         # iterations of split training (end-of-round aggregation is Eq. 17).
@@ -390,6 +442,8 @@ class SplitTrainingEngine(Algorithm):
         wire, logical, ratio = wire_round_delta(
             wire_before, self.executor.transport_stats()
         )
+        if self._split_policy is not None:
+            self._split_policy.observe_traffic(wire, logical)
         self.history.append(
             RoundRecord(
                 round_index=round_index,
@@ -439,7 +493,41 @@ class SplitTrainingEngine(Algorithm):
             plan = self._elastic.over_select(
                 plan, self.pool, candidates, self.config.base_batch_size
             )
+        if self._split_policy is not None:
+            # Depths are assigned last so over-selected stand-ins get one
+            # too, and against the plan's final regulated batch sizes.
+            plan = self._assign_depths(round_index, plan)
         return plan
+
+    def _assign_depths(self, round_index: int, plan: RoundPlan) -> RoundPlan:
+        """Run the split-point policy over the planned cohort."""
+        context = SplitContext(
+            depths=list(self._depth_candidates),
+            flops=self._depth_flops,
+            exchange_bytes=self._depth_exchange_bytes,
+            model_bytes=self._depth_model_bytes,
+            cluster=self.cluster,
+            batch_sizes=plan.batch_sizes,
+            base_batch_size=self.config.base_batch_size,
+            local_iterations=self.config.local_iterations,
+            aggregations=(
+                self.config.local_iterations
+                if self.policy.aggregate_every_iteration else 1
+            ),
+        )
+        depths = self._split_policy.assign_depths(
+            round_index, list(plan.selected), context
+        )
+        valid = set(self._depth_candidates)
+        for worker_id in plan.selected:
+            if depths.get(worker_id) not in valid:
+                raise ConfigurationError(
+                    f"split policy {self._split_policy.name!r} assigned "
+                    f"depth {depths.get(worker_id)!r} to worker {worker_id}; "
+                    f"candidates are {sorted(valid)}"
+                )
+        self.pool.record_depths(list(plan.selected), depths)
+        return plan.with_depths(depths)
 
     def _prefetch_plan(self, round_index: int) -> None:
         """Plan ``round_index`` early, inside the previous aggregate window.
@@ -520,6 +608,9 @@ class SplitTrainingEngine(Algorithm):
             },
             merged_kl=plan.merged_kl,
             info=dict(plan.info, replanned_after_death=lost),
+            depths=None if plan.depths is None else {
+                worker_id: plan.depths[worker_id] for worker_id in survivors
+            },
         )
         survivor_workers = [
             worker for worker in selected_workers
@@ -549,7 +640,14 @@ class SplitTrainingEngine(Algorithm):
             # MERGE + TOP_UPDATE: one update over the merged sequence
             # (Eq. 16), or one per worker for the no-merging variants; the
             # dispatched gradient segments are re-aligned with the workers.
-            if self.policy.merge_features:
+            # Heterogeneous cut depths route through the per-depth merge
+            # groups and server-side bridges.
+            if plan.depths is not None:
+                loss, gradients = self.server.update_top_multidepth(
+                    worker_ids, features, labels, plan.depths,
+                    self.policy.merge_features,
+                )
+            elif self.policy.merge_features:
                 loss, gradients = self.server.update_top_merged(
                     worker_ids, features, labels
                 )
@@ -576,6 +674,9 @@ class SplitTrainingEngine(Algorithm):
             ),
             account=account,
             prefetch_plan=lambda: self._prefetch_plan(round_index + 1),
+            depths=None if plan.depths is None else [
+                plan.depths[worker_id] for worker_id in worker_ids
+            ],
         )
 
     def _install_bottoms(
@@ -589,6 +690,22 @@ class SplitTrainingEngine(Algorithm):
             self._scaled_lr(plan.batch_sizes[worker.worker_id])
             for worker in selected_workers
         ]
+        if plan.depths is not None:
+            depths = [
+                plan.depths[worker.worker_id] for worker in selected_workers
+            ]
+            # Bridges are carved from the same global bottom the workers
+            # receive, before any of them can step.
+            self.server.install_bridges(set(depths))
+            install_multi = (
+                self.executor.install_multi_nowait if nowait
+                else self.executor.install_multi
+            )
+            install_multi(
+                selected_workers, self.server.global_bottom, learning_rates,
+                depths,
+            )
+            return
         install = self.executor.install_nowait if nowait else self.executor.install
         install(selected_workers, self.server.global_bottom, learning_rates)
 
@@ -615,6 +732,16 @@ class SplitTrainingEngine(Algorithm):
     ) -> None:
         """The weight-averaging half of AGGREGATE, given collected states."""
         weights = [float(plan.batch_sizes[w.worker_id]) for w in selected_workers]
+        if plan.depths is not None:
+            # Complete every prefix state with its bridge's server-trained
+            # tail so the states share the full bottom keyset; everything
+            # downstream (delta capture, elastic folding, averaging) then
+            # runs unchanged.
+            states = self.server.complete_bottom_states(
+                [worker.worker_id for worker in selected_workers],
+                states,
+                plan.depths,
+            )
         if self.pool.wants_bottom_states:
             # Capture each worker's delta against the round's install-time
             # global bottom (still unchanged here) for the lazy pool's
@@ -676,15 +803,37 @@ class SplitTrainingEngine(Algorithm):
         durations = []
         for worker_id in plan.selected:
             device = self.cluster[worker_id]
-            mu = device.compute_time_per_sample(self.bottom_flops)
-            beta = device.comm_time_per_sample(self.feature_exchange_bytes)
+            flops, exchange, model_bytes = self._worker_costs(plan, worker_id)
+            mu = device.compute_time_per_sample(flops)
+            beta = device.comm_time_per_sample(exchange)
             batch = plan.batch_sizes[worker_id]
             compute_comm = config.local_iterations * batch * (mu + beta)
             model_moves = 2 * aggregations * device.model_transfer_time(
-                self.bottom_model_bytes
+                model_bytes
             )
             durations.append(compute_comm + model_moves)
         return np.asarray(durations)
+
+    def _worker_costs(
+        self, plan: RoundPlan, worker_id: int
+    ) -> tuple[float, int, int]:
+        """``(forward flops, exchange bytes, model bytes)`` for one worker.
+
+        Reads the per-depth tables when the plan carries policy-assigned
+        depths; the uniform global-cut quantities otherwise.
+        """
+        if plan.depths is not None:
+            depth = plan.depths[worker_id]
+            return (
+                self._depth_flops[depth],
+                self._depth_exchange_bytes[depth],
+                self._depth_model_bytes[depth],
+            )
+        return (
+            self.bottom_flops,
+            self.feature_exchange_bytes,
+            self.bottom_model_bytes,
+        )
 
     def _account_time_and_traffic(
         self, plan: RoundPlan, elastic_state: "ElasticRound | None" = None
@@ -697,12 +846,13 @@ class SplitTrainingEngine(Algorithm):
         durations = self._worker_durations(plan)
         for worker_id in plan.selected:
             batch = plan.batch_sizes[worker_id]
+            __, exchange, model_bytes = self._worker_costs(plan, worker_id)
             # Traffic: features up + gradients down for every iteration, plus
             # bottom-model exchange once (or once per iteration for SplitFed).
             self.traffic.add_feature_exchange(
-                config.local_iterations * batch * self.feature_exchange_bytes
+                config.local_iterations * batch * exchange
             )
-            self.traffic.add_model_exchange(self.bottom_model_bytes * aggregations)
+            self.traffic.add_model_exchange(model_bytes * aggregations)
         deadline = (
             elastic_state.churn.deadline if elastic_state is not None else None
         )

@@ -105,3 +105,43 @@ class FeatureMerger:
             segments[worker_id] = merged_gradient[offset:offset + size]
             offset += size
         return segments
+
+    def merge_by_depth(
+        self,
+        worker_ids: list[int],
+        features: list[np.ndarray],
+        labels: list[np.ndarray],
+        depths: dict[int, int],
+    ) -> list[tuple[int, MergedBatch]]:
+        """Merge features into per-depth groups (heterogeneous cut layers).
+
+        Features uploaded from different cut depths have different shapes
+        and cannot be concatenated directly; workers sharing a depth merge
+        within their group exactly like :meth:`merge`.  Groups come back in
+        ascending depth order; within a group, workers keep their original
+        (plan) order, so the grouping is deterministic.
+
+        Args:
+            worker_ids: Ids of the contributing workers.
+            features: One feature tensor per worker (batch axis 0).
+            labels: One label vector per worker.
+            depths: Cut depth per worker id; every worker must have one.
+
+        Raises:
+            ShapeError: On empty input, mismatched inputs, or a worker
+                without an assigned depth.
+        """
+        if not (len(worker_ids) == len(features) == len(labels)):
+            raise ShapeError("worker_ids, features and labels must align")
+        grouped: dict[int, tuple[list, list, list]] = {}
+        for worker_id, feat, lab in zip(worker_ids, features, labels):
+            if worker_id not in depths:
+                raise ShapeError(f"worker {worker_id} has no assigned cut depth")
+            ids, feats, labs = grouped.setdefault(depths[worker_id], ([], [], []))
+            ids.append(worker_id)
+            feats.append(feat)
+            labs.append(lab)
+        return [
+            (depth, self.merge(*grouped[depth]))
+            for depth in sorted(grouped)
+        ]

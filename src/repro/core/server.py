@@ -13,6 +13,7 @@ from repro.nn.serialization import (
     load_module_extra_state,
     module_extra_state,
 )
+from repro.nn.split import carve_bridge, shift_state_keys
 
 
 class SplitServer:
@@ -49,6 +50,164 @@ class SplitServer:
             max_grad_norm=max_grad_norm,
         )
         self.merger = FeatureMerger()
+        # Per-depth server-side bridges (heterogeneous split points); carved
+        # from the current global bottom at every install, so the uniform
+        # path never allocates any.
+        self._bridges: dict[int, tuple[Sequential, SGD]] = {}
+
+    # -- per-depth bridges (heterogeneous split points) ------------------------
+    def install_bridges(self, depths: set[int]) -> None:
+        """Carve a server-side bridge for every non-tail cut depth.
+
+        A depth-``d`` bridge is ``global_bottom.layers[d:]``: it completes a
+        shallow worker's forward pass up to the shared split layer and is
+        trained server-side with the same SGD hyperparameters as the top
+        model.  Bridges are re-carved from the *current* global bottom at
+        every install (mirroring workers, which receive a fresh prefix), so
+        aggregation folds their updates back before the next carve.
+        """
+        self._bridges = {}
+        for depth in sorted(depths):
+            if depth >= len(self.global_bottom):
+                continue
+            bridge = carve_bridge(self.global_bottom, depth)
+            bridge.train()
+            optimizer = SGD(
+                bridge.parameters(),
+                lr=self.top_optimizer.lr,
+                momentum=self.top_optimizer.momentum,
+                weight_decay=self.top_optimizer.weight_decay,
+                max_grad_norm=self.top_optimizer.max_grad_norm,
+            )
+            self._bridges[depth] = (bridge, optimizer)
+
+    def update_top_multidepth(
+        self,
+        worker_ids: list[int],
+        features: list[np.ndarray],
+        labels: list[np.ndarray],
+        depths: dict[int, int],
+        merge_features: bool,
+    ) -> tuple[float, dict[int, np.ndarray]]:
+        """Top-model update for features arriving from heterogeneous depths.
+
+        With merging, workers sharing a cut depth merge within their group,
+        every non-tail group is completed through its bridge, and the
+        completed groups concatenate into one mixed sequence for a single
+        top-model update (the multi-depth generalization of Eq. 16).  The
+        back-propagated gradient is sliced per group, pushed back through
+        each bridge (which then takes its SGD step), and dispatched to
+        workers rescaled to the mean over their own samples, exactly like
+        the uniform path.
+        """
+        tail = len(self.global_bottom)
+        if all(depths[worker_id] == tail for worker_id in worker_ids):
+            # Degenerate single tail group: identical to the global cut.
+            if merge_features:
+                return self.update_top_merged(worker_ids, features, labels)
+            return self.update_top_per_worker(worker_ids, features, labels)
+        if not merge_features:
+            return self._update_multidepth_per_worker(
+                worker_ids, features, labels, depths
+            )
+        groups = self.merger.merge_by_depth(worker_ids, features, labels, depths)
+        self.top_optimizer.zero_grad()
+        completed = []
+        for depth, merged in groups:
+            if depth == tail:
+                completed.append(merged.features)
+            else:
+                bridge, optimizer = self._bridges[depth]
+                optimizer.zero_grad()
+                completed.append(bridge.forward(merged.features))
+        mixed = np.concatenate(completed, axis=0)
+        mixed_labels = np.concatenate(
+            [merged.labels for _, merged in groups], axis=0
+        )
+        logits = self.top.forward(mixed)
+        loss = self.loss_fn.forward(logits, mixed_labels)
+        mixed_gradient = self.top.backward(self.loss_fn.backward())
+        self.top_optimizer.step()
+        total = int(mixed.shape[0])
+        gradients: dict[int, np.ndarray] = {}
+        offset = 0
+        for depth, merged in groups:
+            size = merged.total_samples
+            segment = mixed_gradient[offset:offset + size]
+            offset += size
+            if depth == tail:
+                group_gradient = segment
+            else:
+                bridge, optimizer = self._bridges[depth]
+                # Rescale to the mean over the group's own samples so the
+                # bridge trains like a depth-d cohort, then undo the factor
+                # for the dispatched worker segments below.
+                group_gradient = bridge.backward(segment * (total / size))
+                optimizer.step()
+                group_gradient = group_gradient * (size / total)
+            segments = self.merger.dispatch(merged, group_gradient)
+            for worker_id, worker_segment in segments.items():
+                gradients[worker_id] = worker_segment * (
+                    total / worker_segment.shape[0]
+                )
+        return loss, gradients
+
+    def _update_multidepth_per_worker(
+        self,
+        worker_ids: list[int],
+        features: list[np.ndarray],
+        labels: list[np.ndarray],
+        depths: dict[int, int],
+    ) -> tuple[float, dict[int, np.ndarray]]:
+        """Typical-SFL sequential updates with heterogeneous cut depths."""
+        tail = len(self.global_bottom)
+        gradients: dict[int, np.ndarray] = {}
+        losses = []
+        for worker_id, feats, labs in zip(worker_ids, features, labels):
+            depth = depths[worker_id]
+            bridge_pair = self._bridges.get(depth) if depth < tail else None
+            self.top_optimizer.zero_grad()
+            if bridge_pair is not None:
+                bridge, optimizer = bridge_pair
+                optimizer.zero_grad()
+                feats = bridge.forward(feats)
+            logits = self.top.forward(feats)
+            losses.append(self.loss_fn.forward(logits, labs))
+            gradient = self.top.backward(self.loss_fn.backward())
+            if bridge_pair is not None:
+                gradient = bridge.backward(gradient)
+                optimizer.step()
+            gradients[worker_id] = gradient
+            self.top_optimizer.step()
+        mean_loss = float(np.mean(losses)) if losses else 0.0
+        return mean_loss, gradients
+
+    def complete_bottom_states(
+        self,
+        worker_ids: list[int],
+        states: list[dict[str, np.ndarray]],
+        depths: dict[int, int],
+    ) -> list[dict[str, np.ndarray]]:
+        """Extend per-depth prefix states to full bottom state dicts.
+
+        A depth-``d`` worker returns parameters for layers ``0..d-1`` only;
+        its bridge holds the server-trained layers ``d..`` (named from
+        ``layer0``, hence the key shift).  Completing every state to the
+        full keyset lets the existing weighted aggregation, delta caches
+        and elastic folding run unchanged.
+        """
+        tail = len(self.global_bottom)
+        completed = []
+        for worker_id, state in zip(worker_ids, states):
+            depth = depths[worker_id]
+            if depth >= tail:
+                completed.append(state)
+                continue
+            bridge, _ = self._bridges[depth]
+            full = dict(state)
+            full.update(shift_state_keys(bridge.state_dict(), depth))
+            completed.append(full)
+        return completed
 
     # -- top-model updates ---------------------------------------------------
     def update_top_merged(

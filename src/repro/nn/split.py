@@ -60,3 +60,71 @@ def split_model(model: Module, split_index: int) -> SplitModel:
     bottom = Sequential(model.layers[:split_index]).clone()
     top = Sequential(model.layers[split_index:]).clone()
     return SplitModel(bottom=bottom, top=top, split_index=split_index)
+
+
+def candidate_split_depths(bottom: Sequential) -> list[int]:
+    """Valid per-worker cut depths *within* an already-split bottom model.
+
+    A depth ``d`` means a worker holds ``bottom.layers[:d]`` and the server
+    completes the remaining ``bottom.layers[d:]`` before the shared top.
+    Cuts directly after a weighted layer swallow any parameter-free layers
+    that follow (activations, pooling, flatten), matching the convention of
+    :func:`repro.nn.models.default_split_layer`; the full bottom depth (the
+    global cut in use today) is always the last candidate.
+    """
+    depths = []
+    for index, layer in enumerate(bottom.layers):
+        if layer.parameters():
+            depth = index + 1
+            while depth < len(bottom) and not bottom.layers[depth].parameters():
+                depth += 1
+            depths.append(depth)
+    depths.append(len(bottom))
+    return sorted(set(depths))
+
+
+def carve_prefix(bottom: Sequential, depth: int) -> Sequential:
+    """Deep copy of the worker-side prefix ``bottom.layers[:depth]``.
+
+    Parameter names keep their global positions (``layer0`` ..
+    ``layer{depth-1}``), so a prefix state dict is a subset of the full
+    bottom state dict.
+    """
+    if not 0 < depth <= len(bottom):
+        raise SplitError(
+            f"prefix depth must be in (0, {len(bottom)}], got {depth}"
+        )
+    return Sequential(bottom.layers[:depth]).clone()
+
+
+def carve_bridge(bottom: Sequential, depth: int) -> Sequential:
+    """Deep copy of the server-side bridge ``bottom.layers[depth:]``.
+
+    The bridge completes a depth-``depth`` worker's forward pass up to the
+    shared split layer.  Its parameters are renumbered from ``layer0``; use
+    :func:`shift_state_keys` with offset ``depth`` to map them back to
+    global bottom positions.
+    """
+    if not 0 < depth <= len(bottom):
+        raise SplitError(
+            f"bridge depth must be in (0, {len(bottom)}], got {depth}"
+        )
+    return Sequential(bottom.layers[depth:]).clone()
+
+
+def shift_state_keys(state: dict, offset: int) -> dict:
+    """Renumber ``layer{i}.*`` keys of a state dict by ``offset`` positions.
+
+    Maps a bridge's local parameter names (``layer0.*`` for the layer at
+    global position ``depth``) onto the global bottom naming, letting a
+    prefix state plus a shifted bridge state reassemble one full bottom
+    state dict.
+    """
+    shifted = {}
+    for key, value in state.items():
+        head, _, rest = key.partition(".")
+        if not head.startswith("layer"):
+            raise SplitError(f"unexpected state key {key!r}")
+        index = int(head[len("layer"):]) + offset
+        shifted[f"layer{index}.{rest}"] = value
+    return shifted

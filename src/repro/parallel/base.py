@@ -87,6 +87,63 @@ class Executor(abc.ABC):
         rate.
         """
 
+    def install_multi(
+        self,
+        workers: "list[SplitWorker]",
+        bottom: "Sequential",
+        learning_rates: list[float],
+        depths: list[int],
+    ) -> None:
+        """Distribute per-worker *prefixes* of the bottom model.
+
+        Worker ``i`` receives ``bottom.layers[:depths[i]]`` -- the
+        heterogeneous-split-point generalization of :meth:`install`.  The
+        default groups workers by depth and issues one ordinary
+        :meth:`install` per group, which is correct for any backend whose
+        install state is per-worker; backends with cohort-level install
+        state (the batched executor's stacked snapshot) override this.
+        Uniform runs never call it, so the single-depth path is untouched.
+        """
+        from repro.nn.module import Sequential
+
+        for depth in sorted(set(depths)):
+            subset = [w for w, d in zip(workers, depths) if d == depth]
+            subset_lrs = [
+                lr for lr, d in zip(learning_rates, depths) if d == depth
+            ]
+            prefix = (
+                bottom if depth == len(bottom)
+                else Sequential(bottom.layers[:depth])
+            )
+            self.install(subset, prefix, subset_lrs)
+
+    def install_multi_nowait(
+        self,
+        workers: "list[SplitWorker]",
+        bottom: "Sequential",
+        learning_rates: list[float],
+        depths: list[int],
+    ) -> None:
+        """Asynchronous :meth:`install_multi` for relaxed-dispatch backends.
+
+        Groups by depth like the synchronous variant but dispatches each
+        group through ``install_nowait`` so the staleness scheduler keeps
+        its ordering semantics.  Only meaningful on backends advertising
+        :attr:`supports_staleness`.
+        """
+        from repro.nn.module import Sequential
+
+        for depth in sorted(set(depths)):
+            subset = [w for w, d in zip(workers, depths) if d == depth]
+            subset_lrs = [
+                lr for lr, d in zip(learning_rates, depths) if d == depth
+            ]
+            prefix = (
+                bottom if depth == len(bottom)
+                else Sequential(bottom.layers[:depth])
+            )
+            self.install_nowait(subset, prefix, subset_lrs)
+
     @abc.abstractmethod
     def forward(
         self, workers: "list[SplitWorker]", batch_sizes: list[int]

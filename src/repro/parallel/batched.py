@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.losses import CrossEntropyLoss
+from repro.nn.module import Sequential
 from repro.parallel.base import Executor
 from repro.parallel.kernels import (
     BatchedModel,
@@ -80,6 +81,22 @@ class _RoundState:
                 self.group_of[slot] = (group, position)
 
 
+class _MultiRoundState:
+    """Per-depth sub-rounds of a heterogeneous-split install.
+
+    Workers sharing a cut depth stack into one (or more, by mini-batch
+    shape) vectorized kernels exactly like a uniform round; ``slots`` maps
+    each sub-round's local worker positions back to the cohort order.
+    """
+
+    def __init__(
+        self, worker_ids: list[int],
+        subrounds: list[tuple[list[int], _RoundState]],
+    ) -> None:
+        self.worker_ids = list(worker_ids)
+        self.subrounds = subrounds
+
+
 def _uniform_worker_hyperparams(workers) -> tuple | None:
     """The shared ``(momentum, weight_decay, max_grad_norm)``, or ``None``.
 
@@ -104,6 +121,7 @@ class BatchedExecutor(Executor):
     def __init__(self) -> None:
         self._serial = SerialExecutor()
         self._round: _RoundState | None = None
+        self._multi: _MultiRoundState | None = None
         self._fallback_active = False
         self._warned: set[tuple[str, ...]] = set()
 
@@ -124,6 +142,7 @@ class BatchedExecutor(Executor):
 
     # -- split training -------------------------------------------------------
     def install(self, workers, bottom, learning_rates) -> None:
+        self._multi = None
         reason = self._fallback_reason(workers, bottom)
         if reason is not None:
             self._warn_fallback(reason)
@@ -145,6 +164,38 @@ class BatchedExecutor(Executor):
             max_grad_norm=max_grad_norm,
         )
 
+    def install_multi(self, workers, bottom, learning_rates, depths) -> None:
+        """Stack workers *within* each cut-depth group (heterogeneous splits)."""
+        self._round = None
+        self._multi = None
+        reason = self._fallback_reason(workers, bottom)
+        if reason is not None:
+            self._warn_fallback(reason)
+            self._fallback_active = True
+            self._serial.install_multi(workers, bottom, learning_rates, depths)
+            return
+        if len(set(depths)) == 1 and depths[0] == len(bottom):
+            self.install(workers, bottom, learning_rates)
+            return
+        self._fallback_active = False
+        momentum, weight_decay, max_grad_norm = _uniform_worker_hyperparams(workers)
+        subrounds = []
+        for depth in sorted(set(depths)):
+            slots = [slot for slot, d in enumerate(depths) if d == depth]
+            prefix = Sequential(bottom.layers[:depth]).clone().train()
+            subrounds.append((slots, _RoundState(
+                snapshot=prefix,
+                worker_ids=[workers[slot].worker_id for slot in slots],
+                learning_rates=[learning_rates[slot] for slot in slots],
+                momentum=momentum,
+                weight_decay=weight_decay,
+                max_grad_norm=max_grad_norm,
+            )))
+        self._multi = _MultiRoundState(
+            worker_ids=[worker.worker_id for worker in workers],
+            subrounds=subrounds,
+        )
+
     def _require_round(self, workers) -> _RoundState:
         state = self._round
         if state is None:
@@ -155,9 +206,75 @@ class BatchedExecutor(Executor):
             )
         return state
 
+    def _require_multi(self, workers) -> _MultiRoundState:
+        state = self._multi
+        assert state is not None
+        if [worker.worker_id for worker in workers] != state.worker_ids:
+            raise RuntimeError(
+                "worker set changed since install_multi(); re-install"
+            )
+        return state
+
+    def _multi_forward(self, workers, batch_sizes):
+        state = self._require_multi(workers)
+        # Draw in cohort order, exactly like the serial loop, so sampling
+        # RNG streams stay bit-identical across executors.
+        drawn = [
+            worker.draw_batch(batch_size)
+            for worker, batch_size in zip(workers, batch_sizes)
+        ]
+        features: list[np.ndarray | None] = [None] * len(workers)
+        for slots, sub in state.subrounds:
+            if sub.groups is None:
+                sub.build_groups([drawn[slot][0].shape for slot in slots])
+            for group in sub.groups:
+                stacked = np.stack(
+                    [drawn[slots[local]][0] for local in group.slots]
+                )
+                out = group.model.forward(stacked)
+                for position, local in enumerate(group.slots):
+                    features[slots[local]] = out[position]
+                    group.pending_batches[position] = stacked.shape[1]
+        labels = [labs for __, labs in drawn]
+        return features, labels
+
+    def _multi_backward_step(self, workers, gradients) -> None:
+        state = self._require_multi(workers)
+        for slots, sub in state.subrounds:
+            if sub.groups is None:
+                raise RuntimeError("backward_step called before forward")
+            for group in sub.groups:
+                for position, local in enumerate(group.slots):
+                    got = gradients[slots[local]].shape[0]
+                    expected = group.pending_batches[position]
+                    if got != expected:
+                        raise ValueError(
+                            f"gradient batch {got} does not match the pending "
+                            f"forward batch {expected}"
+                        )
+                stacked = np.stack(
+                    [gradients[slots[local]] for local in group.slots]
+                )
+                group.sgd.zero_grad()
+                group.model.backward(stacked)
+                group.sgd.step()
+
+    def _multi_bottom_states(self, workers):
+        state = self._require_multi(workers)
+        states: list[dict[str, np.ndarray] | None] = [None] * len(workers)
+        for slots, sub in state.subrounds:
+            if sub.groups is None:
+                raise RuntimeError("bottom_states called before any forward pass")
+            for local, slot in enumerate(slots):
+                group, position = sub.group_of[local]
+                states[slot] = group.model.state_dict_for(position)
+        return states
+
     def forward(self, workers, batch_sizes):
         if self._fallback_active:
             return self._serial.forward(workers, batch_sizes)
+        if self._multi is not None:
+            return self._multi_forward(workers, batch_sizes)
         state = self._require_round(workers)
         drawn = [
             worker.draw_batch(batch_size)
@@ -179,6 +296,9 @@ class BatchedExecutor(Executor):
         if self._fallback_active:
             self._serial.backward_step(workers, gradients)
             return
+        if self._multi is not None:
+            self._multi_backward_step(workers, gradients)
+            return
         state = self._require_round(workers)
         if state.groups is None:
             raise RuntimeError("backward_step called before forward")
@@ -199,6 +319,8 @@ class BatchedExecutor(Executor):
     def bottom_states(self, workers):
         if self._fallback_active:
             return self._serial.bottom_states(workers)
+        if self._multi is not None:
+            return self._multi_bottom_states(workers)
         state = self._require_round(workers)
         if state.groups is None:
             raise RuntimeError("bottom_states called before any forward pass")

@@ -293,6 +293,12 @@ class SplitRoundOps:
     finish_aggregate: Callable[[list], None] | None = None
     account: Callable[[], None] | None = None
     prefetch_plan: Callable[[], None] | None = None
+    #: Per-worker cut depths (aligned with ``workers``) when a split-point
+    #: policy is active; ``None`` under the uniform global cut.  Purely
+    #: informational for schedulers -- the install/update closures already
+    #: bind the depths -- but it makes per-worker stage shapes visible to
+    #: stage hooks and diagnostics.
+    depths: list[int] | None = None
 
     def note(self, stage: RoundStage, iteration: int | None = None) -> None:
         if self.on_stage is not None:

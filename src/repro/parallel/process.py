@@ -111,6 +111,7 @@ _UNCOUNTED_COMMANDS = frozenset({"load_shard", "codec_load", "codec_state"})
 
 def _child_main(connector: ChildConnector) -> None:
     """Child process loop: host bottom models / run local training on demand."""
+    from repro.nn.module import Sequential
     from repro.nn.optim import SGD
     from repro.parallel.staleness import InflightQueue
 
@@ -141,8 +142,14 @@ def _child_main(connector: ChildConnector) -> None:
         bottom, specs = payload
         bottoms = {}
         staged.clear()
-        for worker_id, (lr, momentum, weight_decay, max_grad_norm) in specs.items():
-            model = bottom.clone()
+        for worker_id, spec in specs.items():
+            lr, momentum, weight_decay, max_grad_norm = spec[:4]
+            source = bottom
+            if len(spec) == 5:
+                # Heterogeneous split points: the spec's fifth element is
+                # the worker's prefix depth into the shipped bottom.
+                source = Sequential(bottom.layers[:spec[4]])
+            model = source.clone()
             model.train()
             bottoms[worker_id] = {
                 "model": model,
@@ -612,27 +619,42 @@ class ProcessExecutor(Executor):
         if messages:
             self._broadcast(messages)
 
-    def _install_messages(self, workers, learning_rates, bottom, command: str):
-        """Assign workers, ship fresh shards, build per-child install messages."""
+    def _install_messages(self, workers, learning_rates, bottom, command: str,
+                          depths=None):
+        """Assign workers, ship fresh shards, build per-child install messages.
+
+        With ``depths``, every worker's spec carries its prefix depth as a
+        fifth element (the child carves ``bottom.layers[:depth]`` before
+        cloning); without it the specs keep their historical 4-tuple form,
+        so uniform runs put identical bytes on the wire.
+        """
         shards = self._assign(workers)
         self._ship_shards(shards)
         self._ship_codec_state(shards)
         lr_of = {
             worker.worker_id: lr for worker, lr in zip(workers, learning_rates)
         }
+        depth_of = None
+        if depths is not None:
+            depth_of = {
+                worker.worker_id: depth
+                for worker, depth in zip(workers, depths)
+            }
         messages = {}
         for index, shard in shards.items():
             if not shard:
                 continue
-            specs = {
-                worker_id: (
+            specs = {}
+            for worker_id, worker in shard.items():
+                spec = (
                     lr_of[worker_id],
                     worker.momentum,
                     worker.weight_decay,
                     worker.max_grad_norm,
                 )
-                for worker_id, worker in shard.items()
-            }
+                if depth_of is not None:
+                    spec = spec + (depth_of[worker_id],)
+                specs[worker_id] = spec
             messages[index] = (command, (bottom, specs))
         return messages
 
@@ -640,6 +662,22 @@ class ProcessExecutor(Executor):
         self._consume_abandoned_replies()
         self._broadcast(
             self._install_messages(workers, learning_rates, bottom, "install")
+        )
+
+    def install_multi(self, workers, bottom, learning_rates, depths) -> None:
+        """Per-worker prefix install in one message per child.
+
+        The base class's per-depth-group loop would not work here: a child
+        hosting workers from two depth groups resets all its hosted bottoms
+        on every install command, so the second group's install would wipe
+        the first's.  One message carrying per-worker depths keeps install
+        atomic per child.
+        """
+        self._consume_abandoned_replies()
+        self._broadcast(
+            self._install_messages(
+                workers, learning_rates, bottom, "install", depths=depths
+            )
         )
 
     def forward(self, workers, batch_sizes):
@@ -773,6 +811,15 @@ class ProcessExecutor(Executor):
         self._consume_abandoned_replies()
         messages = self._install_messages(
             workers, learning_rates, bottom, "install_nowait"
+        )
+        for index, message in messages.items():
+            self._send(index, message, expects_reply=False)
+
+    def install_multi_nowait(self, workers, bottom, learning_rates, depths) -> None:
+        """Fire-and-forget :meth:`install_multi` (relaxed schedules)."""
+        self._consume_abandoned_replies()
+        messages = self._install_messages(
+            workers, learning_rates, bottom, "install_nowait", depths=depths
         )
         for index, message in messages.items():
             self._send(index, message, expects_reply=False)

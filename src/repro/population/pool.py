@@ -83,6 +83,14 @@ class WorkerPool(abc.ABC):
         """Per-round population counters (cache hits/misses); resets them."""
         return {"cache_hits": 0, "cache_misses": 0}
 
+    def record_depths(self, ids: Iterable[int], depths: dict[int, int]) -> None:
+        """Note the cohort's policy-assigned cut depths (metadata only).
+
+        Eager pools keep no metadata columns, so the default is a no-op;
+        the lazy pool persists depths as a registry column so population
+        snapshots can answer "which depth does worker i run at".
+        """
+
     # -- introspection + checkpointing ---------------------------------------
     def live_worker_count(self) -> int:
         """Workers currently materialised in memory."""
@@ -291,6 +299,9 @@ class LazyWorkerPool(WorkerPool):
             return {"cache_hits": 0, "cache_misses": 0}
         hits, misses = self.cache.take_round_counts()
         return {"cache_hits": hits, "cache_misses": misses}
+
+    def record_depths(self, ids: Iterable[int], depths: dict[int, int]) -> None:
+        self.registry.record_depths(ids, depths)
 
     # -- introspection + checkpointing ---------------------------------------
     def live_worker_count(self) -> int:

@@ -20,6 +20,7 @@ executor, and does not perturb any other RNG stream (the trajectory with
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,19 +60,33 @@ class RoundChurn:
 
 
 class ChurnModel:
-    """Deterministic per-round dropout/straggler/rejoin decisions."""
+    """Deterministic per-round dropout/straggler/rejoin decisions.
+
+    ``dropout_rate`` is either a scalar (every worker drops with the same
+    probability), a mapping from worker id to rate, or a callable
+    ``worker_id -> rate`` (e.g. derived from device classes: a battery-bound
+    Jetson TX2 drops more often than a mains-powered AGX).  All three forms
+    draw one uniform per cohort member from the same stream and compare it
+    to that worker's rate, so the scalar path is bit-exact with the
+    historical behaviour.
+    """
 
     def __init__(
         self,
-        dropout_rate: float = 0.0,
+        dropout_rate=0.0,
         straggler_deadline: float = 0.0,
         rejoin_staleness_bound: int = 0,
         seed: int = 0,
     ) -> None:
-        if not 0.0 <= dropout_rate <= 1.0:
-            raise ValueError(
-                f"dropout_rate must be in [0, 1], got {dropout_rate}"
-            )
+        if callable(dropout_rate) or isinstance(dropout_rate, Mapping):
+            self.dropout_rate = dropout_rate
+        else:
+            dropout_rate = float(dropout_rate)
+            if not 0.0 <= dropout_rate <= 1.0:
+                raise ValueError(
+                    f"dropout_rate must be in [0, 1], got {dropout_rate}"
+                )
+            self.dropout_rate = dropout_rate
         if straggler_deadline < 0:
             raise ValueError(
                 f"straggler_deadline must be non-negative, "
@@ -82,10 +97,24 @@ class ChurnModel:
                 f"rejoin_staleness_bound must be non-negative, "
                 f"got {rejoin_staleness_bound}"
             )
-        self.dropout_rate = float(dropout_rate)
         self.straggler_deadline = float(straggler_deadline)
         self.rejoin_staleness_bound = int(rejoin_staleness_bound)
         self._seed = seed + CHURN_SEED_OFFSET
+
+    def rate_of(self, worker_id: int) -> float:
+        """The dropout rate of one worker under any rate form."""
+        rate = self.dropout_rate
+        if callable(rate):
+            rate = rate(worker_id)
+        elif isinstance(rate, Mapping):
+            rate = rate.get(worker_id, 0.0)
+        rate = float(rate)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(
+                f"dropout rate of worker {worker_id} must be in [0, 1], "
+                f"got {rate}"
+            )
+        return rate
 
     def round_churn(
         self,
@@ -107,7 +136,7 @@ class ChurnModel:
         rng = spawned_rng(self._seed, round_index)
         ids = [int(worker_id) for worker_id in worker_ids]
         draws = rng.random(len(ids))
-        dropped = [wid for wid, u in zip(ids, draws) if u < self.dropout_rate]
+        dropped = [wid for wid, u in zip(ids, draws) if u < self.rate_of(wid)]
         deadline: float | None = None
         stragglers: list[int] = []
         if self.straggler_deadline > 0 and ids:

@@ -64,6 +64,12 @@ SMOKE_CODECS = ("none", "int8")
 #: Split algorithms the codec sweeps cross with the codec axis.
 PAPER_CODEC_ALGORITHMS = ("mergesfl", "splitfed")
 
+#: Split-point policy axis (``uniform`` is the exact global-cut anchor).
+PAPER_SPLIT_POLICIES = ("uniform", "profile", "adaptive")
+
+#: A shorter policy axis for dry-running the preset plumbing.
+SMOKE_SPLIT_POLICIES = ("uniform", "profile")
+
 
 def scalability_study(
     dataset: str = "cifar10",
@@ -188,6 +194,33 @@ def codec_study(
     )
 
 
+def splitpoint_study(
+    dataset: str = "cifar10",
+    policies: tuple[str, ...] = PAPER_SPLIT_POLICIES,
+    algorithm: str = "mergesfl",
+    non_iid_level: float = 0.0,
+    name: str | None = None,
+    **overrides,
+) -> Study:
+    """A ``split_policy`` grid over per-worker split points.
+
+    Sweeps the split-point policy (:mod:`repro.splitpoint`) on the Table-2
+    heterogeneous device classes: the ``uniform`` column is the exact
+    global-cut anchor, and each history carries per-round simulated time and
+    traffic so waiting-time and wire savings are read straight off the
+    records (see ``benchmarks/bench_splitpoint.py``).
+    """
+    from repro.experiments.figures import figure_config
+
+    overrides = {k: v for k, v in overrides.items() if k != "split_policy"}
+    base = figure_config(
+        dataset, algorithm, non_iid_level, split_policy=policies[0], **overrides
+    )
+    if name is None:
+        name = f"{dataset}-splitpoint-{'-'.join(policies)}"
+    return Study.grid(name, base, axes={"split_policy": policies})
+
+
 def _paper_scalability(**overrides) -> Study:
     return scalability_study(scales=PAPER_WORKER_SCALES,
                              name="paper-scalability", **overrides)
@@ -227,6 +260,16 @@ def _paper_codec(**overrides) -> Study:
     return codec_study(codecs=PAPER_CODECS, name="paper-codec", **overrides)
 
 
+def _paper_splitpoint(**overrides) -> Study:
+    return splitpoint_study(policies=PAPER_SPLIT_POLICIES,
+                            name="paper-splitpoint", **overrides)
+
+
+def _smoke_splitpoint(**overrides) -> Study:
+    return splitpoint_study(dataset="har", policies=SMOKE_SPLIT_POLICIES,
+                            name="smoke-splitpoint", **overrides)
+
+
 def _smoke_codec(**overrides) -> Study:
     return codec_study(dataset="blobs", codecs=SMOKE_CODECS,
                        algorithms=("mergesfl",), name="smoke-codec",
@@ -244,6 +287,8 @@ PRESETS: dict[str, Callable[..., Study]] = {
     "smoke-churn": _smoke_churn,
     "paper-codec": _paper_codec,
     "smoke-codec": _smoke_codec,
+    "paper-splitpoint": _paper_splitpoint,
+    "smoke-splitpoint": _smoke_splitpoint,
 }
 
 

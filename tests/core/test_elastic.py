@@ -271,3 +271,42 @@ class TestCheckpointing:
         assert len(restored.cache) == len(controller.cache)
         rebuilt = restored.cache.reconstruct(1, REFERENCE)
         assert rebuilt["w"][0] == pytest.approx(2.0)
+
+
+class TestDeviceClassRates:
+    """``extras['device_dropout_rates']`` maps device classes to rates."""
+
+    def _cluster(self, num_workers=12):
+        from repro.simulation.cluster import build_cluster
+
+        return build_cluster(num_workers, bandwidth_budget_mbps=100.0, seed=3)
+
+    def test_rates_resolve_through_the_device_class(self):
+        cluster = self._cluster()
+        rates = {"jetson_tx2": 0.5, "jetson_agx": 0.1}
+        controller = build_elastic_controller(
+            ExperimentConfig(
+                elastic=True, dropout_rate=0.02,
+                extras={"device_dropout_rates": rates},
+            ),
+            cluster,
+        )
+        for worker_id in range(len(cluster.devices)):
+            name = cluster[worker_id].profile.name
+            expected = rates.get(name, 0.02)  # base rate for unlisted classes
+            assert controller.churn.rate_of(worker_id) == expected
+
+    def test_without_class_rates_the_scalar_stays(self):
+        controller = build_elastic_controller(
+            ExperimentConfig(elastic=True, dropout_rate=0.25), self._cluster()
+        )
+        assert controller.churn.dropout_rate == 0.25
+
+    def test_class_rates_without_cluster_fall_back_to_scalar(self):
+        controller = build_elastic_controller(
+            ExperimentConfig(
+                elastic=True, dropout_rate=0.25,
+                extras={"device_dropout_rates": {"jetson_tx2": 0.9}},
+            )
+        )
+        assert controller.churn.rate_of(0) == 0.25

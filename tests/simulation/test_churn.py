@@ -116,3 +116,47 @@ class TestRejoinDelays:
     def test_missing_concatenates_dropped_then_stragglers(self):
         churn = RoundChurn(dropped=[1, 2], stragglers=[9])
         assert churn.missing == [1, 2, 9]
+
+
+class TestPerWorkerRates:
+    def test_mapping_with_uniform_values_matches_scalar(self):
+        """Resolving the rate per worker must not disturb the draw: a
+        mapping that assigns every worker the scalar's value reproduces the
+        scalar run exactly, round for round."""
+        scalar = ChurnModel(dropout_rate=0.4, seed=9)
+        mapped = ChurnModel(dropout_rate={w: 0.4 for w in IDS}, seed=9)
+        for round_index in range(10):
+            assert (
+                scalar.round_churn(round_index, IDS, DURATIONS).dropped
+                == mapped.round_churn(round_index, IDS, DURATIONS).dropped
+            )
+
+    def test_callable_with_constant_value_matches_scalar(self):
+        scalar = ChurnModel(dropout_rate=0.4, seed=9)
+        called = ChurnModel(dropout_rate=lambda worker_id: 0.4, seed=9)
+        for round_index in range(10):
+            assert (
+                scalar.round_churn(round_index, IDS, DURATIONS).dropped
+                == called.round_churn(round_index, IDS, DURATIONS).dropped
+            )
+
+    def test_heterogeneous_rates_differentiate_workers(self):
+        rates = {3: 0.0, 7: 0.0, 11: 0.0, 20: 1.0, 42: 1.0}
+        model = ChurnModel(dropout_rate=rates, seed=4)
+        for round_index in range(5):
+            assert model.round_churn(round_index, IDS, DURATIONS).dropped == [20, 42]
+
+    def test_mapping_falls_back_to_zero_for_unlisted_workers(self):
+        model = ChurnModel(dropout_rate={42: 1.0}, seed=4)
+        churn = model.round_churn(0, IDS, DURATIONS)
+        assert churn.dropped == [42]
+
+    def test_rate_of_resolves_each_form(self):
+        assert ChurnModel(dropout_rate=0.25).rate_of(99) == 0.25
+        assert ChurnModel(dropout_rate={1: 0.5}).rate_of(1) == 0.5
+        assert ChurnModel(dropout_rate=lambda w: w / 100).rate_of(30) == 0.3
+
+    def test_per_worker_rates_validated_at_resolution(self):
+        model = ChurnModel(dropout_rate={1: 1.5})
+        with pytest.raises(ValueError, match="dropout rate"):
+            model.round_churn(0, [1], np.ones(1))

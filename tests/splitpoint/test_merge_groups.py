@@ -1,0 +1,126 @@
+"""Per-depth merge groups: grouping, ordering and dispatch adjointness.
+
+``FeatureMerger.merge_by_depth`` partitions a cohort's features into one
+merged batch per assigned cut depth.  Within a group the merge/dispatch
+round-trip contract of the global merger must continue to hold bitwise,
+groups must come out in ascending depth order with plan order preserved
+inside each, and the union of the groups must be exactly the cohort --
+no sample duplicated, none dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.merging import FeatureMerger
+from repro.exceptions import ShapeError
+
+scenario = st.fixed_dictionaries({
+    "num_workers": st.integers(1, 8),
+    "num_depths": st.integers(1, 3),
+    "trailing": st.lists(st.integers(1, 4), min_size=0, max_size=2),
+    "seed": st.integers(0, 2**31 - 1),
+})
+
+
+def _cohort(scn):
+    rng = np.random.default_rng(scn["seed"])
+    trailing = tuple(scn["trailing"])
+    worker_ids = list(
+        rng.choice(100, size=scn["num_workers"], replace=False).astype(int)
+    )
+    batch_sizes = rng.integers(1, 5, size=scn["num_workers"])
+    features = [
+        rng.normal(size=(int(batch), *trailing)) for batch in batch_sizes
+    ]
+    labels = [rng.integers(0, 10, size=int(batch)) for batch in batch_sizes]
+    depth_choices = rng.integers(1, 20, size=scn["num_depths"])
+    depths = {
+        wid: int(depth_choices[rng.integers(0, scn["num_depths"])])
+        for wid in worker_ids
+    }
+    return worker_ids, features, labels, depths
+
+
+@settings(max_examples=60, deadline=None)
+@given(scn=scenario)
+def test_merge_by_depth_partitions_the_cohort(scn):
+    worker_ids, features, labels, depths = _cohort(scn)
+    merger = FeatureMerger()
+    groups = merger.merge_by_depth(worker_ids, features, labels, depths)
+
+    # Ascending depth order, one group per distinct assigned depth.
+    group_depths = [depth for depth, _ in groups]
+    assert group_depths == sorted(set(depths.values()))
+
+    # The groups tile the cohort: each worker appears in exactly its
+    # depth's group, in plan order.
+    by_worker = dict(zip(worker_ids, features))
+    seen = []
+    for depth, merged in groups:
+        members = [w for w in worker_ids if depths[w] == depth]
+        assert list(merged.worker_ids) == members
+        seen.extend(members)
+        expected = np.concatenate([by_worker[w] for w in members], axis=0)
+        assert np.array_equal(merged.features, expected)
+    assert sorted(seen) == sorted(worker_ids)
+
+    # Total sample count is conserved across the partition.
+    total = sum(merged.total_samples for _, merged in groups)
+    assert total == sum(f.shape[0] for f in features)
+
+
+@settings(max_examples=60, deadline=None)
+@given(scn=scenario)
+def test_group_dispatch_is_adjoint_to_group_merge(scn):
+    """Dispatching a per-group gradient recovers per-worker segments that
+    reassemble into the group's merged gradient -- the within-group
+    round-trip that the multi-depth server update relies on."""
+    worker_ids, features, labels, depths = _cohort(scn)
+    rng = np.random.default_rng(scn["seed"] + 1)
+    merger = FeatureMerger()
+    for depth, merged in merger.merge_by_depth(
+        worker_ids, features, labels, depths
+    ):
+        gradient = rng.normal(size=merged.features.shape)
+        segments = merger.dispatch(merged, gradient)
+        assert set(segments) == set(merged.worker_ids)
+        reassembled = np.concatenate(
+            [segments[w] for w in merged.worker_ids], axis=0
+        )
+        assert np.array_equal(reassembled, gradient)
+        by_worker = dict(zip(worker_ids, features))
+        for w in merged.worker_ids:
+            assert segments[w].shape == by_worker[w].shape
+
+
+def test_merge_by_depth_single_depth_matches_merge():
+    rng = np.random.default_rng(0)
+    worker_ids = [3, 1, 7]
+    features = [rng.normal(size=(b, 4)) for b in (2, 3, 1)]
+    labels = [rng.integers(0, 5, size=b) for b in (2, 3, 1)]
+    merger = FeatureMerger()
+    groups = merger.merge_by_depth(
+        worker_ids, features, labels, {3: 5, 1: 5, 7: 5}
+    )
+    assert len(groups) == 1
+    depth, merged = groups[0]
+    assert depth == 5
+    reference = merger.merge(worker_ids, features, labels)
+    assert np.array_equal(merged.features, reference.features)
+    assert np.array_equal(merged.labels, reference.labels)
+    assert list(merged.worker_ids) == list(reference.worker_ids)
+
+
+def test_merge_by_depth_requires_depth_for_every_worker():
+    rng = np.random.default_rng(0)
+    merger = FeatureMerger()
+    with pytest.raises(ShapeError):
+        merger.merge_by_depth(
+            [1, 2],
+            [rng.normal(size=(2, 3)), rng.normal(size=(1, 3))],
+            [np.zeros(2, dtype=np.int64), np.zeros(1, dtype=np.int64)],
+            {1: 4},
+        )

@@ -1,0 +1,117 @@
+"""Per-depth model carving: prefixes, bridges and key shifting.
+
+``carve_prefix(bottom, d)`` + ``carve_bridge(bottom, d)`` must compose back
+into the full bottom model -- same forward, and a bridge state shifted by
+``d`` layer indices merges with the prefix state into exactly the full
+bottom state dict.  ``candidate_split_depths`` enumerates the cuts after
+each weighted layer (swallowing trailing parameter-free layers) plus the
+tail, which is what the split-point policies select from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SplitError
+from repro.nn.split import (
+    candidate_split_depths,
+    carve_bridge,
+    carve_prefix,
+    shift_state_keys,
+)
+
+
+def _bottom(model="cnn_h", **kwargs):
+    from repro.api.components import build_components
+    from repro.config import ExperimentConfig
+
+    dataset = {"cnn_h": "har", "mlp": "blobs", "alexnet_s": "cifar10"}[model]
+    config = ExperimentConfig(
+        dataset=dataset, model=model, num_workers=2,
+        train_samples=64, test_samples=32,
+    )
+    components = build_components(config)
+    return components.split.bottom, components.data
+
+
+class TestCandidateDepths:
+    def test_cnn_h_candidates(self):
+        bottom, _ = _bottom("cnn_h")
+        depths = candidate_split_depths(bottom)
+        assert depths[-1] == len(bottom)
+        assert depths == sorted(set(depths))
+        assert all(0 < d <= len(bottom) for d in depths)
+        assert len(depths) >= 3  # conv stack: several weighted cuts
+
+    def test_mlp_is_tail_only(self):
+        bottom, _ = _bottom("mlp")
+        assert candidate_split_depths(bottom) == [len(bottom)]
+
+    def test_cuts_fall_after_weighted_layers(self):
+        bottom, _ = _bottom("cnn_h")
+        for depth in candidate_split_depths(bottom)[:-1]:
+            # A candidate cut never strands a parameter-free layer at the
+            # top of the prefix's boundary: the next layer carries weights.
+            assert bottom.layers[depth].parameters()
+
+
+class TestCarving:
+    @pytest.mark.parametrize("model", ["cnn_h", "alexnet_s"])
+    def test_prefix_plus_bridge_matches_full_forward(self, model):
+        bottom, data = _bottom(model)
+        batch = data.train.data[:4].astype(np.float64)
+        full = bottom.clone().forward(batch)
+        for depth in candidate_split_depths(bottom):
+            prefix = carve_prefix(bottom, depth)
+            features = prefix.forward(batch)
+            if depth < len(bottom):
+                bridge = carve_bridge(bottom, depth)
+                features = bridge.forward(features)
+            assert np.allclose(features, full)
+
+    def test_prefix_state_keys_are_a_subset(self):
+        bottom, _ = _bottom("cnn_h")
+        depth = candidate_split_depths(bottom)[0]
+        prefix_keys = set(carve_prefix(bottom, depth).state_dict())
+        assert prefix_keys <= set(bottom.state_dict())
+
+    def test_shifted_bridge_state_completes_prefix_state(self):
+        bottom, _ = _bottom("cnn_h")
+        full_state = bottom.state_dict()
+        for depth in candidate_split_depths(bottom)[:-1]:
+            state = dict(carve_prefix(bottom, depth).state_dict())
+            bridge_state = carve_bridge(bottom, depth).state_dict()
+            state.update(shift_state_keys(bridge_state, depth))
+            assert set(state) == set(full_state)
+            for key in full_state:
+                assert np.array_equal(state[key], full_state[key]), key
+
+    def test_carve_prefix_rejects_out_of_range(self):
+        bottom, _ = _bottom("cnn_h")
+        with pytest.raises(SplitError):
+            carve_prefix(bottom, 0)
+        with pytest.raises(SplitError):
+            carve_prefix(bottom, len(bottom) + 1)
+
+    def test_carved_models_are_independent_clones(self):
+        bottom, _ = _bottom("cnn_h")
+        depth = candidate_split_depths(bottom)[0]
+        prefix = carve_prefix(bottom, depth)
+        before = {k: v.copy() for k, v in bottom.state_dict().items()}
+        for param in prefix.parameters():
+            param.data += 1.0
+        after = bottom.state_dict()
+        for key in before:
+            assert np.array_equal(before[key], after[key]), key
+
+
+class TestShiftStateKeys:
+    def test_shift_renumbers_layers(self):
+        state = {"layer0.weight": np.zeros(2), "layer1.bias": np.ones(2)}
+        shifted = shift_state_keys(state, 3)
+        assert set(shifted) == {"layer3.weight", "layer4.bias"}
+
+    def test_shift_rejects_foreign_keys(self):
+        with pytest.raises(SplitError):
+            shift_state_keys({"weird.weight": np.zeros(1)}, 1)

@@ -125,3 +125,43 @@ class TestPresetExecution:
         )
         result = figures.figure12_scalability(study=study)
         assert [row["num_workers"] for row in result["rows"]] == [3, 4]
+
+
+class TestSplitpointStudy:
+    def test_paper_preset_sweeps_the_policy_axis(self):
+        from repro.study.presets import PAPER_SPLIT_POLICIES
+
+        study = get_preset("paper-splitpoint")
+        assert len(study) == len(PAPER_SPLIT_POLICIES)
+        assert tuple(t.config.split_policy for t in study) == PAPER_SPLIT_POLICIES
+        for trial in study:
+            assert trial.tags["split_policy"] == trial.config.split_policy
+
+    def test_smoke_preset_has_the_same_shape(self):
+        from repro.study.presets import SMOKE_SPLIT_POLICIES
+
+        study = get_preset("smoke-splitpoint")
+        assert tuple(t.config.split_policy for t in study) == SMOKE_SPLIT_POLICIES
+        assert study.trials[0].config.split_policy == "uniform"
+
+    def test_split_policy_override_cannot_clobber_the_axis(self):
+        from repro.study.presets import splitpoint_study
+
+        study = splitpoint_study(policies=("uniform", "adaptive"),
+                                 split_policy="profile", num_workers=4)
+        assert [t.config.split_policy for t in study] == ["uniform", "adaptive"]
+
+    def test_smoke_preset_runs_end_to_end(self):
+        from repro.study import StudyRunner
+        from repro.study.presets import splitpoint_study
+
+        study = splitpoint_study(
+            dataset="har", policies=("uniform", "profile"),
+            num_workers=4, num_rounds=2, local_iterations=2,
+            train_samples=120, test_samples=40, max_batch_size=8,
+            base_batch_size=4, model_width=0.3,
+        )
+        histories = StudyRunner(study).histories()
+        assert len(histories) == 2
+        for history in histories.values():
+            assert len(history.records) == 2
