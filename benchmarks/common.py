@@ -47,6 +47,12 @@ each other through a shared dict):
   bit-exact global-cut anchor; ``profile`` and ``adaptive`` assign
   per-worker cut depths and are deterministic, measured relaxations of the
   exact trajectory.
+* ``BENCH_SELECTION=ga|ga-warm|local-search|greedy`` -- select the
+  worker-selection solver (see :mod:`repro.selection`).  ``ga`` is the
+  bit-exact paper GA; the alternatives trade search budget for warm starts
+  or deterministic local refinement and are measured relaxations of the
+  exact trajectory (``exact`` exists too, but only for tiny test
+  instances -- never point a benchmark fleet at it).
 * ``BENCH_PRESET=name`` -- point the scalability benchmark at a
   :mod:`repro.study.presets` study (e.g. ``paper-scalability`` for the
   paper's 100/200/400-worker axis) instead of the scaled-down default.
@@ -141,7 +147,8 @@ def bench_overrides() -> dict:
                      ("BENCH_PIPELINE", "pipeline"),
                      ("BENCH_POPULATION", "population"),
                      ("BENCH_CODEC", "codec"),
-                     ("BENCH_SPLITPOINT", "split_policy")):
+                     ("BENCH_SPLITPOINT", "split_policy"),
+                     ("BENCH_SELECTION", "selector")):
         value = os.environ.get(env)
         if value:
             overrides[key] = value

@@ -55,6 +55,7 @@ from repro.api.registry import (
     MODELS,
     PIPELINES,
     POLICIES,
+    SELECTION_SOLVERS,
     SPLIT_POLICIES,
     TRANSPORTS,
     register_algorithm,
@@ -64,6 +65,7 @@ from repro.api.registry import (
     register_model,
     register_pipeline,
     register_policy,
+    register_selection_solver,
     register_split_policy,
     register_transport,
 )
@@ -87,6 +89,7 @@ __all__ = [
     "MODELS",
     "PIPELINES",
     "POLICIES",
+    "SELECTION_SOLVERS",
     "SPLIT_POLICIES",
     "TRANSPORTS",
     "register_algorithm",
@@ -96,6 +99,7 @@ __all__ = [
     "register_model",
     "register_pipeline",
     "register_policy",
+    "register_selection_solver",
     "register_split_policy",
     "register_transport",
 ]

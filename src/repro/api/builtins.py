@@ -14,4 +14,5 @@ import repro.core.mergesfl  # noqa: F401
 import repro.data.synthetic  # noqa: F401
 import repro.nn.models  # noqa: F401
 import repro.parallel  # noqa: F401
+import repro.selection.solvers  # noqa: F401
 import repro.splitpoint.policies  # noqa: F401

@@ -19,6 +19,7 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.elastic import ElasticController
     from repro.parallel.base import Executor
+    from repro.selection.solvers import SelectionSolver
 
 from repro.api.registry import ALGORITHMS, MODELS
 from repro.config import ExperimentConfig
@@ -80,6 +81,10 @@ class ExperimentComponents:
     #: the configuration on first use (itself ``None`` when
     #: ``config.elastic`` is off, which keeps rounds synchronous).
     elastic: "ElasticController | None" = None
+    #: Worker-selection solver shared by whichever policy the algorithm
+    #: builds.  ``None`` means :meth:`selection_solver` resolves
+    #: ``config.selector`` from the registry on first use.
+    selection: "SelectionSolver | None" = None
 
     def worker_pool(self) -> "WorkerPool":
         """The population pool, wrapping the eager worker list if needed."""
@@ -94,6 +99,14 @@ class ExperimentComponents:
 
             self.elastic = build_elastic_controller(self.config, self.cluster)
         return self.elastic
+
+    def selection_solver(self) -> "SelectionSolver":
+        """The worker-selection solver, resolved from ``config.selector``."""
+        if self.selection is None:
+            from repro.selection.solvers import build_selection_solver
+
+            self.selection = build_selection_solver(self.config)
+        return self.selection
 
 
 def build_model_for(config: ExperimentConfig, data: TrainTestSplit) -> Sequential:

@@ -252,6 +252,9 @@ CODECS = Registry("codec", populate=_load_builtins)
 #: Split-point policies: per-worker cut-depth selectors
 #: (see ``repro.splitpoint``).
 SPLIT_POLICIES = Registry("split policy", populate=_load_builtins)
+#: Worker-selection solvers: :class:`~repro.selection.solvers.SelectionSolver`
+#: subclasses keyed by name (see ``repro.selection``).
+SELECTION_SOLVERS = Registry("selection solver", populate=_load_builtins)
 
 register_algorithm = ALGORITHMS.register
 register_dataset = DATASETS.register
@@ -262,3 +265,4 @@ register_pipeline = PIPELINES.register
 register_transport = TRANSPORTS.register
 register_codec = CODECS.register
 register_split_policy = SPLIT_POLICIES.register
+register_selection_solver = SELECTION_SOLVERS.register

@@ -146,7 +146,7 @@ class FLTrainingEngine(Algorithm):
     def state_dict(self) -> dict:
         """Every mutable piece of training state, for checkpoint/resume."""
         self.drain()
-        return {
+        state = {
             "round_index": self._round_index,
             "clock": self._clock,
             "current_lr": self._current_lr,
@@ -161,6 +161,12 @@ class FLTrainingEngine(Algorithm):
             ),
             "codec": self.executor.codec_state(),
         }
+        if getattr(self.selection, "stateful", False):
+            # Present only for stateful selection strategies (e.g. one
+            # backed by a warm-started solver), so the historical strategies
+            # keep their checkpoint format byte for byte.
+            state["selection"] = self.selection.state_dict()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore training state captured by :meth:`state_dict`."""
@@ -176,6 +182,9 @@ class FLTrainingEngine(Algorithm):
         if self._elastic is not None and state.get("elastic") is not None:
             self._elastic.load_state_dict(state["elastic"])
         self.executor.load_codec_state(state.get("codec"))
+        if (getattr(self.selection, "stateful", False)
+                and state.get("selection") is not None):
+            self.selection.load_state_dict(state["selection"])
 
     # -- internals -------------------------------------------------------------
     def _run_round(self, round_index: int) -> None:

@@ -174,6 +174,18 @@ class ExperimentConfig:
     #: ``extras["split_depth_min"]``/``extras["split_depth_max"]`` bound the
     #: candidate depths a policy may assign.
     split_policy: str = "uniform"
+    #: Which solver runs the per-round worker selection (Eq. 10-13, Alg. 1
+    #: line 5): ``"ga"`` (the paper's genetic algorithm -- bit-exact with the
+    #: historical behaviour), ``"ga-warm"`` (GA warm-started from the previous
+    #: round's winner, with elite variable-fixing and symmetry breaking),
+    #: ``"local-search"`` (greedy construction plus incremental 1-flip/1-swap
+    #: refinement), ``"greedy"`` (the construction alone, the historical
+    #: ablation) or ``"exact"`` (brute force, tiny instances only); see
+    #: :mod:`repro.selection`.  ``extras["depth_aware_selection"] = True``
+    #: additionally prices each candidate's ingress cost at its own split
+    #: depth instead of the global scalar (requires a non-uniform
+    #: ``split_policy``).
+    selector: str = "ga"
 
     # Reproducibility --------------------------------------------------------
     seed: int = 0
@@ -199,6 +211,7 @@ class ExperimentConfig:
             EXECUTORS,
             MODELS,
             PIPELINES,
+            SELECTION_SOLVERS,
             SPLIT_POLICIES,
             TRANSPORTS,
         )
@@ -221,7 +234,24 @@ class ExperimentConfig:
             raise ConfigurationError(
                 SPLIT_POLICIES.unknown_message(self.split_policy)
             )
+        if self.selector not in SELECTION_SOLVERS:
+            raise ConfigurationError(
+                SELECTION_SOLVERS.unknown_message(self.selector)
+            )
         self._validate_split_extras()
+        depth_aware = self.extras.get("depth_aware_selection")
+        if depth_aware is not None:
+            if not isinstance(depth_aware, bool):
+                raise ConfigurationError(
+                    f"extras['depth_aware_selection'] must be a bool, "
+                    f"got {depth_aware!r}"
+                )
+            if depth_aware and self.split_policy == "uniform":
+                raise ConfigurationError(
+                    "extras['depth_aware_selection'] requires a non-uniform "
+                    "split_policy; under the uniform global cut every worker "
+                    "already shares one exchange size"
+                )
         policy_overrides = self.extras.get("codec_policy")
         if policy_overrides is not None:
             from repro.parallel.codec import PAYLOAD_CLASSES

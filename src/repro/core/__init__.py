@@ -15,7 +15,13 @@ The subpackage is organised around the paper's two modules:
 
 from repro.core.divergence import kl_divergence, mixed_label_distribution, iid_distribution
 from repro.core.batching import regulate_batch_sizes, scale_to_bandwidth
-from repro.core.selection import selection_priorities, genetic_select, greedy_select
+from repro.core.selection import (
+    IncrementalFitness,
+    PopulationFitness,
+    genetic_select,
+    greedy_select,
+    selection_priorities,
+)
 from repro.core.regulation import finetune_batch_sizes
 from repro.core.merging import FeatureMerger, MergedBatch
 from repro.core.worker import SplitWorker
@@ -33,6 +39,8 @@ __all__ = [
     "selection_priorities",
     "genetic_select",
     "greedy_select",
+    "PopulationFitness",
+    "IncrementalFitness",
     "finetune_batch_sizes",
     "FeatureMerger",
     "MergedBatch",

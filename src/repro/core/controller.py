@@ -21,7 +21,7 @@ from repro.core.divergence import (
     mixed_label_distribution,
 )
 from repro.core.regulation import finetune_batch_sizes
-from repro.core.selection import genetic_select, greedy_select, selection_priorities
+from repro.core.selection import selection_priorities
 
 
 @dataclass
@@ -35,10 +35,16 @@ class ControlContext:
         participation_counts: ``K_i`` per worker.
         bandwidth_budget: Estimated ingress budget ``B^h`` (same unit as
             ``bandwidth_per_sample`` times a batch size).
-        bandwidth_per_sample: ``c``, ingress bandwidth occupied per sample.
+        bandwidth_per_sample: ``c``, ingress bandwidth occupied per sample --
+            a scalar, or a per-worker vector when split depths give workers
+            different feature-exchange sizes.
         max_batch_size: ``D``, the default maximum batch size.
         base_batch_size: Identical batch size used by non-regulating baselines.
         rng: Round-specific random generator.
+        worker_ids: Global worker id of every row in the dense arrays
+            (``None`` when row indices *are* the global ids).  Stateful
+            selection solvers key cross-round state on these so lazy
+            candidate pools remap correctly between rounds.
     """
 
     round_index: int
@@ -46,10 +52,11 @@ class ControlContext:
     label_distributions: np.ndarray
     participation_counts: np.ndarray
     bandwidth_budget: float
-    bandwidth_per_sample: float
+    bandwidth_per_sample: "float | np.ndarray"
     max_batch_size: int
     base_batch_size: int
     rng: np.random.Generator
+    worker_ids: np.ndarray | None = None
 
 
 @dataclass
@@ -162,7 +169,11 @@ class ControlModule:
         ga_population: GA population size.
         ga_generations: GA generation count.
         selection_fraction: Fraction ``m/N`` used to seed the GA population.
-        use_greedy: Replace the GA with the greedy selector (ablation).
+        use_greedy: Replace the GA with the greedy selector (ablation);
+            shorthand for ``solver=GreedySolver()``.
+        solver: Worker-selection solver (see :mod:`repro.selection`).  The
+            default builds the paper's GA from the knobs above, which is
+            bit-exact with the historical inline call.
     """
 
     def __init__(
@@ -175,6 +186,7 @@ class ControlModule:
         ga_generations: int = 15,
         selection_fraction: float = 0.5,
         use_greedy: bool = False,
+        solver: "object | None" = None,
     ) -> None:
         self.kl_threshold = kl_threshold
         self.enable_regulation = enable_regulation
@@ -184,6 +196,20 @@ class ControlModule:
         self.ga_generations = ga_generations
         self.selection_fraction = selection_fraction
         self.use_greedy = use_greedy
+        if solver is None:
+            # Imported lazily: repro.selection imports repro.core, so a
+            # module-level import here would be circular.
+            from repro.selection.solvers import GASolver, GreedySolver
+
+            if use_greedy:
+                solver = GreedySolver()
+            else:
+                solver = GASolver(
+                    population_size=ga_population,
+                    generations=ga_generations,
+                    seed_fraction=selection_fraction,
+                )
+        self.solver = solver
 
     def plan_round(self, context: ControlContext) -> RoundPlan:
         """Produce the worker set and batch-size configuration for one round."""
@@ -198,27 +224,22 @@ class ControlModule:
         else:
             batch_sizes = np.full(num_workers, context.base_batch_size, dtype=np.int64)
 
-        # Lines 3-5: priorities and GA selection under the bandwidth constraint.
+        # Lines 3-5: priorities and solver-driven selection under the
+        # bandwidth constraint (the default solver is the paper's GA).
         priorities = selection_priorities(context.participation_counts)
         if self.enable_selection:
-            selector = greedy_select if self.use_greedy else genetic_select
-            kwargs = {}
-            if not self.use_greedy:
-                kwargs = {
-                    "population_size": self.ga_population,
-                    "generations": self.ga_generations,
-                    "seed_fraction": self.selection_fraction,
-                    "rng": context.rng,
-                }
-            selection = selector(
-                batch_sizes,
-                context.label_distributions,
-                target,
-                context.bandwidth_per_sample,
-                context.bandwidth_budget,
+            from repro.selection.solvers import SelectionProblem
+
+            selection = self.solver.solve(SelectionProblem(
+                batch_sizes=batch_sizes,
+                label_distributions=context.label_distributions,
+                target_distribution=target,
+                bandwidth_per_sample=context.bandwidth_per_sample,
+                bandwidth_budget=context.bandwidth_budget,
                 priorities=priorities,
-                **kwargs,
-            )
+                rng=context.rng,
+                worker_ids=context.worker_ids,
+            ))
             selected = selection.selected
             feasible = selection.feasible
         else:

@@ -183,6 +183,19 @@ class SplitTrainingEngine(Algorithm):
         if self._split_policy is not None:
             self._build_depth_tables(input_shape)
 
+        #: Depth-aware selection: hand the control policy a per-candidate
+        #: ingress-cost vector priced at each worker's current split depth
+        #: instead of the global-cut scalar.  Workers with no depth yet
+        #: price at the global cut, so round zero matches the scalar path.
+        self._depth_aware = bool(config.extras.get("depth_aware_selection", False))
+        if self._depth_aware and self._split_policy is None:
+            raise ConfigurationError(
+                "extras['depth_aware_selection'] requires a non-uniform "
+                "split_policy; under the uniform global cut every worker "
+                "already shares one exchange size"
+            )
+        self._last_depths: dict[int, int] = {}
+
         #: Root seed of the per-round RNG streams; generators are derived
         #: lazily per round index so the round count is unbounded.
         self._round_seed = config.seed + 9173
@@ -290,6 +303,16 @@ class SplitTrainingEngine(Algorithm):
             # Present only under a non-trivial policy, so uniform
             # checkpoints keep their historical format byte for byte.
             state["splitpoint"] = self._split_policy.state_dict()
+        solver = getattr(self.policy, "selection_solver", None)
+        if solver is not None and getattr(solver, "stateful", False):
+            # Same contract as "splitpoint": only stateful solvers add the
+            # key, so default (ga) checkpoints keep the historical format.
+            state["selection"] = solver.state_dict()
+        if self._depth_aware:
+            state["selection_depths"] = {
+                str(worker_id): int(depth)
+                for worker_id, depth in self._last_depths.items()
+            }
         return state
 
     def load_state_dict(self, state: dict) -> None:
@@ -316,6 +339,14 @@ class SplitTrainingEngine(Algorithm):
         self.executor.load_codec_state(state.get("codec"))
         if self._split_policy is not None and state.get("splitpoint") is not None:
             self._split_policy.load_state_dict(state["splitpoint"])
+        solver = getattr(self.policy, "selection_solver", None)
+        if solver is not None and state.get("selection") is not None:
+            solver.load_state_dict(state["selection"])
+        if self._depth_aware and state.get("selection_depths") is not None:
+            self._last_depths = {
+                int(worker_id): int(depth)
+                for worker_id, depth in state["selection_depths"].items()
+            }
 
     # -- round mechanics ---------------------------------------------------------
     def _observe_states(self, candidates: np.ndarray | None = None) -> None:
@@ -344,17 +375,42 @@ class SplitTrainingEngine(Algorithm):
         else:
             durations = self.estimator.per_sample_duration_for(candidates)
         budget = self.bandwidth_estimator.estimate()
+        bandwidth: "float | np.ndarray" = self.bandwidth_per_sample
+        if self._depth_aware:
+            bandwidth = self._depth_aware_bandwidth(candidates)
         return ControlContext(
             round_index=round_index,
             per_sample_durations=durations,
             label_distributions=self.pool.label_distributions(candidates),
             participation_counts=self.pool.participation_counts(candidates),
             bandwidth_budget=budget,
-            bandwidth_per_sample=self.bandwidth_per_sample,
+            bandwidth_per_sample=bandwidth,
             max_batch_size=self.config.max_batch_size,
             base_batch_size=self.config.base_batch_size,
             rng=spawned_rng(self._round_seed, round_index),
+            worker_ids=candidates,
         )
+
+    def _depth_aware_bandwidth(self, candidates: np.ndarray | None) -> np.ndarray:
+        """Per-candidate ingress cost (Mb/sample) at each worker's depth.
+
+        Reads the depth the split-point policy assigned the worker the last
+        time it participated; workers with no depth yet (round zero, or
+        never selected) price at the uniform global cut, so the vector
+        degenerates to the historical scalar until depths diverge.
+        """
+        if candidates is None:
+            ids = range(len(self.pool))
+        else:
+            ids = [int(worker_id) for worker_id in candidates]
+        costs = [
+            self._depth_exchange_bytes.get(
+                self._last_depths.get(int(worker_id), -1),
+                self.feature_exchange_bytes,
+            ) * 8.0 / 1e6
+            for worker_id in ids
+        ]
+        return np.asarray(costs, dtype=np.float64)
 
     def _run_round(self, round_index: int) -> None:
         config = self.config
@@ -527,6 +583,9 @@ class SplitTrainingEngine(Algorithm):
                     f"candidates are {sorted(valid)}"
                 )
         self.pool.record_depths(list(plan.selected), depths)
+        if self._depth_aware:
+            for worker_id in plan.selected:
+                self._last_depths[int(worker_id)] = int(depths[worker_id])
         return plan.with_depths(depths)
 
     def _prefetch_plan(self, round_index: int) -> None:

@@ -33,7 +33,12 @@ class MergeSFLPolicy:
         enable_regulation: Batch-size regulation (``False`` reproduces the
             ``MergeSFL w/o BR`` ablation, which assigns every selected
             worker the average of the regulated batch sizes).
-        use_greedy_selection: Replace the GA with the greedy selector.
+        use_greedy_selection: Replace the GA with the greedy selector
+            (shorthand for ``selection_solver=GreedySolver()``).
+        selection_solver: Worker-selection solver; the default resolves
+            ``config.selector`` from
+            :data:`~repro.api.registry.SELECTION_SOLVERS` (``"ga"`` -- the
+            paper's GA -- unless configured otherwise).
     """
 
     def __init__(
@@ -42,10 +47,20 @@ class MergeSFLPolicy:
         enable_merging: bool = True,
         enable_regulation: bool = True,
         use_greedy_selection: bool = False,
+        selection_solver=None,
     ) -> None:
         self.merge_features = enable_merging
         self.aggregate_every_iteration = False
         self.enable_regulation = enable_regulation
+        if selection_solver is None:
+            from repro.selection.solvers import build_selection_solver
+
+            selection_solver = build_selection_solver(
+                config, name="greedy" if use_greedy_selection else None
+            )
+        #: The engine reads this to serialise stateful solvers through its
+        #: ``state_dict`` (see ``SplitTrainingEngine.state_dict``).
+        self.selection_solver = selection_solver
         self._control = ControlModule(
             kl_threshold=config.kl_threshold,
             enable_regulation=True,
@@ -55,6 +70,7 @@ class MergeSFLPolicy:
             ga_generations=config.ga_generations,
             selection_fraction=config.selection_fraction,
             use_greedy=use_greedy_selection,
+            solver=selection_solver,
         )
 
     def plan_round(self, context: ControlContext) -> RoundPlan:
@@ -88,11 +104,13 @@ class MergeSFL(EngineBackedAlgorithm):
         enable_regulation: bool = True,
         bandwidth_budget_override: float | None = None,
         executor=None,
+        selection_solver=None,
     ) -> None:
         self.policy = MergeSFLPolicy(
             config,
             enable_merging=enable_merging,
             enable_regulation=enable_regulation,
+            selection_solver=selection_solver,
         )
         self.engine = SplitTrainingEngine(
             config=config,
@@ -116,6 +134,7 @@ class MergeSFL(EngineBackedAlgorithm):
             data=components.data,
             bandwidth_budget_override=components.bandwidth_budget,
             executor=components.executor,
+            selection_solver=components.selection_solver(),
             **flags,
         )
 

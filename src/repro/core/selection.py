@@ -56,10 +56,15 @@ def _fitness(
     batch_sizes: np.ndarray,
     label_distributions: np.ndarray,
     target: np.ndarray,
-    bandwidth_per_sample: float,
+    bandwidth_per_sample: "float | np.ndarray",
     bandwidth_budget: float,
 ) -> float:
-    """Penalised fitness: KL divergence + constraint violation - utilisation bonus."""
+    """Penalised fitness: KL divergence + constraint violation - utilisation bonus.
+
+    ``bandwidth_per_sample`` may be a scalar (one exchange size for every
+    worker, the historical path) or a per-worker vector ``c_i`` so workers
+    cut at different split depths are costed by their own exchange size.
+    """
     selected = np.flatnonzero(mask)
     if selected.size == 0:
         return 1e6
@@ -95,7 +100,7 @@ class PopulationFitness:
         batch_sizes: np.ndarray,
         label_distributions: np.ndarray,
         target_distribution: np.ndarray,
-        bandwidth_per_sample: float,
+        bandwidth_per_sample: "float | np.ndarray",
         bandwidth_budget: float,
     ) -> None:
         self._batches = np.asarray(batch_sizes, dtype=np.int64)
@@ -111,8 +116,20 @@ class PopulationFitness:
         phi0 = normalize_distribution(self._target)
         phi0 = phi0 + _EPS
         self._phi0 = phi0 / phi0.sum()
+        per_sample = np.asarray(bandwidth_per_sample, dtype=np.float64)
+        if per_sample.ndim > 0:
+            if per_sample.shape[0] != self._batches.shape[0]:
+                raise SelectionError(
+                    "bandwidth_per_sample vector and batch_sizes describe "
+                    "different worker counts"
+                )
+            #: Per-worker occupied bandwidth when selected: ``d_i * c_i``.
+            self._bandwidth_costs = self._batches.astype(np.float64) * per_sample
+        else:
+            self._bandwidth_costs = None
         self._bandwidth_per_sample = bandwidth_per_sample
         self._bandwidth_budget = bandwidth_budget
+        self._incremental: IncrementalFitness | None = None
 
     def evaluate(self, masks: np.ndarray) -> np.ndarray:
         """Fitness of every row of ``masks`` (a ``(population, N)`` matrix).
@@ -156,12 +173,298 @@ class PopulationFitness:
         phi = phi + _EPS
         phi = phi / phi.sum(axis=1, keepdims=True)
         kl = np.sum(phi * np.log(phi / self._phi0[None, :]), axis=1)
-        used = sizes.astype(np.float64) * self._bandwidth_per_sample
+        if self._bandwidth_costs is None:
+            used = sizes.astype(np.float64) * self._bandwidth_per_sample
+        else:
+            # Per-row subset sums in ascending index order -- boolean
+            # indexing compacts exactly like occupied_bandwidth's
+            # ``costs[selected]``, so the vector path agrees bitwise with
+            # the scalar helpers too.
+            used = np.array(
+                [float(self._bandwidth_costs[row].sum()) for row in masks[nonempty]]
+            )
         budget = self._bandwidth_budget
         violation = np.maximum(0.0, used - budget) / budget
         utilisation = np.minimum(1.0, used / budget)
         fitness[nonempty] = kl + 10.0 * violation + 0.05 * (1.0 - utilisation)
         return fitness
+
+    def incremental(self, mask: np.ndarray) -> "IncrementalFitness":
+        """An O(classes)-per-flip evaluator anchored at ``mask``."""
+        return IncrementalFitness(self, mask)
+
+    def delta_evaluate(self, mask: np.ndarray, flip_index: int) -> float:
+        """Fitness of ``mask`` with bit ``flip_index`` flipped, in O(classes).
+
+        The cached mixture numerator/denominator is rebuilt (one ``(N,
+        classes)`` reduction) only when ``mask`` differs from the previously
+        anchored mask; scanning a 1-flip neighbourhood of one mask then
+        costs O(classes) per candidate instead of re-reducing the full
+        stack for every neighbour.
+        """
+        mask = np.asarray(mask, dtype=bool)
+        cached = self._incremental
+        if cached is None or not cached.matches(mask):
+            cached = self._incremental = IncrementalFitness(self, mask)
+        return cached.flip_score(int(flip_index))
+
+
+class IncrementalFitness:
+    """O(classes) neighbourhood fitness around an anchor mask.
+
+    Local search and warm-started GA elites evaluate many 1-flip / 1-swap
+    neighbours of a single current mask.  This helper caches the anchor's
+    merged-mixture numerator ``sum_i d_i V_i``, its batch-size denominator
+    and its occupied bandwidth, and scores each neighbour by adjusting
+    those cached terms -- O(classes) per move instead of a full ``(N,
+    classes)`` reduction.
+
+    Numerics: after :meth:`resync` the anchor's :meth:`score` is
+    bit-identical to :meth:`PopulationFitness.evaluate` (the cached terms
+    are rebuilt with the same sequential worker-axis fold).  Neighbour
+    scores can differ from a from-scratch evaluation only by float-addition
+    reassociation in the numerator (empirically ~1e-15 relative; covered
+    by a hypothesis property test).  Committed moves re-synchronise every
+    :attr:`resync_interval` flips so drift never accumulates.
+    """
+
+    #: Committed flips between full recomputations of the cached terms.
+    resync_interval: int = 64
+
+    def __init__(self, parent: PopulationFitness, mask: np.ndarray) -> None:
+        self._parent = parent
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != parent._batches.shape:
+            raise SelectionError("mask length does not match the worker count")
+        self._mask = mask.copy()
+        self.resync()
+
+    @property
+    def mask(self) -> np.ndarray:
+        """A copy of the current anchor mask."""
+        return self._mask.copy()
+
+    def matches(self, mask: np.ndarray) -> bool:
+        """Whether ``mask`` equals the current anchor."""
+        return bool(np.array_equal(self._mask, mask))
+
+    def resync(self) -> None:
+        """Rebuild the cached terms from scratch (bit-exact with evaluate)."""
+        parent, mask = self._parent, self._mask
+        # Non-last-axis sum: a sequential fold over the worker axis with
+        # exact 0.0 rows for unselected workers -- the same reduction
+        # PopulationFitness.evaluate applies.
+        self._numerator = (mask[:, None] * parent._contributions).sum(axis=0)
+        self._size = int(mask @ parent._batches)
+        self._count = int(mask.sum())
+        if parent._bandwidth_costs is not None:
+            self._used = float(parent._bandwidth_costs[mask].sum())
+        else:
+            self._used = float(self._size) * parent._bandwidth_per_sample
+        self._commits = 0
+
+    def score(self) -> float:
+        """Fitness of the anchor mask itself."""
+        return self._assemble(
+            self._count, self._numerator, self._size, self._used,
+            lambda: self._mask.copy(),
+        )
+
+    def flip_score(self, index: int) -> float:
+        """Fitness of the anchor with bit ``index`` flipped (not committed)."""
+        count, numerator, size, used = self._flip_terms(index)
+
+        def degenerate_mask() -> np.ndarray:
+            mask = self._mask.copy()
+            mask[index] = not mask[index]
+            return mask
+
+        return self._assemble(count, numerator, size, used, degenerate_mask)
+
+    def flip_scores(self) -> np.ndarray:
+        """Fitness of every 1-flip neighbour, in one vectorized pass.
+
+        Bitwise identical to ``[flip_score(i) for i in range(N)]``: each
+        row's terms are the same ``sign * contribution`` adjustment of the
+        cached anchor terms, and the row-wise assembly mirrors the scalar
+        one reduction for reduction.  One ``(N, classes)`` matrix op
+        replaces N Python-level flip evaluations, which is what makes a
+        full first-improvement sweep cheaper than a single GA generation.
+        """
+        parent = self._parent
+        signs = np.where(self._mask, -1.0, 1.0)
+        steps = np.where(self._mask, -1, 1).astype(np.int64)
+        numerators = self._numerator[None, :] + signs[:, None] * parent._contributions
+        sizes = self._size + steps * parent._batches
+        counts = self._count + steps
+        if parent._bandwidth_costs is not None:
+            used = self._used + signs * parent._bandwidth_costs
+        else:
+            used = sizes.astype(np.float64) * parent._bandwidth_per_sample
+
+        def degenerate_mask(row: int) -> np.ndarray:
+            mask = self._mask.copy()
+            mask[row] = not mask[row]
+            return mask
+
+        return self._assemble_many(counts, numerators, sizes, used, degenerate_mask)
+
+    def swap_scores(self, add_indices: np.ndarray, remove_index: int) -> np.ndarray:
+        """Fitness of swapping ``remove_index`` for each of ``add_indices``.
+
+        The vectorized counterpart of :meth:`swap_score` -- bitwise
+        identical to calling it once per candidate -- so a swap sweep costs
+        one matrix op per removed worker instead of one Python-level
+        evaluation per (add, remove) pair.
+        """
+        parent = self._parent
+        adds = np.asarray(add_indices, dtype=np.int64)
+        if not self._mask[remove_index] or bool(self._mask[adds].any()):
+            raise SelectionError(
+                "swap must add an unselected worker and remove a selected one"
+            )
+        numerators = (
+            self._numerator[None, :] + parent._contributions[adds]
+        ) - parent._contributions[remove_index][None, :]
+        sizes = (
+            self._size + parent._batches[adds]
+        ) - int(parent._batches[remove_index])
+        counts = np.full(adds.shape[0], self._count, dtype=np.int64)
+        if parent._bandwidth_costs is not None:
+            used = (
+                self._used + parent._bandwidth_costs[adds]
+            ) - float(parent._bandwidth_costs[remove_index])
+        else:
+            used = sizes.astype(np.float64) * parent._bandwidth_per_sample
+
+        def degenerate_mask(row: int) -> np.ndarray:
+            mask = self._mask.copy()
+            mask[adds[row]] = True
+            mask[remove_index] = False
+            return mask
+
+        return self._assemble_many(counts, numerators, sizes, used, degenerate_mask)
+
+    def swap_score(self, add_index: int, remove_index: int) -> float:
+        """Fitness after adding ``add_index`` and removing ``remove_index``."""
+        parent = self._parent
+        if not self._mask[remove_index] or self._mask[add_index]:
+            raise SelectionError(
+                "swap must add an unselected worker and remove a selected one"
+            )
+        numerator = (
+            self._numerator
+            + parent._contributions[add_index]
+            - parent._contributions[remove_index]
+        )
+        size = (
+            self._size
+            + int(parent._batches[add_index])
+            - int(parent._batches[remove_index])
+        )
+        if parent._bandwidth_costs is not None:
+            used = (
+                self._used
+                + float(parent._bandwidth_costs[add_index])
+                - float(parent._bandwidth_costs[remove_index])
+            )
+        else:
+            used = float(size) * parent._bandwidth_per_sample
+
+        def degenerate_mask() -> np.ndarray:
+            mask = self._mask.copy()
+            mask[add_index] = True
+            mask[remove_index] = False
+            return mask
+
+        return self._assemble(self._count, numerator, size, used, degenerate_mask)
+
+    def flip(self, index: int) -> None:
+        """Commit a bit flip, updating the cached terms in O(classes)."""
+        count, numerator, size, used = self._flip_terms(index)
+        self._mask[index] = not self._mask[index]
+        self._count, self._numerator, self._size, self._used = (
+            count, numerator, size, used,
+        )
+        self._commits += 1
+        if self._commits >= self.resync_interval:
+            self.resync()
+
+    def swap(self, add_index: int, remove_index: int) -> None:
+        """Commit an add/remove pair."""
+        self.flip(add_index)
+        self.flip(remove_index)
+
+    def _flip_terms(self, index: int) -> tuple[int, np.ndarray, int, float]:
+        parent = self._parent
+        adding = not self._mask[index]
+        sign = 1.0 if adding else -1.0
+        step = 1 if adding else -1
+        numerator = self._numerator + sign * parent._contributions[index]
+        size = self._size + step * int(parent._batches[index])
+        count = self._count + step
+        if parent._bandwidth_costs is not None:
+            used = self._used + sign * float(parent._bandwidth_costs[index])
+        else:
+            # Scalar bandwidth derives exactly from the integer size, so
+            # the scalar path never accumulates drift in ``used``.
+            used = float(size) * parent._bandwidth_per_sample
+        return count, numerator, size, used
+
+    def _assemble(self, count, numerator, size, used, degenerate_mask) -> float:
+        parent = self._parent
+        if count == 0:
+            return 1e6
+        if size <= 0:
+            # All-zero-batch selections take the scalar path's uniform-mean
+            # fallback; rebuild the hypothetical mask only here (rare).
+            return _fitness(
+                degenerate_mask(), parent._batches, parent._matrix,
+                parent._target, parent._bandwidth_per_sample,
+                parent._bandwidth_budget,
+            )
+        phi = numerator / float(size)
+        phi = phi / phi.sum()
+        phi = phi / phi.sum()
+        phi = phi + _EPS
+        phi = phi / phi.sum()
+        kl = float(np.sum(phi * np.log(phi / parent._phi0)))
+        budget = parent._bandwidth_budget
+        violation = max(0.0, used - budget) / budget
+        utilisation = min(1.0, used / budget)
+        return kl + 10.0 * violation + 0.05 * (1.0 - utilisation)
+
+    def _assemble_many(self, counts, numerators, sizes, used,
+                       degenerate_mask) -> np.ndarray:
+        """Row-wise :meth:`_assemble`: same reductions, one matrix op.
+
+        Sums run over the last (contiguous) axis, so each row reduces in
+        the same order as the scalar path and the scores match bit for bit.
+        """
+        parent = self._parent
+        scores = np.full(counts.shape[0], 1e6)
+        live = counts > 0
+        degenerate = live & (sizes <= 0)
+        for row in np.flatnonzero(degenerate):
+            scores[row] = _fitness(
+                degenerate_mask(int(row)), parent._batches, parent._matrix,
+                parent._target, parent._bandwidth_per_sample,
+                parent._bandwidth_budget,
+            )
+        rows = live & ~degenerate
+        if not np.any(rows):
+            return scores
+        phi = numerators[rows] / sizes[rows, None].astype(np.float64)
+        phi = phi / phi.sum(axis=1, keepdims=True)
+        phi = phi / phi.sum(axis=1, keepdims=True)
+        phi = phi + _EPS
+        phi = phi / phi.sum(axis=1, keepdims=True)
+        kl = np.sum(phi * np.log(phi / parent._phi0[None, :]), axis=1)
+        budget = parent._bandwidth_budget
+        violation = np.maximum(0.0, used[rows] - budget) / budget
+        utilisation = np.minimum(1.0, used[rows] / budget)
+        scores[rows] = kl + 10.0 * violation + 0.05 * (1.0 - utilisation)
+        return scores
 
 
 def genetic_select(
@@ -257,7 +560,7 @@ def greedy_select(
     batch_sizes: np.ndarray,
     label_distributions: np.ndarray,
     target_distribution: np.ndarray,
-    bandwidth_per_sample: float,
+    bandwidth_per_sample: "float | np.ndarray",
     bandwidth_budget: float,
     priorities: np.ndarray | None = None,
 ) -> SelectionResult:
@@ -267,35 +570,92 @@ def greedy_select(
     budget and do not increase the KL divergence of the running mixture by
     more than they have to (each step picks the candidate whose addition
     yields the lowest mixture KL).
+
+    The candidate scan is vectorized onto the precomputed contribution
+    matrix ``d_i * V_i``: the running mixture numerator is maintained as a
+    left fold in selection order -- exactly the reduction
+    :func:`mixed_label_distribution` applies to the trial list, because the
+    candidate is always appended last -- so every step scores all remaining
+    candidates with one row-wise matrix reduction.  Results are
+    bit-identical to the original O(N^2 C) Python loop over the scalar
+    helpers (pinned by a regression test against that loop).
     """
     batch_sizes = np.asarray(batch_sizes, dtype=np.int64)
-    label_distributions = np.atleast_2d(np.asarray(label_distributions))
+    if np.any(batch_sizes < 0):
+        # Mirrors the check mixed_label_distribution applied per trial.
+        raise ValueError("batch sizes must be non-negative")
+    label_distributions = np.atleast_2d(
+        np.asarray(label_distributions, dtype=np.float64)
+    )
     num_workers = batch_sizes.shape[0]
     if priorities is None:
         priorities = np.ones(num_workers)
+    contributions = batch_sizes.astype(np.float64)[:, None] * label_distributions
+    # Smoothed reference distribution, hoisted out of kl_divergence.
+    phi0 = normalize_distribution(np.asarray(target_distribution, dtype=np.float64))
+    phi0 = phi0 + _EPS
+    phi0 = phi0 / phi0.sum()
+    vector_costs = None
+    if np.ndim(bandwidth_per_sample) > 0:
+        vector_costs = batch_sizes.astype(np.float64) * np.asarray(
+            bandwidth_per_sample, dtype=np.float64
+        )
     remaining = list(np.argsort(-np.asarray(priorities)))
     selected: list[int] = []
+    # Left-fold mixture numerator over the selected workers, in selection
+    # order; adding the candidate's contribution reproduces the scalar
+    # path's trial-list fold bit for bit.
+    numerator = np.zeros(label_distributions.shape[1], dtype=np.float64)
+    size = 0
     while remaining:
-        best_candidate = None
-        best_kl = np.inf
-        for candidate in remaining:
-            trial = selected + [candidate]
-            used = occupied_bandwidth(batch_sizes, trial, bandwidth_per_sample)
-            if used > bandwidth_budget:
-                continue
-            phi = mixed_label_distribution(label_distributions, batch_sizes, trial)
-            trial_kl = kl_divergence(phi, target_distribution)
-            if trial_kl < best_kl:
-                best_kl = trial_kl
-                best_candidate = candidate
-        if best_candidate is None:
+        rem = np.asarray(remaining, dtype=np.int64)
+        trial_sizes = size + batch_sizes[rem]
+        if vector_costs is None:
+            # Integer batch sums are exact in float64, so this equals the
+            # scalar loop's per-trial occupied_bandwidth exactly.
+            used = trial_sizes.astype(np.float64) * bandwidth_per_sample
+        else:
+            base = (
+                float(vector_costs[np.asarray(selected, dtype=np.int64)].sum())
+                if selected
+                else 0.0
+            )
+            used = base + vector_costs[rem]
+        feasible = used <= bandwidth_budget
+        if not np.any(feasible):
             break
+        kls = np.full(rem.shape[0], np.inf)
+        candidates = np.flatnonzero(feasible)
+        positive = trial_sizes[candidates] > 0
+        good = candidates[positive]
+        if good.size:
+            mixtures = numerator[None, :] + contributions[rem[good]]
+            phi = mixtures / trial_sizes[good, None].astype(np.float64)
+            # mixed_label_distribution normalises the mixture and
+            # kl_divergence normalises again with epsilon smoothing;
+            # mirror all three row-wise (same chain as PopulationFitness).
+            phi = phi / phi.sum(axis=1, keepdims=True)
+            phi = phi / phi.sum(axis=1, keepdims=True)
+            phi = phi + _EPS
+            phi = phi / phi.sum(axis=1, keepdims=True)
+            kls[good] = np.sum(phi * np.log(phi / phi0[None, :]), axis=1)
+        # Trials whose batches sum to zero take the scalar path's
+        # uniform-mean fallback (degenerate; unreachable from the engines).
+        for pos in candidates[~positive]:
+            trial = selected + [remaining[int(pos)]]
+            kls[pos] = kl_divergence(
+                mixed_label_distribution(label_distributions, batch_sizes, trial),
+                target_distribution,
+            )
+        # argmin returns the first occurrence, matching the sequential
+        # strict-< scan of the original loop.
+        best_pos = int(np.argmin(kls))
+        best_candidate = remaining[best_pos]
         selected.append(best_candidate)
-        remaining.remove(best_candidate)
-        current_phi = mixed_label_distribution(
-            label_distributions, batch_sizes, selected
-        )
-        if kl_divergence(current_phi, target_distribution) < 1e-3 and len(selected) >= 2:
+        remaining.pop(best_pos)
+        numerator = numerator + contributions[best_candidate]
+        size = int(size + batch_sizes[best_candidate])
+        if float(kls[best_pos]) < 1e-3 and len(selected) >= 2:
             break
     if not selected:
         # Always select at least the single highest-priority worker.

@@ -1,0 +1,37 @@
+"""Shared instance builder for the selection-solver tests."""
+
+from __future__ import annotations
+
+from repro.core.divergence import iid_distribution
+from repro.selection.solvers import SelectionProblem
+from repro.utils.rng import new_rng
+
+
+def make_problem(
+    num_workers: int = 10,
+    num_classes: int = 5,
+    seed: int = 0,
+    budget_fraction: float = 0.5,
+    vector_bandwidth: bool = False,
+    rng_seed: int | None = None,
+) -> SelectionProblem:
+    """A random-but-deterministic selection instance."""
+    rng = new_rng(seed)
+    dists = rng.dirichlet([0.3] * num_classes, size=num_workers)
+    batch_sizes = rng.integers(2, 17, size=num_workers)
+    if vector_bandwidth:
+        bandwidth = rng.uniform(0.5, 2.0, size=num_workers)
+        budget = budget_fraction * float((batch_sizes * bandwidth).sum())
+    else:
+        bandwidth = 1.0
+        budget = budget_fraction * float(batch_sizes.sum())
+    priorities = rng.uniform(1.0, 4.0, size=num_workers)
+    return SelectionProblem(
+        batch_sizes=batch_sizes,
+        label_distributions=dists,
+        target_distribution=iid_distribution(dists),
+        bandwidth_per_sample=bandwidth,
+        bandwidth_budget=budget,
+        priorities=priorities,
+        rng=new_rng(seed if rng_seed is None else rng_seed),
+    )

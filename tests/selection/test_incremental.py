@@ -1,0 +1,257 @@
+"""PopulationFitness.delta_evaluate / IncrementalFitness numerics.
+
+The contract: the anchor's incremental score is *bitwise* identical to the
+full vectorized evaluation (the cached terms are rebuilt with the same
+sequential reductions), and every O(classes) neighbour score agrees with a
+from-scratch evaluation of the flipped mask up to float-addition
+reassociation (~1e-14 relative), including after long committed-move
+sequences thanks to the periodic resync.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.divergence import iid_distribution
+from repro.core.selection import PopulationFitness, _fitness
+from repro.exceptions import SelectionError
+from repro.utils.rng import new_rng
+
+from selection_testlib import make_problem
+
+
+def _random_fitness(seed: int, num_workers: int, num_classes: int,
+                    vector: bool = False,
+                    allow_zero_batches: bool = False):
+    rng = new_rng(seed)
+    dists = rng.dirichlet([0.3] * num_classes, size=num_workers)
+    low = 0 if allow_zero_batches else 1
+    batch_sizes = rng.integers(low, 17, size=num_workers)
+    bandwidth = (
+        rng.uniform(0.5, 2.0, size=num_workers) if vector else
+        float(rng.uniform(0.5, 2.0))
+    )
+    budget = 0.5 * float((batch_sizes * bandwidth).sum()) + 1e-9
+    target = iid_distribution(dists)
+    fitness = PopulationFitness(batch_sizes, dists, target, bandwidth, budget)
+    mask = rng.random(num_workers) < 0.5
+    return fitness, mask, rng
+
+
+class TestDeltaEvaluateProperties:
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(2, 24),
+        num_classes=st.integers(2, 8),
+        vector=st.booleans(),
+        zeros=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_anchor_score_is_bitwise_exact(self, seed, num_workers,
+                                           num_classes, vector, zeros):
+        fitness, mask, __ = _random_fitness(
+            seed, num_workers, num_classes, vector, zeros
+        )
+        inc = fitness.incremental(mask)
+        assert inc.score() == fitness.evaluate(mask[None, :])[0]
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(2, 24),
+        num_classes=st.integers(2, 8),
+        vector=st.booleans(),
+        zeros=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_every_flip_matches_full_evaluation(self, seed, num_workers,
+                                                num_classes, vector, zeros):
+        fitness, mask, __ = _random_fitness(
+            seed, num_workers, num_classes, vector, zeros
+        )
+        flipped = np.tile(mask, (num_workers, 1))
+        flipped[np.arange(num_workers), np.arange(num_workers)] ^= True
+        full = fitness.evaluate(flipped)
+        for index in range(num_workers):
+            delta = fitness.delta_evaluate(mask, index)
+            np.testing.assert_allclose(delta, full[index], rtol=1e-9, atol=1e-12)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(3, 20),
+        num_classes=st.integers(2, 6),
+        moves=st.integers(1, 200),
+        vector=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_committed_moves_do_not_drift(self, seed, num_workers,
+                                          num_classes, moves, vector):
+        """Random flip sequences (crossing the resync interval) stay within
+        reassociation distance of a from-scratch evaluation."""
+        fitness, mask, rng = _random_fitness(seed, num_workers, num_classes,
+                                             vector)
+        inc = fitness.incremental(mask)
+        for __ in range(moves):
+            inc.flip(int(rng.integers(num_workers)))
+        np.testing.assert_allclose(
+            inc.score(), fitness.evaluate(inc.mask[None, :])[0],
+            rtol=1e-9, atol=1e-12,
+        )
+        inc.resync()
+        assert inc.score() == fitness.evaluate(inc.mask[None, :])[0]
+
+
+class TestBatchedNeighbourhoods:
+    """flip_scores / swap_scores are bitwise the scalar scans, batched."""
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(2, 24),
+        num_classes=st.integers(2, 8),
+        vector=st.booleans(),
+        zeros=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_flip_scores_bitwise_match_scalar_flips(self, seed, num_workers,
+                                                    num_classes, vector, zeros):
+        fitness, mask, __ = _random_fitness(
+            seed, num_workers, num_classes, vector, zeros
+        )
+        inc = fitness.incremental(mask)
+        batched = inc.flip_scores()
+        for index in range(num_workers):
+            assert batched[index] == inc.flip_score(index)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        num_workers=st.integers(4, 24),
+        num_classes=st.integers(2, 8),
+        vector=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_swap_scores_bitwise_match_scalar_swaps(self, seed, num_workers,
+                                                    num_classes, vector):
+        fitness, mask, __ = _random_fitness(seed, num_workers, num_classes,
+                                            vector)
+        mask[0], mask[1] = True, False
+        inc = fitness.incremental(mask)
+        remove = 0
+        adds = np.flatnonzero(~mask)
+        batched = inc.swap_scores(adds, remove)
+        for row, add in enumerate(adds):
+            assert batched[row] == inc.swap_score(int(add), remove)
+
+    def test_swap_scores_reject_invalid_directions(self):
+        fitness, mask, __ = _random_fitness(12, 6, 4)
+        mask[:] = [True, False, True, False, True, False]
+        inc = fitness.incremental(mask)
+        with pytest.raises(SelectionError, match="swap"):
+            inc.swap_scores(np.array([1, 2]), 0)  # 2 is selected
+        with pytest.raises(SelectionError, match="swap"):
+            inc.swap_scores(np.array([1, 3]), 5)  # 5 is not selected
+
+    def test_flip_scores_cover_degenerate_rows(self):
+        """Zero-batch selections fall back to the scalar path per row."""
+        rng = new_rng(13)
+        dists = rng.dirichlet([0.3] * 4, size=6)
+        batch_sizes = np.array([0, 3, 0, 5, 2, 0])
+        fitness = PopulationFitness(
+            batch_sizes, dists, iid_distribution(dists), 1.0,
+            0.5 * float(batch_sizes.sum()),
+        )
+        # From the empty anchor, flipping a zero-batch worker selects a
+        # count-1 / size-0 set: the uniform-mean fallback row.
+        inc = fitness.incremental(np.zeros(6, dtype=bool))
+        batched = inc.flip_scores()
+        for index in range(6):
+            assert batched[index] == inc.flip_score(index)
+        assert batched[0] != 1e6  # the degenerate row was actually scored
+
+
+class TestSwapAndValidation:
+    def test_swap_score_matches_full_evaluation(self):
+        fitness, mask, __ = _random_fitness(7, 12, 5)
+        mask[0], mask[1] = True, False
+        inc = fitness.incremental(mask)
+        swapped = mask.copy()
+        swapped[1], swapped[0] = True, False
+        np.testing.assert_allclose(
+            inc.swap_score(1, 0), fitness.evaluate(swapped[None, :])[0],
+            rtol=1e-9,
+        )
+
+    def test_swap_rejects_wrong_directions(self):
+        fitness, mask, __ = _random_fitness(8, 6, 4)
+        mask[:] = [True, False, True, False, True, False]
+        inc = fitness.incremental(mask)
+        with pytest.raises(SelectionError, match="swap"):
+            inc.swap_score(0, 2)  # both selected
+        with pytest.raises(SelectionError, match="swap"):
+            inc.swap_score(1, 3)  # neither direction valid
+
+    def test_mask_length_is_validated(self):
+        fitness, __, ___ = _random_fitness(9, 8, 4)
+        with pytest.raises(SelectionError, match="mask length"):
+            fitness.incremental(np.ones(5, dtype=bool))
+
+    def test_empty_mask_scores_the_penalty_constant(self):
+        fitness, mask, __ = _random_fitness(10, 6, 4)
+        mask[:] = False
+        assert fitness.incremental(mask).score() == 1e6
+
+    def test_delta_evaluate_reuses_anchor_cache(self):
+        fitness, mask, __ = _random_fitness(11, 10, 5)
+        fitness.delta_evaluate(mask, 0)
+        anchored = fitness._incremental
+        fitness.delta_evaluate(mask, 3)
+        assert fitness._incremental is anchored
+        other = ~mask
+        fitness.delta_evaluate(other, 1)
+        assert fitness._incremental is not anchored
+
+
+class TestVectorBandwidth:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_vector_evaluate_bitwise_matches_scalar_fitness_helper(self, seed):
+        """The vectorized evaluation with a per-worker cost vector equals
+        the reference ``_fitness`` loop bit for bit."""
+        problem = make_problem(num_workers=12, seed=seed, vector_bandwidth=True)
+        fitness = problem.fitness()
+        rng = new_rng(seed + 100)
+        masks = rng.random((40, 12)) < 0.5
+        vectorized = fitness.evaluate(masks)
+        for row, mask in enumerate(masks):
+            reference = _fitness(
+                mask, problem.batch_sizes, problem.label_distributions,
+                problem.target_distribution, problem.bandwidth_per_sample,
+                problem.bandwidth_budget,
+            )
+            assert vectorized[row] == reference
+
+    def test_constant_vector_agrees_with_scalar(self):
+        """A constant cost vector is numerically the scalar path (the
+        summation order differs, so equality is allclose, not bitwise)."""
+        problem = make_problem(num_workers=10, seed=4)
+        scalar = problem.fitness()
+        vector = PopulationFitness(
+            problem.batch_sizes, problem.label_distributions,
+            problem.target_distribution,
+            np.full(10, float(problem.bandwidth_per_sample)),
+            problem.bandwidth_budget,
+        )
+        rng = new_rng(42)
+        masks = rng.random((30, 10)) < 0.5
+        np.testing.assert_allclose(
+            vector.evaluate(masks), scalar.evaluate(masks), rtol=1e-12,
+        )
+
+    def test_vector_length_mismatch_rejected(self):
+        problem = make_problem(num_workers=8, seed=5)
+        with pytest.raises(SelectionError, match="different worker counts"):
+            PopulationFitness(
+                problem.batch_sizes, problem.label_distributions,
+                problem.target_distribution, np.ones(5),
+                problem.bandwidth_budget,
+            )

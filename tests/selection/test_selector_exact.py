@@ -1,0 +1,204 @@
+"""``config.selector`` does not perturb the default trajectory.
+
+``selector="ga"`` must be indistinguishable from a config that never
+mentions selection solvers: identical history records and final weights
+across both split engines, every executor and both population modes, and
+checkpoints that keep their historical format (no ``selection`` key).  The
+stateful ``ga-warm`` solver must survive checkpoint/resume bit-exactly, and
+depth-aware selection must be neutral while every worker sits at the
+global cut.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.api.session import Session
+from repro.config import ExperimentConfig
+from repro.exceptions import ConfigurationError
+from repro.metrics.history import WIRE_FIELDS
+
+EXECUTORS = ("serial", "batched", "process")
+ALGORITHMS = ("mergesfl", "splitfed")
+POPULATIONS = ("eager", "lazy")
+
+
+def _config(executor: str, algorithm: str, population: str = "eager",
+            **overrides) -> ExperimentConfig:
+    params = dict(
+        algorithm=algorithm,
+        dataset="blobs",
+        model="mlp",
+        num_workers=5,
+        num_rounds=3,
+        local_iterations=3,
+        non_iid_level=2.0,
+        max_batch_size=16,
+        base_batch_size=8,
+        train_samples=300,
+        test_samples=80,
+        learning_rate=0.1,
+        momentum=0.9,
+        weight_decay=1e-4,
+        seed=3,
+        executor=executor,
+        population=population,
+        extras={"executor_processes": 2},
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _run(config: ExperimentConfig):
+    with Session.from_config(config) as session:
+        history = session.run()
+        return history.records, session.global_model().state_dict()
+
+
+_REFERENCES: dict[tuple[str, str], tuple] = {}
+
+
+def _reference(algorithm: str, population: str = "eager"):
+    """A serial run whose config never mentions selection solvers."""
+    key = (algorithm, population)
+    if key not in _REFERENCES:
+        _REFERENCES[key] = _run(_config("serial", algorithm, population))
+    return _REFERENCES[key]
+
+
+def _assert_bit_equal(reference, candidate, label: str) -> None:
+    ref_records, ref_state = reference
+    records, state = candidate
+    assert len(records) == len(ref_records)
+    for ref_record, record in zip(ref_records, records):
+        ref_dict = {k: v for k, v in dataclasses.asdict(ref_record).items()
+                    if k not in WIRE_FIELDS}
+        dict_ = {k: v for k, v in dataclasses.asdict(record).items()
+                 if k not in WIRE_FIELDS}
+        assert dict_ == ref_dict, label
+    assert set(state) == set(ref_state)
+    for key in ref_state:
+        assert np.array_equal(state[key], ref_state[key]), f"{label}: {key}"
+
+
+@pytest.mark.parametrize("population", POPULATIONS)
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_ga_selector_matches_default_everywhere(algorithm, executor, population):
+    """An explicit ``selector="ga"`` run is the default run, bit for bit."""
+    candidate = _run(_config(executor, algorithm, population, selector="ga"))
+    _assert_bit_equal(
+        _reference(algorithm, population), candidate,
+        f"{algorithm}/{executor}/{population}/ga",
+    )
+
+
+def test_default_checkpoint_keeps_historical_format():
+    """Stateless solvers (the default) add no checkpoint key."""
+    with Session.from_config(_config("serial", "mergesfl",
+                                     selector="ga")) as session:
+        session.run(1)
+        state = session.state_dict()
+    assert "selection" not in state["algorithm"]
+    assert "selection_depths" not in state["algorithm"]
+
+
+def test_warm_solver_state_is_checkpointed():
+    with Session.from_config(_config("serial", "mergesfl",
+                                     selector="ga-warm")) as session:
+        session.run(2)
+        state = session.state_dict()
+    selection = state["algorithm"]["selection"]
+    assert selection["previous"] is not None
+    assert selection["previous"] == sorted(selection["previous"])
+
+
+@pytest.mark.parametrize("population", POPULATIONS)
+def test_warm_solver_checkpoint_resume_is_bit_exact(tmp_path, population):
+    """ga-warm: 1 round + save + resume 2 == 3 rounds straight."""
+    config = _config("serial", "mergesfl", population, selector="ga-warm")
+    straight = _run(config)
+
+    path = tmp_path / f"warm-{population}.ckpt.json"
+    with Session.from_config(config) as session:
+        session.run(1)
+        session.save_checkpoint(path)
+    with Session.load_checkpoint(path) as resumed:
+        resumed.run()
+        candidate = (resumed.history.records,
+                     resumed.global_model().state_dict())
+    _assert_bit_equal(straight, candidate, f"warm-resume/{population}")
+
+
+@pytest.mark.parametrize("selector", ["ga-warm", "local-search", "greedy"])
+def test_alternative_selectors_run_and_are_deterministic(selector):
+    config = _config("serial", "mergesfl", selector=selector)
+    first = _run(config)
+    second = _run(config)
+    _assert_bit_equal(first, second, f"determinism/{selector}")
+    records, __ = first
+    assert all(np.isfinite(record.merged_kl) for record in records)
+    assert all(record.num_selected >= 1 for record in records)
+
+
+def test_warm_solver_with_lazy_candidate_pool():
+    """Warm state is keyed on global ids, so per-round candidate pools
+    (different subsets each round) remap it instead of corrupting it."""
+    config = _config(
+        "serial", "mergesfl", "lazy",
+        selector="ga-warm", num_workers=12, num_rounds=4,
+        population_candidates=6,
+    )
+    with Session.from_config(config) as session:
+        session.run()
+        state = session.state_dict()
+        records = session.history.records
+    previous = state["algorithm"]["selection"]["previous"]
+    assert previous and all(0 <= worker < 12 for worker in previous)
+    assert all(record.num_selected >= 1 for record in records)
+
+
+class TestDepthAwareSelection:
+    def test_requires_non_uniform_split_policy(self):
+        with pytest.raises(ConfigurationError, match="depth_aware_selection"):
+            _config("serial", "mergesfl",
+                    extras={"depth_aware_selection": True})
+
+    def test_rejects_non_bool(self):
+        with pytest.raises(ConfigurationError, match="must be a bool"):
+            _config("serial", "mergesfl", split_policy="profile",
+                    extras={"depth_aware_selection": 3})
+
+    def test_neutral_at_the_degenerate_global_cut(self):
+        """On ``mlp`` the only candidate cut is the tail, so the per-worker
+        cost vector is constant at round zero and every later round; the
+        run must match plain ``profile`` bit for bit."""
+        reference = _run(_config("serial", "mergesfl",
+                                 split_policy="profile"))
+        candidate = _run(_config(
+            "serial", "mergesfl", split_policy="profile",
+            extras={"executor_processes": 2, "depth_aware_selection": True},
+        ))
+        _assert_bit_equal(reference, candidate, "depth-aware-degenerate")
+
+    def test_depths_are_checkpointed_and_resume_exactly(self, tmp_path):
+        config = _config(
+            "serial", "mergesfl", split_policy="profile",
+            extras={"executor_processes": 2, "depth_aware_selection": True},
+        )
+        straight = _run(config)
+        path = tmp_path / "depth-aware.ckpt.json"
+        with Session.from_config(config) as session:
+            session.run(1)
+            state = session.state_dict()
+            assert "selection_depths" in state["algorithm"]
+            assert state["algorithm"]["selection_depths"]
+            session.save_checkpoint(path)
+        with Session.load_checkpoint(path) as resumed:
+            resumed.run()
+            candidate = (resumed.history.records,
+                         resumed.global_model().state_dict())
+        _assert_bit_equal(straight, candidate, "depth-aware-resume")
